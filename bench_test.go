@@ -1,0 +1,340 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (one benchmark per experiment) and run the
+// ablation studies DESIGN.md calls out. Each benchmark reports the
+// figure's headline metric through b.ReportMetric so `go test -bench=.`
+// output doubles as the experiment record.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core/hashtable"
+	"repro/internal/core/heapmgr"
+	"repro/internal/core/regexaccel"
+	"repro/internal/core/straccel"
+	"repro/internal/experiments"
+	"repro/internal/hashmap"
+	"repro/internal/heap"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 1, Warmup: 30, Requests: 40}
+}
+
+func benchUarch() experiments.UarchOptions {
+	return experiments.UarchOptions{Instructions: 800_000, Seed: 1}
+}
+
+// --- One benchmark per figure/table ---
+
+func BenchmarkFigure1_LeafFunctionDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure1(benchOpts())
+		for _, r := range rows {
+			if r.App == "wordpress" {
+				b.ReportMetric(100*r.HottestFrac, "hottest-%")
+				b.ReportMetric(float64(r.FuncsFor65), "funcs@65%")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure2a_BTBSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure2a(benchUarch())
+		last := rows[len(rows)-1]
+		b.ReportMetric(100*last.BTBHitRate, "btb64K-hit-%")
+	}
+}
+
+func BenchmarkFigure2b_CacheMPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure2b(benchUarch())
+		b.ReportMetric(rows[0].L1IMPKI, "L1I-MPKI")
+		b.ReportMetric(rows[0].L2MPKI, "L2-MPKI")
+	}
+}
+
+func BenchmarkFigure2c_CoreWidthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure2c(benchUarch())
+		gain := (rows[2].NormTime - rows[3].NormTime) / rows[2].NormTime
+		b.ReportMetric(100*gain, "8wide-gain-%")
+	}
+}
+
+func BenchmarkBranchMPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.TableBranchMPKI(benchUarch())
+		for _, r := range rows {
+			if r.Workload == "wordpress" {
+				b.ReportMetric(r.MPKI, "wp-MPKI")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure3_MitigationDiff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure3(benchOpts())
+		var collapsed float64
+		for _, r := range rows {
+			if r.Category == sim.CatRefCount {
+				collapsed += r.BeforePct - r.AfterPct
+			}
+		}
+		b.ReportMetric(collapsed, "refcount-drop-pp")
+	}
+}
+
+func BenchmarkFigure5_Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure5(benchOpts())
+		for _, r := range rows {
+			if r.App == "wordpress" {
+				four := r.Shares[sim.CatHash] + r.Shares[sim.CatHeap] +
+					r.Shares[sim.CatString] + r.Shares[sim.CatRegex]
+				b.ReportMetric(100*four, "wp-4cat-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure7_HashTableHitRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure7(benchOpts())
+		for _, r := range rows {
+			if r.Entries == 256 {
+				b.ReportMetric(100*r.GetHitRate, "hit256-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure8_MemoryUsage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure8a(benchOpts())
+		b.ReportMetric(100*rows[0].Cumulative[7], "wp-<=128B-%")
+	}
+}
+
+func BenchmarkFigure12_ContentSkipped(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure12(benchOpts())
+		b.ReportMetric(100*rows[0].TotalFraction, "wp-skip-%")
+	}
+}
+
+func BenchmarkFigure14_Headline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure14(benchOpts())
+		var acc float64
+		for _, r := range rows {
+			acc += r.AcceleratedTime
+		}
+		b.ReportMetric(100*acc/float64(len(rows)), "accel-time-%")
+	}
+}
+
+func BenchmarkFigure15_PerAccelerator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure15(benchOpts())
+		avg := map[sim.AccelKind]float64{}
+		for _, r := range rows {
+			for k, v := range r.Benefit {
+				avg[k] += 100 * v / float64(len(rows))
+			}
+		}
+		b.ReportMetric(avg[sim.AccelHeapMgr], "heap-%")
+		b.ReportMetric(avg[sim.AccelHashTable], "hash-%")
+	}
+}
+
+// --- Ablations (§4 design-consideration studies from DESIGN.md) ---
+
+// BenchmarkAblationProbeWindow sweeps the hash table's parallel probe
+// window (§4.2: 4 consecutive entries accessed in parallel).
+func BenchmarkAblationProbeWindow(b *testing.B) {
+	for _, window := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("window-%d", window), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				feats := isa.AllAccelerators()
+				feats.HTConfig.ProbeWindow = window
+				rt := vm.New(vm.Config{Features: feats, Mitigations: sim.AllMitigations(), TraceCapacity: -1})
+				app, _ := workload.ByName("wordpress", 1)
+				workload.LoadGenerator{Warmup: 20, Requests: 30, ContextSwitchEvery: 64}.Run(rt, app)
+				b.ReportMetric(100*rt.CPU().HT.Stats().HitRate(), "get-hit-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationKeyWidth sweeps the widest key stored inline (§4.2:
+// 24 bytes captures ~95% of keys).
+func BenchmarkAblationKeyWidth(b *testing.B) {
+	for _, width := range []int{8, 16, 24, 48} {
+		b.Run(fmt.Sprintf("keybytes-%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				feats := isa.AllAccelerators()
+				feats.HTConfig.MaxKeyBytes = width
+				rt := vm.New(vm.Config{Features: feats, Mitigations: sim.AllMitigations(), TraceCapacity: -1})
+				app, _ := workload.ByName("wordpress", 1)
+				workload.LoadGenerator{Warmup: 20, Requests: 30, ContextSwitchEvery: 64}.Run(rt, app)
+				st := rt.CPU().HT.Stats()
+				total := st.Gets + st.Sets + st.Bypasses
+				b.ReportMetric(100*float64(st.Bypasses)/float64(total+1), "bypass-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHeapListEntries sweeps the hardware free-list depth
+// (§4.3: 32 entries give the prefetcher room to hide latency).
+func BenchmarkAblationHeapListEntries(b *testing.B) {
+	for _, entries := range []int{4, 8, 32, 128} {
+		b.Run(fmt.Sprintf("entries-%d", entries), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				feats := isa.AllAccelerators()
+				feats.HMConfig.ListEntries = entries
+				if feats.HMConfig.PrefetchLow > entries {
+					feats.HMConfig.PrefetchLow = entries / 2
+				}
+				rt := vm.New(vm.Config{Features: feats, Mitigations: sim.AllMitigations(), TraceCapacity: -1})
+				app, _ := workload.ByName("wordpress", 1)
+				workload.LoadGenerator{Warmup: 20, Requests: 30, ContextSwitchEvery: 64}.Run(rt, app)
+				b.ReportMetric(100*rt.CPU().HM.Stats().MallocHitRate(), "malloc-hit-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStringBlockWidth sweeps the matching matrix width
+// (§4.4: 64 bytes per pass versus prior single-byte designs).
+func BenchmarkAblationStringBlockWidth(b *testing.B) {
+	for _, width := range []int{1, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("block-%d", width), func(b *testing.B) {
+			model := sim.DefaultCostModel()
+			model.StrBlockBytes = width
+			for i := 0; i < b.N; i++ {
+				feats := isa.AllAccelerators()
+				feats.SAConfig.BlockBytes = width
+				rt := vm.New(vm.Config{Features: feats, Mitigations: sim.AllMitigations(), Model: model, TraceCapacity: -1})
+				app, _ := workload.ByName("wordpress", 1)
+				res := workload.LoadGenerator{Warmup: 20, Requests: 30, ContextSwitchEvery: 64}.Run(rt, app)
+				b.ReportMetric(res.CyclesPerRequest(), "cycles/req")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSegSize sweeps the content sifting segment granularity
+// (§4.5).
+func BenchmarkAblationSegSize(b *testing.B) {
+	for _, seg := range []int{16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("seg-%d", seg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				feats := isa.AllAccelerators()
+				feats.RAConfig.SegSize = seg
+				rt := vm.New(vm.Config{Features: feats, Mitigations: sim.AllMitigations(), TraceCapacity: -1})
+				app, _ := workload.ByName("wordpress", 1)
+				workload.LoadGenerator{Warmup: 20, Requests: 30, ContextSwitchEvery: 64}.Run(rt, app)
+				st := rt.CPU().RA.Stats()
+				b.ReportMetric(100*float64(st.BytesSkippedSift)/float64(st.BytesPresented+1), "sift-skip-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSiftVsReuse isolates the two regexp techniques.
+func BenchmarkAblationSiftVsReuse(b *testing.B) {
+	run := func(b *testing.B, segSize, reuseEntries int) {
+		for i := 0; i < b.N; i++ {
+			feats := isa.AllAccelerators()
+			feats.RAConfig.SegSize = segSize
+			feats.RAConfig.ReuseEntries = reuseEntries
+			rt := vm.New(vm.Config{Features: feats, Mitigations: sim.AllMitigations(), TraceCapacity: -1})
+			app, _ := workload.ByName("wordpress", 1)
+			res := workload.LoadGenerator{Warmup: 20, Requests: 30, ContextSwitchEvery: 64}.Run(rt, app)
+			b.ReportMetric(res.CyclesPerRequest(), "cycles/req")
+		}
+	}
+	b.Run("both", func(b *testing.B) { run(b, 32, 32) })
+	b.Run("reuse-only-1seg", func(b *testing.B) { run(b, 1<<20, 32) }) // giant segments: sifting off
+	b.Run("sift-only-1entry", func(b *testing.B) { run(b, 32, 1) })
+}
+
+// BenchmarkScriptedPHP runs the real PHP blog script through the
+// interpreter on software vs accelerated runtimes.
+func BenchmarkScriptedPHP(b *testing.B) {
+	run := func(b *testing.B, feats isa.Features) {
+		rt := vm.New(vm.Config{Features: feats, Mitigations: sim.AllMitigations(), TraceCapacity: -1})
+		app := workload.NewBlogScript()
+		for i := 0; i < 10; i++ {
+			app.ServeRequest(rt)
+		}
+		rt.Meter().Reset()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			app.ServeRequest(rt)
+		}
+		b.ReportMetric(rt.Meter().TotalCycles()/float64(b.N), "simcycles/req")
+	}
+	b.Run("software", func(b *testing.B) { run(b, isa.Features{}) })
+	b.Run("accelerated", func(b *testing.B) { run(b, isa.AllAccelerators()) })
+}
+
+// --- Raw accelerator micro-benchmarks ---
+
+func BenchmarkAccelHashTableGet(b *testing.B) {
+	ht := hashtable.New(hashtable.DefaultConfig())
+	rt := vm.New(vm.Config{TraceCapacity: -1})
+	m := rt.CPU().NewMap()
+	ht.Set(m, hashmap.StrKey("key"), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.Get(m, hashmap.StrKey("key"))
+	}
+}
+
+func BenchmarkAccelHeapManager(b *testing.B) {
+	hm := heapmgr.New(heapmgr.DefaultConfig(), heap.NewAllocator(nil, 0))
+	for i := 0; i < b.N; i++ {
+		blk, _ := hm.Malloc(64)
+		hm.Free(blk)
+	}
+}
+
+func BenchmarkAccelStringFind(b *testing.B) {
+	sa := straccel.New(straccel.DefaultConfig())
+	subject := make([]byte, 4096)
+	for i := range subject {
+		subject[i] = byte('a' + i%26)
+	}
+	b.SetBytes(int64(len(subject)))
+	for i := 0; i < b.N; i++ {
+		sa.Find(subject, []byte("needle"))
+	}
+}
+
+func BenchmarkAccelRegexSift(b *testing.B) {
+	ra := regexaccel.New(regexaccel.DefaultConfig())
+	rt := vm.New(vm.Config{TraceCapacity: -1})
+	re := rt.MustRegex("bench", `"`)
+	sieve := rt.MustRegex("bench", `<`)
+	content := make([]byte, 8192)
+	for i := range content {
+		content[i] = byte('a' + i%26)
+	}
+	content[4096] = '"'
+	_, hv := ra.Sieve(sieve, content, nil)
+	b.SetBytes(int64(len(content)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ra.Shadow(re, content, hv)
+	}
+}

@@ -1,0 +1,72 @@
+// Command loadgen drives the oss-performance-style load generator over
+// one or more workloads and compares configurations side by side:
+// baseline HHVM, prior-work mitigations, and the full accelerated core.
+//
+// Usage:
+//
+//	loadgen [-apps wordpress,drupal,mediawiki] [-requests 200] [-warmup 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func main() {
+	apps := flag.String("apps", "wordpress,drupal,mediawiki", "comma-separated workloads")
+	requests := flag.Int("requests", 200, "measured requests per run")
+	warmup := flag.Int("warmup", 300, "warmup requests (oss-performance default)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	type config struct {
+		name string
+		mit  bool
+		acc  bool
+	}
+	configs := []config{
+		{"baseline", false, false},
+		{"mitigated", true, false},
+		{"accelerated", true, true},
+	}
+
+	fmt.Printf("%-12s %-12s %16s %14s %14s %12s\n",
+		"workload", "config", "cycles/request", "uops/request", "energy uJ/req", "norm.time")
+	for _, appName := range strings.Split(*apps, ",") {
+		appName = strings.TrimSpace(appName)
+		var baseCycles float64
+		for _, c := range configs {
+			cfg := vm.Config{TraceCapacity: -1}
+			if c.mit {
+				cfg.Mitigations = sim.AllMitigations()
+			}
+			if c.acc {
+				cfg.Features = isa.AllAccelerators()
+			}
+			rt := vm.New(cfg)
+			app, err := workload.ByName(appName, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			lg := workload.LoadGenerator{Warmup: *warmup, Requests: *requests, ContextSwitchEvery: 64}
+			res := lg.Run(rt, app)
+			if c.name == "baseline" {
+				baseCycles = res.Cycles
+			}
+			fmt.Printf("%-12s %-12s %16.0f %14.0f %14.2f %11.2f%%\n",
+				appName, c.name,
+				res.CyclesPerRequest(),
+				res.Uops/float64(res.Requests),
+				res.EnergyPJ/float64(res.Requests)/1e6,
+				100*res.Cycles/baseCycles)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command phpi interprets a PHP script on the simulated runtime and
+// prints its output, optionally with the simulation cost report — a
+// miniature HHVM-with-accelerators in one binary.
+//
+// Usage:
+//
+//	phpi [-accel] [-stats] script.php
+//	echo '<?php echo strtoupper("hi");' | phpi -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/php"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func main() {
+	accel := flag.Bool("accel", true, "run with the four accelerators")
+	stats := flag.Bool("stats", false, "print the simulation cost report after the output")
+	topN := flag.Int("profile", 0, "also print the hottest N leaf functions")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: phpi [-accel] [-stats] script.php  (use - for stdin)")
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phpi:", err)
+		os.Exit(1)
+	}
+
+	cfg := vm.Config{Mitigations: sim.AllMitigations(), TraceCapacity: -1}
+	if *accel {
+		cfg.Features = isa.AllAccelerators()
+	}
+	rt := vm.New(cfg)
+
+	out, err := php.RunScript(rt, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phpi:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(out)
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "\n--- simulation ---\n%s", rt.Meter().Report())
+	}
+	if *topN > 0 {
+		p := profile.FromMeter(rt.Meter())
+		fmt.Fprintf(os.Stderr, "\n%s", p.Render(*topN))
+	}
+}

@@ -1,0 +1,434 @@
+package hashtable
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashmap"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.Entries != 512 || c.ProbeWindow != 4 || c.MaxKeyBytes != 24 {
+		t.Errorf("paper config is 512 entries, 4-entry window, 24-byte keys: %+v", c)
+	}
+}
+
+func TestConfigSanitize(t *testing.T) {
+	c := Config{}.sanitized()
+	if c.Entries <= 0 || c.ProbeWindow <= 0 || c.MaxKeyBytes <= 0 || c.RTTPointers <= 0 {
+		t.Errorf("sanitized zero config invalid: %+v", c)
+	}
+	c = Config{Entries: 2, ProbeWindow: 10}.sanitized()
+	if c.ProbeWindow > c.Entries {
+		t.Errorf("probe window must not exceed entries: %+v", c)
+	}
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	m.Set(hashmap.StrKey("title"), "Hello")
+
+	v, res := ht.Get(m, hashmap.StrKey("title"))
+	if v != "Hello" || res.Hit || !res.Found {
+		t.Fatalf("first Get should miss but find: %v %+v", v, res)
+	}
+	v, res = ht.Get(m, hashmap.StrKey("title"))
+	if v != "Hello" || !res.Hit {
+		t.Fatalf("second Get should hit: %v %+v", v, res)
+	}
+	st := ht.Stats()
+	if st.Gets != 2 || st.GetHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGetAbsentKey(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	v, res := ht.Get(m, hashmap.StrKey("nope"))
+	if v != nil || res.Found || res.Hit {
+		t.Errorf("absent key: %v %+v", v, res)
+	}
+}
+
+func TestSetNeverMisses(t *testing.T) {
+	// §4.2: "SET operations never miss in our design" — an insert always
+	// lands in the table without software involvement.
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	res := ht.Set(m, hashmap.StrKey("k"), 1)
+	if res.Bypass || res.Hit {
+		t.Fatalf("fresh SET: %+v", res)
+	}
+	// The pair is visible through the accelerator immediately...
+	v, g := ht.Get(m, hashmap.StrKey("k"))
+	if v != 1 || !g.Hit {
+		t.Fatalf("SET pair not readable: %v %+v", v, g)
+	}
+	// ...but memory has not been updated (silent SET).
+	if _, ok := m.Get(hashmap.StrKey("k")); ok {
+		t.Errorf("SET must not write through to memory")
+	}
+}
+
+func TestSetHitUpdatesValue(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	ht.Set(m, hashmap.StrKey("k"), 1)
+	res := ht.Set(m, hashmap.StrKey("k"), 2)
+	if !res.Hit {
+		t.Fatalf("second SET should hit: %+v", res)
+	}
+	if v, _ := ht.Get(m, hashmap.StrKey("k")); v != 2 {
+		t.Errorf("value not updated: %v", v)
+	}
+}
+
+func TestLongKeysBypass(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	long := hashmap.StrKey(strings.Repeat("k", 25))
+	ht.Set(m, long, "v")
+	if v, ok := m.Get(long); !ok || v != "v" {
+		t.Fatalf("bypassed SET must write memory directly: %v %v", v, ok)
+	}
+	_, res := ht.Get(m, long)
+	if !res.Bypass || !res.Found {
+		t.Errorf("long-key GET should bypass: %+v", res)
+	}
+	if ht.Stats().Bypasses != 2 {
+		t.Errorf("bypass count = %d", ht.Stats().Bypasses)
+	}
+	if ht.Stats().Gets != 0 || ht.Stats().Sets != 0 {
+		t.Errorf("bypasses must not count as hardware requests")
+	}
+}
+
+func TestExactly24ByteKeyIsCached(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	k := hashmap.StrKey(strings.Repeat("x", 24))
+	ht.Set(m, k, 1)
+	if _, res := ht.Get(m, k); !res.Hit {
+		t.Errorf("24-byte key should be hardware eligible")
+	}
+}
+
+func TestFreeInvalidatesViaRTT(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	for i := 0; i < 10; i++ {
+		ht.Set(m, hashmap.IntKey(int64(i)), i)
+	}
+	res := ht.Free(m)
+	if res.Scanned {
+		t.Errorf("10 entries fit the RTT; no scan expected")
+	}
+	if res.Invalidated != 10 {
+		t.Errorf("invalidated %d entries, want 10", res.Invalidated)
+	}
+	if ht.Len() != 0 {
+		t.Errorf("table should be empty after Free, len=%d", ht.Len())
+	}
+	// A freed short-lived map never touched memory.
+	if m.Size() != 0 {
+		t.Errorf("short-lived map leaked %d pairs to memory", m.Size())
+	}
+}
+
+func TestRTTOverflowFallsBackToScan(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RTTPointers = 4
+	ht := New(cfg)
+	m := hashmap.New(nil)
+	for i := 0; i < 10; i++ {
+		ht.Set(m, hashmap.IntKey(int64(i)), i)
+	}
+	res := ht.Free(m)
+	if !res.Scanned {
+		t.Errorf("RTT overflow should force a scan")
+	}
+	if ht.Len() != 0 {
+		t.Errorf("scan must still invalidate everything, len=%d", ht.Len())
+	}
+	if ht.Stats().FreeScans != 1 {
+		t.Errorf("FreeScans = %d", ht.Stats().FreeScans)
+	}
+}
+
+func TestForeachInsertionOrder(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	keys := []string{"zeta", "alpha", "mid", "last"}
+	for i, k := range keys {
+		ht.Set(m, hashmap.StrKey(k), i)
+	}
+	var got []string
+	ht.Foreach(m, func(k hashmap.Key, v interface{}) bool {
+		got = append(got, k.Str)
+		return true
+	})
+	if fmt.Sprint(got) != fmt.Sprint(keys) {
+		t.Errorf("foreach order = %v, want %v", got, keys)
+	}
+}
+
+func TestForeachOrderSurvivesEvictions(t *testing.T) {
+	// A tiny table forces constant evictions; the RTT's ordered-position
+	// writeback must still produce insertion order (§4.2).
+	cfg := Config{Entries: 4, ProbeWindow: 2, MaxKeyBytes: 24, RTTPointers: 128}
+	ht := New(cfg)
+	m := hashmap.New(nil)
+	var want []string
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("key%02d", i)
+		want = append(want, k)
+		ht.Set(m, hashmap.StrKey(k), i)
+	}
+	var got []string
+	ht.Foreach(m, func(k hashmap.Key, v interface{}) bool {
+		got = append(got, k.Str)
+		return true
+	})
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("order broken by evictions:\n got %v\nwant %v", got, want)
+	}
+	if ht.Stats().EvictDirty == 0 {
+		t.Errorf("test should have forced dirty evictions")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := Config{Entries: 2, ProbeWindow: 2, MaxKeyBytes: 24, RTTPointers: 64}
+	ht := New(cfg)
+	m := hashmap.New(nil)
+	for i := 0; i < 8; i++ {
+		ht.Set(m, hashmap.IntKey(int64(i)), i)
+	}
+	// 8 inserts into a 2-entry table: at least 6 dirty evictions, each
+	// writing its pair back to memory.
+	if ht.Stats().EvictDirty < 6 {
+		t.Errorf("EvictDirty = %d, want >= 6", ht.Stats().EvictDirty)
+	}
+	// Every evicted pair must be recoverable through the accelerator.
+	for i := 0; i < 8; i++ {
+		v, res := ht.Get(m, hashmap.IntKey(int64(i)))
+		if v != i || !res.Found {
+			t.Errorf("pair %d lost after eviction: %v %+v", i, v, res)
+		}
+	}
+}
+
+func TestDeleteDropsCachedCopy(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	ht.Set(m, hashmap.StrKey("k"), 1)
+	if !ht.Delete(m, hashmap.StrKey("k")) {
+		// The pair only lived in hardware; memory delete reports false but
+		// the key must be gone either way.
+		if _, res := ht.Get(m, hashmap.StrKey("k")); res.Found {
+			t.Errorf("deleted key still readable")
+		}
+	}
+	if _, res := ht.Get(m, hashmap.StrKey("k")); res.Found {
+		t.Errorf("deleted key still readable")
+	}
+}
+
+func TestFlushAllMarksStale(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	ht.Set(m, hashmap.StrKey("a"), 1)
+	ht.Set(m, hashmap.StrKey("b"), 2)
+	n := ht.FlushAll()
+	if n != 2 {
+		t.Errorf("FlushAll wrote %d, want 2", n)
+	}
+	if !m.Stale() {
+		t.Errorf("context-switch flush must mark the software index stale")
+	}
+	if v, ok := m.Get(hashmap.StrKey("a")); !ok || v != 1 {
+		t.Errorf("software access after flush should rebuild and find: %v %v", v, ok)
+	}
+	if m.Rebuilds() != 1 {
+		t.Errorf("expected one index reconstruction, got %d", m.Rebuilds())
+	}
+	if ht.Len() != 0 {
+		t.Errorf("table not empty after FlushAll")
+	}
+}
+
+func TestRemoteCoherenceFlushes(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	ht.Set(m, hashmap.StrKey("x"), 42)
+	ht.OnRemoteCoherence(m)
+	if ht.Len() != 0 {
+		t.Errorf("coherence request must flush the map's entries")
+	}
+	if v, ok := m.Get(hashmap.StrKey("x")); !ok || v != 42 {
+		t.Errorf("remote reader must see the flushed value: %v %v", v, ok)
+	}
+	if ht.Stats().CoherenceEv != 1 {
+		t.Errorf("CoherenceEv = %d", ht.Stats().CoherenceEv)
+	}
+}
+
+func TestHitRateGrowsWithCapacity(t *testing.T) {
+	// Fig. 7's shape: bigger tables give higher GET hit rates on a
+	// working set with reuse.
+	workload := func(entries int) float64 {
+		cfg := DefaultConfig()
+		cfg.Entries = entries
+		ht := New(cfg)
+		rng := rand.New(rand.NewSource(3))
+		maps := make([]*hashmap.Map, 6)
+		for i := range maps {
+			maps[i] = hashmap.New(nil)
+		}
+		for op := 0; op < 20000; op++ {
+			m := maps[rng.Intn(len(maps))]
+			k := hashmap.StrKey(fmt.Sprintf("key%d", rng.Intn(40)))
+			if rng.Intn(5) == 0 {
+				ht.Set(m, k, op)
+			} else {
+				ht.Get(m, k)
+			}
+		}
+		return ht.Stats().HitRate()
+	}
+	small, large := workload(16), workload(512)
+	if large <= small {
+		t.Errorf("hit rate should grow with capacity: %0.3f (16) vs %0.3f (512)", small, large)
+	}
+	if large < 0.9 {
+		t.Errorf("512-entry table should capture this working set: %0.3f", large)
+	}
+}
+
+func TestStatsHitRateZeroGets(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Errorf("zero gets should have zero hit rate")
+	}
+}
+
+// TestCoherenceProperty drives random operations through the accelerator
+// against a model map, with random flushes, foreaches, and coherence
+// events interleaved. The accelerator must be semantically invisible.
+func TestCoherenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{Entries: 8, ProbeWindow: 2, MaxKeyBytes: 24, RTTPointers: 16}
+		ht := New(cfg)
+
+		type ctx struct {
+			m     *hashmap.Map
+			model map[string]int
+			order []string
+		}
+		mk := func() *ctx { return &ctx{m: hashmap.New(nil), model: map[string]int{}} }
+		ctxs := []*ctx{mk(), mk(), mk()}
+
+		for step := 0; step < 400; step++ {
+			c := ctxs[rng.Intn(len(ctxs))]
+			key := fmt.Sprintf("k%d", rng.Intn(12))
+			switch rng.Intn(10) {
+			case 0, 1, 2: // set
+				v := rng.Intn(1 << 20)
+				if _, ok := c.model[key]; !ok {
+					c.order = append(c.order, key)
+				}
+				c.model[key] = v
+				ht.Set(c.m, hashmap.StrKey(key), v)
+			case 3, 4, 5, 6: // get
+				v, res := ht.Get(c.m, hashmap.StrKey(key))
+				mv, mok := c.model[key]
+				if res.Found != mok {
+					return false
+				}
+				if mok && v != mv {
+					return false
+				}
+			case 7: // delete
+				_, mok := c.model[key]
+				delete(c.model, key)
+				for i, s := range c.order {
+					if s == key {
+						c.order = append(c.order[:i], c.order[i+1:]...)
+						break
+					}
+				}
+				got := ht.Delete(c.m, hashmap.StrKey(key))
+				_ = got
+				_ = mok
+			case 8: // foreach order check
+				var got []string
+				ht.Foreach(c.m, func(k hashmap.Key, v interface{}) bool {
+					got = append(got, k.Str)
+					if c.model[k.Str] != v {
+						got = append(got, "VALUE-MISMATCH")
+					}
+					return true
+				})
+				if fmt.Sprint(got) != fmt.Sprint(c.order) {
+					return false
+				}
+			case 9: // context switch or remote coherence
+				if rng.Intn(2) == 0 {
+					ht.FlushAll()
+				} else {
+					ht.OnRemoteCoherence(c.m)
+				}
+			}
+		}
+		// Final check: flush everything, software view must equal model.
+		ht.FlushAll()
+		for _, c := range ctxs {
+			if c.m.Size() != len(c.model) {
+				return false
+			}
+			ok := true
+			c.m.Foreach(func(k hashmap.Key, v interface{}) bool {
+				if c.model[k.Str] != v {
+					ok = false
+				}
+				return ok
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	ht.Set(m, hashmap.StrKey("key"), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.Get(m, hashmap.StrKey("key"))
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	keys := make([]hashmap.Key, 64)
+	for i := range keys {
+		keys[i] = hashmap.StrKey(fmt.Sprintf("key%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.Set(m, keys[i&63], i)
+	}
+}

@@ -1,0 +1,304 @@
+package heapmgr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/heap"
+)
+
+func newMgr() (*Manager, *heap.Allocator) {
+	sw := heap.NewAllocator(nil, 0)
+	return New(DefaultConfig(), sw), sw
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.ListEntries != 32 || c.MaxSize != 128 {
+		t.Errorf("paper config is 8 classes x 32 entries, 128B limit: %+v", c)
+	}
+}
+
+func TestConfigSanitize(t *testing.T) {
+	c := Config{MaxSize: 4096, PrefetchLow: 100}.sanitized()
+	if c.MaxSize != heap.MaxSmallSize {
+		t.Errorf("MaxSize must clamp to the hardware limit: %d", c.MaxSize)
+	}
+	if c.PrefetchLow > c.ListEntries {
+		t.Errorf("PrefetchLow must not exceed capacity: %+v", c)
+	}
+}
+
+func TestMallocColdMissThenHits(t *testing.T) {
+	h, _ := newMgr()
+	b, res := h.Malloc(64)
+	if res.Hit {
+		t.Errorf("first malloc of a class must miss (empty hardware list)")
+	}
+	if b.Class != heap.ClassFor(64) {
+		t.Errorf("block class = %d", b.Class)
+	}
+	// The prefetcher refilled; subsequent requests hit.
+	for i := 0; i < 10; i++ {
+		_, res := h.Malloc(64)
+		if !res.Hit {
+			t.Fatalf("malloc %d should hit after prefetch", i)
+		}
+	}
+	st := h.Stats()
+	if st.MallocHits != 10 || st.Mallocs != 11 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Prefetches == 0 {
+		t.Errorf("prefetcher never ran")
+	}
+}
+
+func TestLargeRequestsBypass(t *testing.T) {
+	h, _ := newMgr()
+	b, res := h.Malloc(256)
+	if !res.Bypass || res.Hit {
+		t.Fatalf("256B exceeds the comparator limit: %+v", res)
+	}
+	fr := h.Free(b)
+	if !fr.Bypass {
+		t.Errorf("large free should bypass: %+v", fr)
+	}
+	if h.Stats().Bypasses != 2 {
+		t.Errorf("Bypasses = %d", h.Stats().Bypasses)
+	}
+	if h.Stats().Mallocs != 0 {
+		t.Errorf("bypasses must not count as hardware requests")
+	}
+}
+
+func TestMemoryReuseThroughHardware(t *testing.T) {
+	// The strong-reuse pattern: free then malloc of the same class must
+	// recycle the freed block from the hardware list without software.
+	h, _ := newMgr()
+	b, _ := h.Malloc(32)
+	h.Free(b)
+	b2, res := h.Malloc(32)
+	if !res.Hit {
+		t.Errorf("reuse malloc should hit")
+	}
+	if b2.Addr != b.Addr {
+		t.Errorf("freed block not recycled: %#x then %#x", b.Addr, b2.Addr)
+	}
+}
+
+func TestFreeOverflowSpills(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrefetchLow = 0 // keep lists from refilling so we control fill
+	h := New(cfg, heap.NewAllocator(nil, 0))
+	// Allocate enough blocks, then free them all: the list holds 32, the
+	// rest must overflow to memory one by one.
+	var blocks []heap.Block
+	for i := 0; i < 40; i++ {
+		b, _ := h.Malloc(16)
+		blocks = append(blocks, b)
+	}
+	overflows := 0
+	for _, b := range blocks {
+		if h.Free(b).Overflow {
+			overflows++
+		}
+	}
+	if h.ListLen(0) != cfg.ListEntries {
+		t.Errorf("list length = %d, want %d", h.ListLen(0), cfg.ListEntries)
+	}
+	if overflows != 40-cfg.ListEntries {
+		t.Errorf("overflows = %d, want %d", overflows, 40-cfg.ListEntries)
+	}
+}
+
+func TestFlushReturnsEverything(t *testing.T) {
+	h, sw := newMgr()
+	for i := 0; i < 5; i++ {
+		b, _ := h.Malloc(48)
+		h.Free(b)
+	}
+	inHW := 0
+	for c := 0; c < heap.NumSmallClasses; c++ {
+		inHW += h.ListLen(c)
+	}
+	n := h.Flush()
+	if n != inHW {
+		t.Errorf("Flush returned %d, want %d", n, inHW)
+	}
+	for c := 0; c < heap.NumSmallClasses; c++ {
+		if h.ListLen(c) != 0 {
+			t.Errorf("class %d list not empty after flush", c)
+		}
+	}
+	if sw.LiveCount() != 0 {
+		t.Errorf("no blocks should be live after free+flush")
+	}
+	// Post-flush allocation still works (cold path again).
+	if _, res := h.Malloc(48); res.Hit {
+		t.Errorf("first malloc after flush should miss")
+	}
+}
+
+func TestNoDoubleAllocationAcrossBoundary(t *testing.T) {
+	// Hardware-held blocks must never also be handed out by the software
+	// allocator. heap.Allocator panics on double allocation, so simply
+	// interleaving both paths exercises the invariant.
+	h, sw := newMgr()
+	seen := map[uint64]bool{}
+	var live []heap.Block
+	for i := 0; i < 200; i++ {
+		var b heap.Block
+		if i%3 == 0 {
+			b = sw.Alloc(64) // direct software allocation
+		} else {
+			b, _ = h.Malloc(64)
+		}
+		if seen[b.Addr] {
+			t.Fatalf("address %#x handed out twice", b.Addr)
+		}
+		seen[b.Addr] = true
+		live = append(live, b)
+	}
+	for _, b := range live {
+		h.Free(b)
+		delete(seen, b.Addr)
+	}
+}
+
+func TestHitRateIsHighUnderReuse(t *testing.T) {
+	// The paper's premise: strong memory reuse means the common case is
+	// served from the hardware free list.
+	h, _ := newMgr()
+	rng := rand.New(rand.NewSource(11))
+	var live []heap.Block
+	for op := 0; op < 50000; op++ {
+		if len(live) < 20 || rng.Intn(2) == 0 {
+			b, _ := h.Malloc(16 + rng.Intn(8)*16)
+			live = append(live, b)
+		} else {
+			i := rng.Intn(len(live))
+			h.Free(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if hr := h.Stats().MallocHitRate(); hr < 0.95 {
+		t.Errorf("malloc hit rate %0.3f, want >= 0.95 under strong reuse", hr)
+	}
+}
+
+func TestStatsZero(t *testing.T) {
+	if (Stats{}).MallocHitRate() != 0 {
+		t.Errorf("zero mallocs should have zero hit rate")
+	}
+}
+
+// TestIntegrityProperty interleaves hardware malloc/free, flushes, and
+// random sizes; allocator invariants (enforced by panics in heap) plus
+// live accounting must hold throughout.
+func TestIntegrityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sw := heap.NewAllocator(nil, 0)
+		h := New(DefaultConfig(), sw)
+		live := map[uint64]heap.Block{}
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4:
+				b, _ := h.Malloc(1 + rng.Intn(200))
+				if _, dup := live[b.Addr]; dup {
+					return false
+				}
+				live[b.Addr] = b
+			case 5, 6, 7, 8:
+				for addr, b := range live {
+					h.Free(b)
+					delete(live, addr)
+					break
+				}
+			case 9:
+				h.Flush()
+			}
+			if sw.LiveCount() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHWMallocFree(b *testing.B) {
+	h, _ := newMgr()
+	for i := 0; i < b.N; i++ {
+		blk, _ := h.Malloc(64)
+		h.Free(blk)
+	}
+}
+
+func TestFlushStepResumable(t *testing.T) {
+	h, sw := newMgr()
+	// Populate several lists.
+	var blocks []heap.Block
+	for i := 0; i < 60; i++ {
+		b, _ := h.Malloc(16 + (i%8)*16)
+		blocks = append(blocks, b)
+	}
+	for _, b := range blocks {
+		h.Free(b)
+	}
+	inHW := 0
+	for c := 0; c < heap.NumSmallClasses; c++ {
+		inHW += h.ListLen(c)
+	}
+
+	// Flush in small steps, as if interrupted by page faults.
+	var cur FlushCursor
+	total, steps := 0, 0
+	for !cur.Done() {
+		var n int
+		cur, n = h.FlushStep(cur, 7)
+		total += n
+		steps++
+		if steps > 1000 {
+			t.Fatalf("flush not making forward progress")
+		}
+	}
+	if total != inHW {
+		t.Errorf("resumable flush wrote %d blocks, want %d", total, inHW)
+	}
+	for c := 0; c < heap.NumSmallClasses; c++ {
+		if h.ListLen(c) != 0 {
+			t.Errorf("class %d not drained", c)
+		}
+	}
+	if sw.LiveCount() != 0 {
+		t.Errorf("blocks leaked across resumable flush")
+	}
+	// Idempotent after completion.
+	if cur2, n := h.FlushStep(cur, 7); n != 0 || !cur2.Done() {
+		t.Errorf("completed cursor should be a no-op")
+	}
+}
+
+func TestFlushStepInterleavedAllocation(t *testing.T) {
+	// Forward progress must hold even if the process resumes and
+	// allocates between steps (the hardware stays consistent).
+	h, _ := newMgr()
+	b, _ := h.Malloc(64)
+	h.Free(b)
+	var cur FlushCursor
+	cur, _ = h.FlushStep(cur, 1)
+	b2, _ := h.Malloc(32) // interleaved work
+	for !cur.Done() {
+		cur, _ = h.FlushStep(cur, 4)
+	}
+	h.Free(b2)
+	if h.Stats().Mallocs == 0 {
+		t.Fatalf("sanity")
+	}
+}

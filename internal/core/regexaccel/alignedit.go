@@ -1,0 +1,103 @@
+package regexaccel
+
+import (
+	"repro/internal/regex"
+	"repro/internal/strlib"
+)
+
+// ShadowReplace performs a regexp replacement under an existing hint
+// vector and keeps the HV usable for the remaining shadow regexps by
+// whitespace padding (§4.5): the HTML specification allows an arbitrary
+// number of linear white spaces in the response body, so each edited
+// segment group is padded with spaces up to a segment boundary. Segment
+// boundaries of unedited content therefore stay aligned with the HV, and
+// only the bits of edited segments are recomputed.
+//
+// It returns the edited content, the updated HV (valid for the new
+// content), the number of replacements, and the engine scanned-byte cost
+// of the underlying shadow scan. Apart from the inserted padding spaces,
+// the result text equals an ordinary ReplaceAll.
+func (a *Accel) ShadowReplace(re *regex.Regex, content []byte, repl []byte, hv *HV) ([]byte, *HV, int, int) {
+	ms, examined := a.Shadow(re, content, hv)
+	if len(ms) == 0 {
+		if hv != nil && hv.Covers(len(content)) {
+			return content, hv, 0, examined
+		}
+		bits := strlib.ClassScanRef(content, a.cfg.SegSize)
+		return content, &HV{bits: bits, segSize: a.cfg.SegSize, n: len(content)}, 0, examined
+	}
+	seg := a.cfg.SegSize
+	nseg := (len(content) + seg - 1) / seg
+
+	// Mark segments touched by any match.
+	touched := make([]bool, nseg)
+	for _, m := range ms {
+		lo := m.Start / seg
+		hi := lo
+		if m.End > m.Start {
+			hi = (m.End - 1) / seg
+		}
+		for s := lo; s <= hi && s < nseg; s++ {
+			touched[s] = true
+		}
+	}
+
+	var out []byte
+	var flags []bool
+	mi := 0
+	for s := 0; s < nseg; {
+		lo := s * seg
+		if !touched[s] {
+			hi := lo + seg
+			if hi > len(content) {
+				hi = len(content)
+			}
+			out = append(out, content[lo:hi]...)
+			flags = append(flags, hv != nil && hv.Covers(len(content)) && hv.flagged(s))
+			s++
+			continue
+		}
+		// Extend over the contiguous touched group.
+		e := s
+		for e+1 < nseg && touched[e+1] {
+			e++
+		}
+		hi := (e + 1) * seg
+		if hi > len(content) {
+			hi = len(content)
+		}
+		// Apply the replacements inside [lo, hi).
+		var edited []byte
+		prev := lo
+		for mi < len(ms) && ms[mi].Start < hi {
+			m := ms[mi]
+			edited = append(edited, content[prev:m.Start]...)
+			edited = append(edited, repl...)
+			prev = m.End
+			mi++
+		}
+		edited = append(edited, content[prev:hi]...)
+		// Whitespace padding to the next segment boundary keeps all later
+		// boundaries aligned with the original HV.
+		if hi == (e+1)*seg { // only pad interior groups, not a trailing partial
+			for len(edited)%seg != 0 {
+				edited = append(edited, ' ')
+			}
+		}
+		out = append(out, edited...)
+		// Recompute flags for just the edited group's segments.
+		sub := strlib.ClassScanRef(edited, seg)
+		for i := 0; i < (len(edited)+seg-1)/seg; i++ {
+			flags = append(flags, sub[i/64]&(1<<uint(i%64)) != 0)
+		}
+		s = e + 1
+	}
+
+	bits := make([]uint64, (len(flags)+63)/64)
+	for i, f := range flags {
+		if f {
+			bits[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return out, &HV{bits: bits, segSize: seg, n: len(out)}, len(ms), examined
+}

@@ -1,0 +1,183 @@
+package regexaccel
+
+import (
+	"repro/internal/regex"
+)
+
+// reuseEntry is one row of the hardware content reuse table (Fig. 13):
+// indexed by regexp PC and address-space identifier, it stores the
+// matching content seen last time, its size, and the FSM state the
+// regexp can jump to when the incoming content matches the stored prefix.
+type reuseEntry struct {
+	valid    bool
+	pc       uint64
+	asid     uint32
+	content  []byte // at most MaxReuseContent bytes
+	size     int    // matched prefix length the FSM state corresponds to
+	fsmState int32
+	fsmValid bool
+	lru      uint64
+}
+
+// ReuseResult describes how a reuse lookup resolved, mirroring the three
+// scenarios in §4.5.
+type ReuseResult struct {
+	// Hit: PC, ASID, and content match — the FSM jumped over Skipped
+	// bytes directly to the stored state.
+	Hit bool
+	// InvalidMiss: PC/ASID miss or first content byte differs; the entry
+	// was (re)installed and the FSM ran normally.
+	InvalidMiss bool
+	// Resized: PC+ASID hit but the matching size changed; the entry was
+	// updated and the software traversal recorded the new FSM state.
+	Resized bool
+	// Skipped is the number of content bytes the FSM did not re-process.
+	Skipped int
+}
+
+// lookupEntry finds the reuse table row for (pc, asid), or a victim row
+// to install into (LRU).
+func (a *Accel) lookupEntry(pc uint64, asid uint32) (match *reuseEntry, victim *reuseEntry) {
+	victim = &a.reuse[0]
+	for i := range a.reuse {
+		e := &a.reuse[i]
+		if e.valid && e.pc == pc && e.asid == asid {
+			return e, nil
+		}
+		if !e.valid {
+			if victim.valid || e.lru < victim.lru {
+				victim = e
+			}
+			continue
+		}
+		if !victim.valid {
+			continue
+		}
+		if e.lru < victim.lru {
+			victim = e
+		}
+	}
+	return nil, victim
+}
+
+func commonPrefix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// ScanWithReuse performs an anchored FSM traversal of content for the
+// regexp identified by (pc, asid), consulting and updating the content
+// reuse table. It returns the final FSM state (regex.Dead if the
+// traversal died), whether an accepting state was ever reached and where
+// the longest accepted prefix ends, plus the reuse outcome.
+//
+// The traversal is exactly equivalent to running the FSM from the start
+// over the whole content; a hit merely jumps the FSM forward over the
+// remembered prefix (the regexlookup instruction), and after a size
+// change the software stores the new state with regexset.
+func (a *Accel) ScanWithReuse(re *regex.Regex, pc uint64, asid uint32, content []byte) (accEnd int, res ReuseResult) {
+	a.stats.ReuseLookups++
+	a.clock++
+	d := re.FSM()
+
+	e, victim := a.lookupEntry(pc, asid)
+	limit := a.cfg.MaxReuseContent
+
+	install := func(slot *reuseEntry) {
+		n := len(content)
+		if n > limit {
+			n = limit
+		}
+		*slot = reuseEntry{
+			valid:   true,
+			pc:      pc,
+			asid:    asid,
+			content: append([]byte(nil), content[:n]...),
+			lru:     a.clock,
+		}
+	}
+
+	scanFrom := func(state int32, from int) int {
+		// Software FSM traversal from the given state/offset, tracking the
+		// longest accepting prefix end (anchored semantics).
+		best := -1
+		if d.Accepting(state) {
+			best = from
+		}
+		st := state
+		for i := from; i < len(content); i++ {
+			st = d.Step(st, content[i])
+			if st == regex.Dead {
+				break
+			}
+			if d.Accepting(st) {
+				best = i + 1
+			}
+		}
+		return best
+	}
+
+	switch {
+	case e == nil:
+		// PC/ASID miss: invalid-miss, install fresh entry.
+		a.stats.ReuseInvalid++
+		res.InvalidMiss = true
+		install(victim)
+		e = victim
+	case len(content) == 0 || len(e.content) == 0 || e.content[0] != content[0]:
+		// First byte differs: invalid-miss, overwrite in place.
+		a.stats.ReuseInvalid++
+		res.InvalidMiss = true
+		install(e)
+	default:
+		p := commonPrefix(e.content, content)
+		if p > limit {
+			p = limit
+		}
+		e.lru = a.clock
+		if e.fsmValid && e.size > 0 && p >= e.size {
+			// Full hit: jump to the stored FSM state past size bytes.
+			a.stats.ReuseHits++
+			res.Hit = true
+			res.Skipped = e.size
+			a.stats.BytesPresented += int64(len(content))
+			a.stats.BytesSkippedReuse += int64(e.size)
+			accEnd = scanFrom(e.fsmState, e.size)
+			return accEnd, res
+		}
+		// Size mismatch (or cleared): update content and size, traverse in
+		// software, and store the state at the new prefix for next time.
+		a.stats.ReuseResizes++
+		res.Resized = true
+		n := len(content)
+		if n > limit {
+			n = limit
+		}
+		e.content = append(e.content[:0], content[:n]...)
+		e.size = p
+		st := d.Run(d.Start(), content[:p])
+		if st != regex.Dead {
+			e.fsmState = st
+			e.fsmValid = true
+		} else {
+			e.fsmValid = false
+			e.size = 0
+		}
+		a.stats.BytesPresented += int64(len(content))
+		accEnd = scanFrom(d.Start(), 0)
+		return accEnd, res
+	}
+
+	// Invalid-miss path: size and FSM fields cleared, traverse normally.
+	a.stats.BytesPresented += int64(len(content))
+	accEnd = scanFrom(d.Start(), 0)
+	return accEnd, res
+}

@@ -1,0 +1,104 @@
+package straccel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/strlib"
+)
+
+func TestNL2BREquivalence(t *testing.T) {
+	a := New(DefaultConfig())
+	var ref strlib.Lib
+	f := func(s []byte) bool {
+		return string(a.NL2BR(s)) == string(ref.NL2BR(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Targeted \r\n handling, including a pair at a block boundary.
+	in := []byte(strings.Repeat("x", 63) + "\r\n" + "tail")
+	if string(a.NL2BR(in)) != string(ref.NL2BR(in)) {
+		t.Errorf("\\r\\n across block boundary mishandled")
+	}
+}
+
+func TestAddSlashesEquivalence(t *testing.T) {
+	a := New(DefaultConfig())
+	var ref strlib.Lib
+	f := func(s []byte) bool {
+		return string(a.AddSlashes(s)) == string(ref.AddSlashes(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNL2BRChargesBlocks(t *testing.T) {
+	a := New(DefaultConfig())
+	a.NL2BR(make([]byte, 200))
+	if a.Stats().Blocks != 4 {
+		t.Errorf("200 bytes should stream 4 blocks, got %d", a.Stats().Blocks)
+	}
+	a.ResetStats()
+	a.NL2BR(nil)
+	if a.Stats().Blocks != 1 {
+		t.Errorf("empty subject still issues one pass, got %d", a.Stats().Blocks)
+	}
+}
+
+func TestConfigureRowsAndApply(t *testing.T) {
+	a := New(DefaultConfig())
+	// A strtoupper built from an explicit range-row configuration: the
+	// strreadconfig path for complex functions.
+	cfg := RangeRow('a', 'z', 0xE0) // two's-complement -32: lowercase -> uppercase
+	a.ConfigureRows(cfg)
+	out, hw := a.ApplyConfigured([]byte("Hello, World_9!"))
+	if !hw {
+		t.Fatalf("configured rows should run in hardware")
+	}
+	if string(out) != "HELLO, WORLD_9!" {
+		t.Errorf("ApplyConfigured = %q", out)
+	}
+}
+
+func TestApplyConfiguredMergedRows(t *testing.T) {
+	a := New(DefaultConfig())
+	// Merge equality substitutions with a range shift.
+	cfg := Merge(EqRow('-', '_'), EqRow(' ', '+'), RangeRow('A', 'Z', 32))
+	if cfg.RowCount() != 3 {
+		t.Fatalf("RowCount = %d", cfg.RowCount())
+	}
+	a.ConfigureRows(cfg)
+	out, hw := a.ApplyConfigured([]byte("Query Param-Name"))
+	if !hw || string(out) != "query+param_name" {
+		t.Errorf("merged rows = %q hw=%v", out, hw)
+	}
+}
+
+func TestApplyConfiguredFallsBack(t *testing.T) {
+	a := New(DefaultConfig())
+	a.ConfigureRows(MatrixConfig{}) // nothing configured
+	if _, hw := a.ApplyConfigured([]byte("x")); hw {
+		t.Errorf("empty configuration must fall back to software")
+	}
+	// Too many rows for the matrix.
+	small := New(Config{Rows: 2, BlockBytes: 64})
+	small.ConfigureRows(Merge(EqRow('a', 'b'), EqRow('c', 'd'), EqRow('e', 'f')))
+	if _, hw := small.ApplyConfigured([]byte("x")); hw {
+		t.Errorf("oversized configuration must fall back")
+	}
+}
+
+func TestConfigSurvivesSaveRestore(t *testing.T) {
+	a := New(DefaultConfig())
+	a.ConfigureRows(EqRow('x', 'y'))
+	saved := a.SaveConfig()
+	a.ConfigureRows(EqRow('1', '2')) // another process's configuration
+	a.LoadConfig(saved)              // context switch back
+	out, hw := a.ApplyConfigured([]byte("axbx"))
+	if !hw || string(out) != "ayby" {
+		t.Errorf("restored configuration wrong: %q hw=%v", out, hw)
+	}
+}

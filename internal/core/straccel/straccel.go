@@ -1,0 +1,428 @@
+// Package straccel implements the paper's generalized string accelerator
+// (§4.4): a single datapath that serves many PHP string functions by
+// sharing common hardware sub-blocks instead of dedicating an accelerator
+// per function.
+//
+// Modeled sub-blocks (Fig. 10):
+//
+//   - ASCII compare plane: a matching matrix of configurable pattern rows
+//     by subject-block columns, populated combinationally — every cell is
+//     independent, so a whole block is compared per cycle.
+//   - Diagonal AND gates: consecutive-character matches for multi-byte
+//     patterns (string_find of "abc" in "babc" in the paper's example).
+//   - Priority encoder: index of the first valid match.
+//   - Output logic: forwards substituted ASCII values for functions that
+//     write a result string (translate, case conversion, escaping).
+//   - Shifting logic: aligns results to the destination offset.
+//   - Wrap-around buffering: diagonal state carried between blocks so
+//     matches spanning block boundaries are found.
+//   - Six matrix rows support inequality (range) comparisons for
+//     case-conversion and character-class operations.
+//
+// The accelerator processes Config.BlockBytes subject bytes per
+// invocation step (the synthesized design handles a 64-character block in
+// at most 3 cycles at 2 GHz); Stats records blocks and active matrix
+// cells so the simulation can charge cycles and clock-gated energy.
+package straccel
+
+import (
+	"repro/internal/strlib"
+)
+
+// Config sizes the matching matrix.
+type Config struct {
+	// Rows is the number of pattern rows (the longest pattern the matrix
+	// holds at once).
+	Rows int
+	// InequalityRows is how many rows support range comparisons
+	// (paper: 6).
+	InequalityRows int
+	// BlockBytes is the subject bytes processed per matrix pass
+	// (paper: 64).
+	BlockBytes int
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{Rows: 32, InequalityRows: 6, BlockBytes: 64}
+}
+
+func (c Config) sanitized() Config {
+	if c.Rows <= 0 {
+		c.Rows = 32
+	}
+	if c.InequalityRows < 0 {
+		c.InequalityRows = 0
+	}
+	if c.InequalityRows > c.Rows {
+		c.InequalityRows = c.Rows
+	}
+	if c.BlockBytes <= 0 {
+		c.BlockBytes = 64
+	}
+	return c
+}
+
+// rowKind is a matching matrix row's comparison mode.
+type rowKind uint8
+
+const (
+	rowEq    rowKind = iota // equality against one byte
+	rowRange                // lo <= c <= hi (uses an inequality row)
+	rowSet                  // membership in a small byte set (trim sets)
+)
+
+// row is one configured matrix row.
+type row struct {
+	kind rowKind
+	eq   byte
+	lo   byte
+	hi   byte
+	set  []byte
+	sub  byte // substitution output for this row, when used
+}
+
+func (r row) matches(c byte) bool {
+	switch r.kind {
+	case rowEq:
+		return c == r.eq
+	case rowRange:
+		return c >= r.lo && c <= r.hi
+	default:
+		for _, s := range r.set {
+			if c == s {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// MatrixConfig is a saved matching-matrix configuration. strwriteconfig
+// stores one before a context switch and strreadconfig restores it
+// (§4.6); complex functions also load their row setup through it.
+type MatrixConfig struct {
+	rows []row
+}
+
+// Stats counts accelerator activity for cycle and energy accounting.
+type Stats struct {
+	Ops         int64 // accelerated string operations
+	Blocks      int64 // matrix passes (one block of subject bytes each)
+	Bytes       int64 // subject bytes streamed through the matrix
+	ActiveCells int64 // matrix cells that actually switched
+	GatedCells  int64 // cells clock-gated off (unused rows)
+	Bypasses    int64 // operations that fell back to software
+	ConfigLoads int64 // strreadconfig invocations
+	ConfigSaves int64 // strwriteconfig invocations
+}
+
+// Accel is the string accelerator. Not safe for concurrent use; it is a
+// per-core structure.
+type Accel struct {
+	cfg   Config
+	cur   MatrixConfig
+	stats Stats
+	sw    strlib.Lib // reference implementation for software fallback
+}
+
+// New builds an accelerator.
+func New(cfg Config) *Accel {
+	return &Accel{cfg: cfg.sanitized()}
+}
+
+// Config returns the accelerator configuration.
+func (a *Accel) Config() Config { return a.cfg }
+
+// Stats returns a snapshot of the activity counters.
+func (a *Accel) Stats() Stats { return a.stats }
+
+// ResetStats clears the counters.
+func (a *Accel) ResetStats() { a.stats = Stats{} }
+
+// SaveConfig implements strwriteconfig: it returns the current matrix
+// configuration for the OS to stash across a context switch.
+func (a *Accel) SaveConfig() MatrixConfig {
+	a.stats.ConfigSaves++
+	saved := MatrixConfig{rows: append([]row(nil), a.cur.rows...)}
+	return saved
+}
+
+// LoadConfig implements strreadconfig: it repopulates the matching matrix
+// rows if they are not already configured.
+func (a *Accel) LoadConfig(c MatrixConfig) {
+	a.stats.ConfigLoads++
+	a.cur = MatrixConfig{rows: append([]row(nil), c.rows...)}
+}
+
+// charge accounts one matrix pass over the block for nRows active rows.
+func (a *Accel) charge(blockLen, nRows int) {
+	a.stats.Blocks++
+	a.stats.Bytes += int64(blockLen)
+	a.stats.ActiveCells += int64(blockLen * nRows)
+	a.stats.GatedCells += int64(blockLen * (a.cfg.Rows - nRows))
+}
+
+// Find implements stringop[find] (PHP strpos): the matrix rows hold the
+// pattern, diagonal ANDs detect consecutive matches, and the priority
+// encoder returns the first full-match position. Patterns longer than the
+// matrix fall back to software.
+func (a *Accel) Find(subject, pattern []byte) (int, bool) {
+	if len(pattern) > a.cfg.Rows || len(pattern) == 0 {
+		a.stats.Bypasses++
+		return a.sw.Find(subject, pattern), false
+	}
+	a.stats.Ops++
+	return a.matchScan(subject, pattern), true
+}
+
+// matchScan runs the matching matrix over subject looking for pattern,
+// charging per-block costs but not the per-op counter.
+func (a *Accel) matchScan(subject, pattern []byte) int {
+	// Diagonal state: diag[k] means the first k pattern bytes matched
+	// ending at the previous byte; buffered across blocks (wrap-around).
+	m := len(pattern)
+	diag := make([]bool, m) // diag[k]: k leading pattern bytes matched so far
+	diag0 := true           // zero-length prefix always matches
+	for base := 0; base < len(subject); base += a.cfg.BlockBytes {
+		end := base + a.cfg.BlockBytes
+		if end > len(subject) {
+			end = len(subject)
+		}
+		block := subject[base:end]
+		a.charge(len(block), m)
+		for i, c := range block {
+			// One column of the matching matrix: compare c against every
+			// pattern row in parallel, then AND with the diagonal.
+			for k := m - 1; k >= 1; k-- {
+				diag[k] = diag[k-1] && pattern[k] == c
+			}
+			diag[0] = diag0 && pattern[0] == c
+			if diag[m-1] {
+				return base + i - m + 1
+			}
+		}
+	}
+	return -1
+}
+
+// Compare implements stringop[compare]: blocks of both strings are
+// XOR-compared in parallel; the priority encoder finds the first
+// difference.
+func (a *Accel) Compare(x, y []byte) int {
+	a.stats.Ops++
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	for base := 0; base < n; base += a.cfg.BlockBytes {
+		end := base + a.cfg.BlockBytes
+		if end > n {
+			end = n
+		}
+		a.charge(end-base, 1)
+		for i := base; i < end; i++ {
+			switch {
+			case x[i] < y[i]:
+				return -1
+			case x[i] > y[i]:
+				return 1
+			}
+		}
+	}
+	switch {
+	case len(x) < len(y):
+		return -1
+	case len(x) > len(y):
+		return 1
+	}
+	return 0
+}
+
+// ToUpper implements stringop[toupper] using an inequality row pair
+// ('a' <= c <= 'z') and the output substitution logic.
+func (a *Accel) ToUpper(subject []byte) []byte {
+	return a.caseConvert(subject, 'a', 'z', -32)
+}
+
+// ToLower implements stringop[tolower].
+func (a *Accel) ToLower(subject []byte) []byte {
+	return a.caseConvert(subject, 'A', 'Z', +32)
+}
+
+func (a *Accel) caseConvert(subject []byte, lo, hi byte, delta int) []byte {
+	a.stats.Ops++
+	out := make([]byte, len(subject))
+	for base := 0; base < len(subject); base += a.cfg.BlockBytes {
+		end := base + a.cfg.BlockBytes
+		if end > len(subject) {
+			end = len(subject)
+		}
+		a.charge(end-base, 1)
+		for i := base; i < end; i++ {
+			c := subject[i]
+			if c >= lo && c <= hi {
+				c = byte(int(c) + delta)
+			}
+			out[i] = c
+		}
+	}
+	if len(subject) == 0 {
+		a.charge(0, 1)
+	}
+	return out
+}
+
+// Translate implements stringop[translate] (PHP strtr with equal-length
+// tables): one equality row per source character with its substitution
+// output. Tables wider than the matrix fall back to software.
+func (a *Accel) Translate(subject, from, to []byte) ([]byte, bool) {
+	if len(from) != len(to) {
+		panic("straccel: translate tables must have equal length")
+	}
+	if len(from) > a.cfg.Rows {
+		a.stats.Bypasses++
+		return a.sw.Translate(subject, from, to), false
+	}
+	a.stats.Ops++
+	out := make([]byte, len(subject))
+	for base := 0; base < len(subject); base += a.cfg.BlockBytes {
+		end := base + a.cfg.BlockBytes
+		if end > len(subject) {
+			end = len(subject)
+		}
+		a.charge(end-base, max(len(from), 1))
+		for i := base; i < end; i++ {
+			c := subject[i]
+			for r := range from {
+				if c == from[r] {
+					c = to[r]
+					break
+				}
+			}
+			out[i] = c
+		}
+	}
+	return out, true
+}
+
+// Trim implements stringop[trim]: set-membership rows detect the trim
+// characters; only the string's edges stream through the matrix.
+func (a *Accel) Trim(subject []byte, cutset []byte) []byte {
+	a.stats.Ops++
+	inCut := func(c byte) bool {
+		for _, s := range cutset {
+			if c == s {
+				return true
+			}
+		}
+		return false
+	}
+	lo, hi := 0, len(subject)
+	edge := 0
+	for lo < hi && inCut(subject[lo]) {
+		lo++
+		edge++
+	}
+	for hi > lo && inCut(subject[hi-1]) {
+		hi--
+		edge++
+	}
+	blocks := (edge+a.cfg.BlockBytes-1)/a.cfg.BlockBytes + 1
+	for i := 0; i < blocks; i++ {
+		n := edge
+		if n > a.cfg.BlockBytes {
+			n = a.cfg.BlockBytes
+		}
+		a.charge(n, max(len(cutset), 1))
+		edge -= n
+	}
+	return subject[lo:hi]
+}
+
+// Replace implements stringop[replace] (PHP str_replace) by combining the
+// matching matrix with the shifting logic. Patterns wider than the matrix
+// fall back to software.
+func (a *Accel) Replace(subject, old, new []byte) ([]byte, int, bool) {
+	if len(old) > a.cfg.Rows || len(old) == 0 {
+		a.stats.Bypasses++
+		out, n := a.sw.Replace(subject, old, new)
+		return out, n, false
+	}
+	a.stats.Ops++
+	var out []byte
+	count := 0
+	pos := 0
+	for pos < len(subject) {
+		rel := a.matchScan(subject[pos:], old)
+		if rel < 0 {
+			out = append(out, subject[pos:]...)
+			break
+		}
+		out = append(out, subject[pos:pos+rel]...)
+		out = append(out, new...)
+		pos += rel + len(old)
+		count++
+	}
+	return out, count, true
+}
+
+// HTMLSpecialChars implements the escaping operation PHP workloads run
+// constantly: equality rows detect & < > ", the priority encoder locates
+// them, and the shifting logic splices the entities into the output.
+func (a *Accel) HTMLSpecialChars(subject []byte) []byte {
+	a.stats.Ops++
+	var out []byte
+	for base := 0; base < len(subject); base += a.cfg.BlockBytes {
+		end := base + a.cfg.BlockBytes
+		if end > len(subject) {
+			end = len(subject)
+		}
+		a.charge(end-base, 4)
+		for i := base; i < end; i++ {
+			switch subject[i] {
+			case '&':
+				out = append(out, "&amp;"...)
+			case '<':
+				out = append(out, "&lt;"...)
+			case '>':
+				out = append(out, "&gt;"...)
+			case '"':
+				out = append(out, "&quot;"...)
+			default:
+				out = append(out, subject[i])
+			}
+		}
+	}
+	return out
+}
+
+// HintVector generates the content-sifting HV for the regexp accelerator
+// (§4.5): range rows classify each byte as regular or special, and the
+// per-segment OR reduction produces one bit per segment. This is one of
+// the "complex string functions" configured via strreadconfig.
+func (a *Accel) HintVector(subject []byte, segSize int) []uint64 {
+	a.stats.Ops++
+	if segSize <= 0 {
+		segSize = 32
+	}
+	nblocks := (len(subject) + a.cfg.BlockBytes - 1) / a.cfg.BlockBytes
+	if nblocks == 0 {
+		nblocks = 1
+	}
+	for i := 0; i < nblocks; i++ {
+		n := a.cfg.BlockBytes
+		if rem := len(subject) - i*a.cfg.BlockBytes; rem < n {
+			n = rem
+		}
+		a.charge(n, a.cfg.InequalityRows)
+	}
+	return strlib.ClassScanRef(subject, segSize)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

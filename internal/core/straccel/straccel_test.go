@@ -1,0 +1,277 @@
+package straccel
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/strlib"
+)
+
+var cutset = []byte(" \t\n\r\x00\x0b")
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.BlockBytes != 64 || c.InequalityRows != 6 {
+		t.Errorf("paper config: 64-byte blocks, 6 inequality rows: %+v", c)
+	}
+}
+
+func TestConfigSanitize(t *testing.T) {
+	c := Config{InequalityRows: 100, Rows: 8}.sanitized()
+	if c.InequalityRows > c.Rows {
+		t.Errorf("inequality rows must fit the matrix: %+v", c)
+	}
+	c = Config{}.sanitized()
+	if c.Rows <= 0 || c.BlockBytes <= 0 {
+		t.Errorf("zero config not sanitized: %+v", c)
+	}
+}
+
+func TestFindPaperExample(t *testing.T) {
+	// Fig. 10's worked example: string_find of "abc" in "babc".
+	a := New(DefaultConfig())
+	pos, hw := a.Find([]byte("babc"), []byte("abc"))
+	if pos != 1 || !hw {
+		t.Errorf("Find(babc, abc) = %d hw=%v, want 1 true", pos, hw)
+	}
+}
+
+func TestFindCrossesBlockBoundary(t *testing.T) {
+	// The wrap-around glue logic: a match spanning two 64-byte blocks.
+	a := New(DefaultConfig())
+	subject := append(bytes.Repeat([]byte("x"), 62), []byte("needle")...)
+	pos, hw := a.Find(subject, []byte("needle"))
+	if pos != 62 || !hw {
+		t.Errorf("boundary Find = %d hw=%v, want 62 true", pos, hw)
+	}
+}
+
+func TestFindLongPatternBypasses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows = 4
+	a := New(cfg)
+	pos, hw := a.Find([]byte("xxhello"), []byte("hello"))
+	if pos != 2 || hw {
+		t.Errorf("long pattern should fall back to software: %d %v", pos, hw)
+	}
+	if a.Stats().Bypasses != 1 {
+		t.Errorf("bypass not counted")
+	}
+}
+
+func TestFindEquivalenceProperty(t *testing.T) {
+	a := New(DefaultConfig())
+	var ref strlib.Lib
+	f := func(subject []byte, pat []byte) bool {
+		if len(pat) > 8 {
+			pat = pat[:8]
+		}
+		if len(pat) == 0 {
+			return true
+		}
+		got, _ := a.Find(subject, pat)
+		return got == ref.Find(subject, pat)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareEquivalence(t *testing.T) {
+	a := New(DefaultConfig())
+	var ref strlib.Lib
+	f := func(x, y []byte) bool {
+		return a.Compare(x, y) == ref.Compare(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if a.Compare([]byte("same"), []byte("same")) != 0 {
+		t.Errorf("equal strings should compare 0")
+	}
+}
+
+func TestCaseConversionEquivalence(t *testing.T) {
+	a := New(DefaultConfig())
+	var ref strlib.Lib
+	f := func(s []byte) bool {
+		return string(a.ToUpper(s)) == string(ref.ToUpper(s)) &&
+			string(a.ToLower(s)) == string(ref.ToLower(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslateEquivalence(t *testing.T) {
+	a := New(DefaultConfig())
+	var ref strlib.Lib
+	from, to := []byte("lo<>"), []byte("01[]")
+	f := func(s []byte) bool {
+		got, hw := a.Translate(s, from, to)
+		return hw && string(got) == string(ref.Translate(s, from, to))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslateWideTableBypasses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows = 2
+	a := New(cfg)
+	from := []byte("abcd")
+	to := []byte("wxyz")
+	got, hw := a.Translate([]byte("dcba"), from, to)
+	if hw || string(got) != "zyxw" {
+		t.Errorf("wide translate: %q hw=%v", got, hw)
+	}
+}
+
+func TestTrimEquivalence(t *testing.T) {
+	a := New(DefaultConfig())
+	var ref strlib.Lib
+	f := func(pad1, pad2 uint8, body string) bool {
+		in := strings.Repeat(" ", int(pad1%20)) + body + strings.Repeat("\t", int(pad2%20))
+		return string(a.Trim([]byte(in), cutset)) == string(ref.Trim([]byte(in)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplaceEquivalence(t *testing.T) {
+	a := New(DefaultConfig())
+	var ref strlib.Lib
+	f := func(s []byte, sel uint8) bool {
+		old := [][]byte{[]byte("a"), []byte("ab"), []byte("<b>"), []byte("xy")}[sel%4]
+		new := []byte("ZZ")
+		got, gotN, hw := a.Replace(s, old, new)
+		want, wantN := ref.Replace(s, old, new)
+		return hw && gotN == wantN && string(got) == string(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHTMLSpecialCharsEquivalence(t *testing.T) {
+	a := New(DefaultConfig())
+	var ref strlib.Lib
+	f := func(s []byte) bool {
+		return string(a.HTMLSpecialChars(s)) == string(ref.HTMLSpecialChars(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHintVectorEquivalence(t *testing.T) {
+	a := New(DefaultConfig())
+	f := func(s []byte) bool {
+		got := a.HintVector(s, 32)
+		want := strlib.ClassScanRef(s, 32)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockAccounting(t *testing.T) {
+	a := New(DefaultConfig())
+	subject := bytes.Repeat([]byte("a"), 200) // 4 blocks of 64
+	a.ToUpper(subject)
+	st := a.Stats()
+	if st.Blocks != 4 {
+		t.Errorf("Blocks = %d, want 4", st.Blocks)
+	}
+	if st.Bytes != 200 {
+		t.Errorf("Bytes = %d, want 200", st.Bytes)
+	}
+	if st.ActiveCells != 200 { // one active row
+		t.Errorf("ActiveCells = %d, want 200", st.ActiveCells)
+	}
+	if st.GatedCells != int64(200*(a.Config().Rows-1)) {
+		t.Errorf("GatedCells = %d", st.GatedCells)
+	}
+}
+
+func TestClockGatingReflectsPatternWidth(t *testing.T) {
+	a := New(DefaultConfig())
+	a.Find(bytes.Repeat([]byte("x"), 64), []byte("abcd"))
+	st := a.Stats()
+	if st.ActiveCells != 64*4 {
+		t.Errorf("4-row pattern should activate 4 rows: %d", st.ActiveCells)
+	}
+}
+
+func TestSaveLoadConfig(t *testing.T) {
+	a := New(DefaultConfig())
+	saved := a.SaveConfig()
+	a.LoadConfig(saved)
+	st := a.Stats()
+	if st.ConfigSaves != 1 || st.ConfigLoads != 1 {
+		t.Errorf("config ops not counted: %+v", st)
+	}
+}
+
+func TestTranslatePanicsOnBadTables(t *testing.T) {
+	a := New(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Errorf("mismatched tables should panic")
+		}
+	}()
+	a.Translate([]byte("x"), []byte("ab"), []byte("a"))
+}
+
+func TestThroughputAdvantage(t *testing.T) {
+	// The accelerator's whole point: blocks, not bytes. Streaming 64KB
+	// must cost 1024 matrix passes, each standing for <=3 cycles, versus
+	// 64K sequential character steps in prior single-byte designs.
+	a := New(DefaultConfig())
+	subject := bytes.Repeat([]byte("payload "), 8192)
+	a.Find(subject, []byte("needle!"))
+	st := a.Stats()
+	if st.Blocks != int64(len(subject)/64) {
+		t.Errorf("Blocks = %d, want %d", st.Blocks, len(subject)/64)
+	}
+}
+
+func BenchmarkAccelFind64KB(b *testing.B) {
+	a := New(DefaultConfig())
+	subject := bytes.Repeat([]byte("the quick brown fox "), 3277)
+	pattern := []byte("lazy dog")
+	b.SetBytes(int64(len(subject)))
+	for i := 0; i < b.N; i++ {
+		a.Find(subject, pattern)
+	}
+}
+
+func BenchmarkAccelHTMLEscape(b *testing.B) {
+	a := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	subject := make([]byte, 4096)
+	for i := range subject {
+		subject[i] = byte('a' + rng.Intn(26))
+		if rng.Intn(40) == 0 {
+			subject[i] = '<'
+		}
+	}
+	b.SetBytes(int64(len(subject)))
+	for i := 0; i < b.N; i++ {
+		a.HTMLSpecialChars(subject)
+	}
+}

@@ -1,0 +1,161 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation. Each driver returns typed rows; cmd/figures renders
+// them as text, bench_test.go wraps them as benchmarks, and EXPERIMENTS.md
+// records paper-versus-measured values.
+package experiments
+
+import (
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Options sizes an experiment run.
+type Options struct {
+	Seed     int64
+	Warmup   int
+	Requests int
+}
+
+// Quick returns options sized for tests and iterative work.
+func Quick() Options { return Options{Seed: 1, Warmup: 40, Requests: 60} }
+
+// Full returns options matching the paper's methodology scale
+// (oss-performance: 300 warmup requests, then a measured window).
+func Full() Options { return Options{Seed: 1, Warmup: 300, Requests: 200} }
+
+// PHPApps lists the three studied applications in paper order.
+var PHPApps = []string{"wordpress", "drupal", "mediawiki"}
+
+// runtimeFor builds a Runtime for one of the three evaluation configs.
+func runtimeFor(mit bool, accel bool) *vm.Runtime {
+	cfg := vm.Config{TraceCapacity: 0, HeapSampleEvery: 256}
+	if mit {
+		cfg.Mitigations = sim.AllMitigations()
+	}
+	if accel {
+		cfg.Features = isa.AllAccelerators()
+	}
+	return vm.New(cfg)
+}
+
+func run(app string, opt Options, mit, accel bool) (*vm.Runtime, workload.Result) {
+	rt := runtimeFor(mit, accel)
+	a, err := workload.ByName(app, opt.Seed)
+	if err != nil {
+		panic(err)
+	}
+	lg := workload.LoadGenerator{Warmup: opt.Warmup, Requests: opt.Requests, ContextSwitchEvery: 64}
+	return rt, lg.Run(rt, a)
+}
+
+// --- Figure 1: cycle distribution over leaf functions ---
+
+// Fig1Series is one workload's cumulative leaf-function distribution.
+type Fig1Series struct {
+	App          string
+	HottestFrac  float64
+	FuncsFor65   int
+	NumFunctions int
+	Xs           []int     // hottest-N function counts
+	CDF          []float64 // cumulative cycle fraction at each X
+}
+
+// Figure1 reproduces Fig. 1: the flat profiles of the PHP applications
+// against the hotspotted SPECWeb2005 workloads.
+func Figure1(opt Options) []Fig1Series {
+	apps := append(append([]string{}, PHPApps...), "specweb-banking", "specweb-ecommerce")
+	xs := []int{1, 6, 11, 16, 21, 26, 31, 41, 51, 61, 81, 101, 126, 151}
+	var out []Fig1Series
+	for _, app := range apps {
+		rt, _ := run(app, opt, false, false)
+		p := profile.FromMeter(rt.Meter())
+		out = append(out, Fig1Series{
+			App:          app,
+			HottestFrac:  p.HottestFrac(),
+			FuncsFor65:   p.FuncsForFrac(0.65),
+			NumFunctions: p.NumFunctions(),
+			Xs:           xs,
+			CDF:          p.CDF(xs),
+		})
+	}
+	return out
+}
+
+// --- Figures 3 and 4: mitigation effect and categorization ---
+
+// Fig3Row is one leaf function's share before and after the §3
+// mitigations.
+type Fig3Row struct {
+	Name      string
+	Category  sim.Category
+	BeforePct float64
+	AfterPct  float64
+}
+
+// Figure3 reproduces Fig. 3 for WordPress: applying the prior-work
+// optimizations shrinks the mitigated functions and raises everyone
+// else's share.
+func Figure3(opt Options) []Fig3Row {
+	before, _ := run("wordpress", opt, false, false)
+	after, _ := run("wordpress", opt, true, false)
+	diffs := profile.Diff(profile.FromMeter(before.Meter()), profile.FromMeter(after.Meter()))
+	out := make([]Fig3Row, 0, 40)
+	for _, d := range diffs[:min(40, len(diffs))] {
+		out = append(out, Fig3Row{
+			Name:      d.Name,
+			Category:  d.Category,
+			BeforePct: 100 * d.BeforeFrac,
+			AfterPct:  100 * d.AfterFrac,
+		})
+	}
+	return out
+}
+
+// Fig4Row is one post-mitigation leaf function with its category color.
+type Fig4Row struct {
+	Name     string
+	Category sim.Category
+	Pct      float64
+}
+
+// Figure4 reproduces Fig. 4: the hottest WordPress leaf functions after
+// mitigation, colored by the four target categories.
+func Figure4(opt Options) []Fig4Row {
+	rt, _ := run("wordpress", opt, true, false)
+	p := profile.FromMeter(rt.Meter())
+	var out []Fig4Row
+	for _, e := range p.TopN(40) {
+		out = append(out, Fig4Row{Name: e.Name, Category: e.Category, Pct: 100 * e.Frac})
+	}
+	return out
+}
+
+// --- Figure 5: post-mitigation execution time breakdown ---
+
+// Fig5Row is one application's category breakdown.
+type Fig5Row struct {
+	App    string
+	Shares map[sim.Category]float64 // fractions of total cycles
+}
+
+// Figure5 reproduces Fig. 5: execution time breakdown after mitigating
+// the abstraction overheads.
+func Figure5(opt Options) []Fig5Row {
+	var out []Fig5Row
+	for _, app := range PHPApps {
+		rt, _ := run(app, opt, true, false)
+		p := profile.FromMeter(rt.Meter())
+		out = append(out, Fig5Row{App: app, Shares: p.CategoryShares()})
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

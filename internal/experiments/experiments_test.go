@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The experiment tests assert the *shape* of every reproduced figure
+// against the paper's reported values: who wins, by roughly what factor,
+// and where the crossovers fall. Absolute cycle counts are not asserted —
+// the substrate is a model, not the authors' testbed.
+
+func TestFigure1Shape(t *testing.T) {
+	rows := Figure1(Quick())
+	if len(rows) != 5 {
+		t.Fatalf("Figure1 rows = %d", len(rows))
+	}
+	byApp := map[string]Fig1Series{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	for _, app := range PHPApps {
+		s := byApp[app]
+		// Paper: hottest (JIT-compiled code) ~10-12% of cycles.
+		if s.HottestFrac < 0.06 || s.HottestFrac > 0.18 {
+			t.Errorf("%s hottest %0.3f, want ~0.10-0.12", app, s.HottestFrac)
+		}
+		// Paper: about 100 functions for ~65% of cycles.
+		if s.FuncsFor65 < 40 || s.FuncsFor65 > 160 {
+			t.Errorf("%s needs %d functions for 65%%, want a flat profile", app, s.FuncsFor65)
+		}
+	}
+	for _, app := range []string{"specweb-banking", "specweb-ecommerce"} {
+		s := byApp[app]
+		// Paper: very few functions cover ~90%.
+		if s.FuncsFor65 > 3 {
+			t.Errorf("%s needs %d functions for 65%%, want hotspots", app, s.FuncsFor65)
+		}
+	}
+}
+
+func TestFigure3MitigationsShrinkOverheads(t *testing.T) {
+	rows := Figure3(Quick())
+	if len(rows) == 0 {
+		t.Fatal("no Figure3 rows")
+	}
+	var refBefore, refAfter float64
+	for _, r := range rows {
+		if r.Category == sim.CatRefCount || r.Category == sim.CatTypeCheck {
+			refBefore += r.BeforePct
+			refAfter += r.AfterPct
+		}
+	}
+	if refBefore == 0 {
+		t.Fatal("baseline shows no abstraction overheads")
+	}
+	if refAfter >= refBefore/4 {
+		t.Errorf("mitigations should collapse overhead functions: %0.2f%% -> %0.2f%%", refBefore, refAfter)
+	}
+}
+
+func TestFigure4CategoriesPresent(t *testing.T) {
+	rows := Figure4(Quick())
+	seen := map[sim.Category]bool{}
+	for _, r := range rows {
+		seen[r.Category] = true
+	}
+	for _, c := range []sim.Category{sim.CatHash, sim.CatHeap, sim.CatString, sim.CatRegex} {
+		if !seen[c] {
+			t.Errorf("category %v missing from the hottest functions", c)
+		}
+	}
+}
+
+func TestFigure5Breakdown(t *testing.T) {
+	rows := Figure5(Quick())
+	byApp := map[string]Fig5Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	for _, app := range PHPApps {
+		shares := byApp[app].Shares
+		four := shares[sim.CatHash] + shares[sim.CatHeap] + shares[sim.CatString] + shares[sim.CatRegex]
+		// The four categories must be a substantial minority of time.
+		if four < 0.15 || four > 0.45 {
+			t.Errorf("%s four-category share %0.3f, want 0.15-0.45", app, four)
+		}
+	}
+	// Paper: Drupal shows the least string+regexp opportunity.
+	dr := byApp["drupal"].Shares
+	wp := byApp["wordpress"].Shares
+	if dr[sim.CatString]+dr[sim.CatRegex] >= wp[sim.CatString]+wp[sim.CatRegex] {
+		t.Errorf("drupal should have the least string+regex time")
+	}
+}
+
+func TestFigure7HitRates(t *testing.T) {
+	rows := Figure7(Quick())
+	if len(rows) != 10 {
+		t.Fatalf("Figure7 rows = %d", len(rows))
+	}
+	// Monotone non-decreasing hit rate with capacity.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].GetHitRate+0.02 < rows[i-1].GetHitRate {
+			t.Errorf("hit rate dropped with capacity: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+	// Paper: ~80% at 256 entries.
+	var at256, at512 float64
+	for _, r := range rows {
+		if r.Entries == 256 {
+			at256 = r.GetHitRate
+		}
+		if r.Entries == 512 {
+			at512 = r.GetHitRate
+		}
+	}
+	if at256 < 0.65 {
+		t.Errorf("256-entry hit rate %0.3f, paper ~0.80", at256)
+	}
+	if at512 < at256 {
+		t.Errorf("512 entries should not be worse than 256")
+	}
+	// SETs must be a meaningful share of requests (they never miss).
+	last := rows[len(rows)-1]
+	if last.Sets == 0 || last.Gets == 0 {
+		t.Errorf("workload must exercise both GETs and SETs: %+v", last)
+	}
+}
+
+func TestFigure8aSmallAllocationsDominate(t *testing.T) {
+	rows := Figure8a(Quick())
+	for _, r := range rows {
+		// Paper: a majority of requests retrieve at most 128 bytes.
+		cum128 := r.Cumulative[7] // class 7 = 128B
+		if cum128 < 0.60 {
+			t.Errorf("%s: <=128B cumulative %0.3f, want >= 0.60", r.App, cum128)
+		}
+		if r.Cumulative[len(r.Cumulative)-1] < 0.999 {
+			t.Errorf("%s: cumulative must end at 1", r.App)
+		}
+	}
+}
+
+func TestFigure8bcFlatReuse(t *testing.T) {
+	series := Figure8bc(Quick())
+	for _, s := range series {
+		if len(s.Ops) < 10 {
+			t.Fatalf("%s: too few timeline samples (%d)", s.App, len(s.Ops))
+		}
+		// Strong reuse: the small-band live bytes in the second half of
+		// the run stay within a modest band (no unbounded growth).
+		half := len(s.Ops) / 2
+		var lo, hi int64 = math.MaxInt64, 0
+		for i := half; i < len(s.Ops); i++ {
+			small := s.Bands[0][i] + s.Bands[1][i] + s.Bands[2][i] + s.Bands[3][i]
+			if small < lo {
+				lo = small
+			}
+			if small > hi {
+				hi = small
+			}
+		}
+		if lo == 0 && hi == 0 {
+			t.Errorf("%s: no live small allocations sampled", s.App)
+			continue
+		}
+		if float64(hi) > 3.0*float64(lo+1) {
+			t.Errorf("%s: small-slab usage not flat: min %d max %d", s.App, lo, hi)
+		}
+	}
+}
+
+func TestFigure12SkipFractions(t *testing.T) {
+	rows := Figure12(Quick())
+	for _, r := range rows {
+		if r.TotalFraction <= 0.2 {
+			t.Errorf("%s: regexps skip only %0.3f of content", r.App, r.TotalFraction)
+		}
+		if r.TotalFraction > 0.98 {
+			t.Errorf("%s: skip fraction %0.3f implausibly high", r.App, r.TotalFraction)
+		}
+		if r.SiftFraction <= r.ReuseFraction {
+			t.Errorf("%s: sifting should dominate reuse: %+v", r.App, r)
+		}
+	}
+}
+
+func TestFigure14HeadlineNumbers(t *testing.T) {
+	rows := Figure14(Quick())
+	var mitSum, accSum, engSum float64
+	for _, r := range rows {
+		mitSum += r.MitigatedTime
+		accSum += r.AcceleratedTime
+		engSum += r.EnergySaving
+		if r.AcceleratedTime >= r.MitigatedTime {
+			t.Errorf("%s: accelerators must improve on mitigations: %+v", r.App, r)
+		}
+		if r.MitigatedTime >= 1 {
+			t.Errorf("%s: mitigations must improve on baseline: %+v", r.App, r)
+		}
+	}
+	mitAvg, accAvg, engAvg := mitSum/3, accSum/3, engSum/3
+	// Paper: 88.15% and 70.22% average normalized times; 21.01% energy.
+	if math.Abs(mitAvg-0.8815) > 0.05 {
+		t.Errorf("average mitigated time %0.4f, paper 0.8815", mitAvg)
+	}
+	if math.Abs(accAvg-0.7022) > 0.06 {
+		t.Errorf("average accelerated time %0.4f, paper 0.7022", accAvg)
+	}
+	if math.Abs(engAvg-0.2101) > 0.07 {
+		t.Errorf("average energy saving %0.4f, paper 0.2101", engAvg)
+	}
+}
+
+func TestFigure15Breakdown(t *testing.T) {
+	rows := Figure15(Quick())
+	avg := map[sim.AccelKind]float64{}
+	for _, r := range rows {
+		for k, v := range r.Benefit {
+			avg[k] += v / 3
+		}
+		if r.Total <= 0 {
+			t.Errorf("%s: total accelerator benefit not positive", r.App)
+		}
+	}
+	// Paper averages: heap 7.29%, hash 6.45%, string 4.51%, regexp 1.96%.
+	checks := []struct {
+		kind  sim.AccelKind
+		paper float64
+		tol   float64
+	}{
+		{sim.AccelHeapMgr, 0.0729, 0.035},
+		{sim.AccelHashTable, 0.0645, 0.035},
+		{sim.AccelString, 0.0451, 0.030},
+		{sim.AccelRegex, 0.0196, 0.025},
+	}
+	for _, c := range checks {
+		if math.Abs(avg[c.kind]-c.paper) > c.tol {
+			t.Errorf("%v average benefit %0.4f, paper %0.4f", c.kind, avg[c.kind], c.paper)
+		}
+	}
+	// Ordering: heap and hash are the big two; regexp the smallest.
+	if avg[sim.AccelRegex] >= avg[sim.AccelHeapMgr] || avg[sim.AccelRegex] >= avg[sim.AccelHashTable] {
+		t.Errorf("regexp accelerator should deliver the smallest benefit: %v", avg)
+	}
+}
+
+func TestTableKeyStats(t *testing.T) {
+	rows := TableKeyStats(Quick())
+	for _, r := range rows {
+		if r.ShortKeyFrac < 0.90 {
+			t.Errorf("%s: short-key fraction %0.3f, paper ~0.95", r.App, r.ShortKeyFrac)
+		}
+		if r.SetRatio < 0.10 || r.SetRatio > 0.30 {
+			t.Errorf("%s: SET ratio %0.3f, paper 0.15-0.25", r.App, r.SetRatio)
+		}
+	}
+}
+
+func TestTableMicroOps(t *testing.T) {
+	for _, r := range TableMicroOps() {
+		if math.Abs(r.ModelVal-r.PaperVal) > r.PaperVal*0.2 {
+			t.Errorf("%s: model %0.2f, paper %0.2f", r.Name, r.ModelVal, r.PaperVal)
+		}
+	}
+}
+
+func TestTableBranchMPKI(t *testing.T) {
+	rows := TableBranchMPKI(QuickUarch())
+	for _, r := range rows {
+		tol := 4.5
+		if r.Workload == "spec" {
+			tol = 2.5
+		}
+		if math.Abs(r.MPKI-r.PaperMPKI) > tol {
+			t.Errorf("%s MPKI %0.2f, paper %0.2f", r.Workload, r.MPKI, r.PaperMPKI)
+		}
+	}
+}
+
+func TestFigure2aShape(t *testing.T) {
+	rows := Figure2a(QuickUarch())
+	// For each I-cache size, time must fall (weakly) as the BTB grows.
+	byIC := map[int][]Fig2aRow{}
+	for _, r := range rows {
+		byIC[r.L1ISize] = append(byIC[r.L1ISize], r)
+	}
+	for ic, series := range byIC {
+		for i := 1; i < len(series); i++ {
+			if series[i].NormTime > series[i-1].NormTime*1.005 {
+				t.Errorf("I$=%d: time rose with BTB growth: %+v", ic, series)
+			}
+		}
+		last := series[len(series)-1]
+		// Paper: even 64K entries only reaches ~95.85% hit rate.
+		if last.BTBEntries == 65536 && (last.BTBHitRate < 0.90 || last.BTBHitRate > 0.995) {
+			t.Errorf("I$=%d: 64K-entry BTB hit rate %0.4f, paper ~0.9585", ic, last.BTBHitRate)
+		}
+	}
+}
+
+func TestFigure2bCachesHealthy(t *testing.T) {
+	rows := Figure2b(QuickUarch())
+	for _, r := range rows {
+		// Paper: L1 behaviour typical of SPEC-like workloads; L2 MPKI very
+		// low because L1 filters most references.
+		if r.L1IMPKI > 25 {
+			t.Errorf("%s: L1I MPKI %0.2f implausibly high", r.Workload, r.L1IMPKI)
+		}
+		if r.L2MPKI > r.L1DMPKI+r.L1IMPKI {
+			t.Errorf("%s: L2 MPKI should be filtered by L1: %+v", r.Workload, r)
+		}
+	}
+}
+
+func TestFigure2cShape(t *testing.T) {
+	rows := Figure2c(QuickUarch())
+	if len(rows) != 4 {
+		t.Fatalf("Figure2c rows = %d", len(rows))
+	}
+	if rows[1].NormTime >= rows[0].NormTime {
+		t.Errorf("OoO should beat in-order")
+	}
+	if rows[2].NormTime >= rows[1].NormTime {
+		t.Errorf("4-wide should beat 2-wide")
+	}
+	gain := (rows[2].NormTime - rows[3].NormTime) / rows[2].NormTime
+	if gain < 0 || gain > 0.06 {
+		t.Errorf("8-wide gain %0.3f, paper <3%%", gain)
+	}
+}
+
+func TestTableIndirectPredictor(t *testing.T) {
+	rows := TableIndirectPredictor(QuickUarch())
+	for _, r := range rows {
+		if r.IndirectPerKI <= 0 {
+			t.Errorf("%s: no indirect dispatch in stream", r.Workload)
+		}
+		if r.ITTAGEMissRate >= r.BTBMissRate {
+			t.Errorf("%s: ITTAGE should beat the BTB on dispatch: %0.3f vs %0.3f",
+				r.Workload, r.ITTAGEMissRate, r.BTBMissRate)
+		}
+		if r.BubblePKIAfter > r.BubblePKIBefore {
+			t.Errorf("%s: bubbles increased with ITTAGE", r.Workload)
+		}
+		if r.RASMissRate > 0.25 {
+			t.Errorf("%s: RAS mispredict rate %0.3f implausible", r.Workload, r.RASMissRate)
+		}
+	}
+}
+
+func TestTableGeneralization(t *testing.T) {
+	rows := TableGeneralization(Quick())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AcceleratedTime >= r.MitigatedTime {
+			t.Errorf("%s: accelerators should help framework workloads too: %+v", r.App, r)
+		}
+		if r.RelativeGain < 0.05 || r.RelativeGain > 0.45 {
+			t.Errorf("%s: relative gain %0.3f out of plausible band", r.App, r.RelativeGain)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"repro/internal/uarch"
+)
+
+// UarchOptions sizes the microarchitectural characterization runs.
+type UarchOptions struct {
+	Instructions int64
+	Seed         int64
+}
+
+// QuickUarch returns a fast characterization size.
+func QuickUarch() UarchOptions { return UarchOptions{Instructions: 1_500_000, Seed: 1} }
+
+// FullUarch returns the evaluation-scale characterization size.
+func FullUarch() UarchOptions { return UarchOptions{Instructions: 4_000_000, Seed: 1} }
+
+// BranchMPKIRow is the §2 branch predictor characterization for one
+// workload.
+type BranchMPKIRow struct {
+	Workload  string
+	MPKI      float64
+	PaperMPKI float64
+}
+
+// TableBranchMPKI reproduces the §2 TAGE measurements: 17.26 / 14.48 /
+// 15.14 MPKI for the PHP apps against ~2.9 for SPEC CPU2006.
+func TableBranchMPKI(opt UarchOptions) []BranchMPKIRow {
+	paper := map[string]float64{
+		"wordpress": 17.26, "drupal": 14.48, "mediawiki": 15.14, "spec": 2.9,
+	}
+	profiles := []uarch.Profile{
+		uarch.PHPProfile("wordpress"),
+		uarch.PHPProfile("drupal"),
+		uarch.PHPProfile("mediawiki"),
+		uarch.SPECProfile(),
+	}
+	var out []BranchMPKIRow
+	for _, p := range profiles {
+		cfg := uarch.DefaultCharacterizeConfig()
+		cfg.Instructions = opt.Instructions
+		cfg.Seed = opt.Seed
+		ch := uarch.Characterize(p, cfg)
+		out = append(out, BranchMPKIRow{Workload: p.Name, MPKI: ch.Stats.BranchMPKI, PaperMPKI: paper[p.Name]})
+	}
+	return out
+}
+
+// Figure2a reproduces Fig. 2a: WordPress execution time versus BTB size
+// for several instruction cache sizes. Execution cycles are normalized to
+// the smallest configuration.
+type Fig2aRow struct {
+	BTBEntries int
+	L1ISize    int
+	NormTime   float64
+	BTBHitRate float64
+}
+
+// Figure2a runs the BTB and I-cache sweep.
+func Figure2a(opt UarchOptions) []Fig2aRow {
+	p := uarch.PHPProfile("wordpress")
+	points := uarch.SweepBTB(p,
+		[]int{4096, 8192, 16384, 32768, 65536},
+		[]int{32 << 10, 64 << 10, 128 << 10},
+		opt.Instructions)
+	base := points[0].ExecCycles
+	var out []Fig2aRow
+	for _, pt := range points {
+		out = append(out, Fig2aRow{
+			BTBEntries: pt.BTBEntries,
+			L1ISize:    pt.L1ISize,
+			NormTime:   pt.ExecCycles / base,
+			BTBHitRate: pt.BTBHitRate,
+		})
+	}
+	return out
+}
+
+// Fig2bRow is the cache MPKI characterization for one workload.
+type Fig2bRow struct {
+	Workload string
+	L1IMPKI  float64
+	L1DMPKI  float64
+	L2MPKI   float64
+}
+
+// Figure2b reproduces Fig. 2b: cache performance of the PHP applications
+// — L1 behaviour typical of SPEC-like workloads, L2 MPKI very low.
+func Figure2b(opt UarchOptions) []Fig2bRow {
+	var out []Fig2bRow
+	for _, app := range PHPApps {
+		cfg := uarch.DefaultCharacterizeConfig()
+		cfg.Instructions = opt.Instructions
+		cfg.Seed = opt.Seed
+		ch := uarch.Characterize(uarch.PHPProfile(app), cfg)
+		out = append(out, Fig2bRow{
+			Workload: app,
+			L1IMPKI:  ch.Stats.L1IMPKI,
+			L1DMPKI:  ch.Stats.L1DMPKI,
+			L2MPKI:   ch.Stats.L2MPKI,
+		})
+	}
+	return out
+}
+
+// Fig2cRow is one core configuration's normalized execution time.
+type Fig2cRow struct {
+	Core     string
+	NormTime float64
+}
+
+// Figure2c reproduces Fig. 2c: 2-wide in-order through 8-wide OoO, with
+// the 8-wide gain under 3%.
+func Figure2c(opt UarchOptions) []Fig2cRow {
+	points := uarch.SweepCores(uarch.PHPProfile("wordpress"), opt.Instructions)
+	base := points[0].ExecCycles
+	var out []Fig2cRow
+	for _, pt := range points {
+		out = append(out, Fig2cRow{Core: pt.Core.Name, NormTime: pt.ExecCycles / base})
+	}
+	return out
+}
+
+// --- Extension: indirect target prediction (§2's suggested remedy) ---
+
+// IndirectRow compares the plain BTB against an added ITTAGE-style
+// indirect target predictor on the megamorphic dispatch sites — the
+// front-end improvement the paper's §2 analysis points to for the
+// data-dependent control flow of VM dispatch.
+type IndirectRow struct {
+	Workload        string
+	IndirectPerKI   float64
+	BTBMissRate     float64 // dispatch-site miss rate, BTB alone
+	ITTAGEMissRate  float64 // dispatch-site miss rate with ITTAGE
+	BubblePKIBefore float64 // front-end bubbles per 1K instrs, BTB alone
+	BubblePKIAfter  float64 // with ITTAGE rescuing dispatch targets
+	RASMissRate     float64 // return-address stack mispredict rate
+}
+
+// TableIndirectPredictor runs the extension study.
+func TableIndirectPredictor(opt UarchOptions) []IndirectRow {
+	var out []IndirectRow
+	for _, app := range PHPApps {
+		cfg := uarch.DefaultCharacterizeConfig()
+		// Indirect dispatches are rare (~1.4/KI); train over a longer
+		// stream so the predictor tables see enough samples per context.
+		cfg.Instructions = opt.Instructions * 3
+		cfg.Seed = opt.Seed
+		base := uarch.Characterize(uarch.PHPProfile(app), cfg)
+		cfg.WithITTAGE = true
+		ext := uarch.Characterize(uarch.PHPProfile(app), cfg)
+		out = append(out, IndirectRow{
+			Workload:        app,
+			IndirectPerKI:   base.Stats.IndirectPerKI,
+			BTBMissRate:     base.Stats.IndirectBTBMiss,
+			ITTAGEMissRate:  ext.Stats.ITTAGEMiss,
+			BubblePKIBefore: base.Stats.BTBMissPKI,
+			BubblePKIAfter:  ext.Stats.BTBMissPKI,
+			RASMissRate:     base.Stats.RASMispredicts,
+		})
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package hashmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+type walkRec struct {
+	op       Op
+	probes   int
+	keyBytes int
+	inserted bool
+}
+
+type recObs struct {
+	walks   []walkRec
+	resizes []int
+}
+
+func (r *recObs) OnWalk(op Op, probes, keyBytes int, inserted bool) {
+	r.walks = append(r.walks, walkRec{op, probes, keyBytes, inserted})
+}
+func (r *recObs) OnResize(n int) { r.resizes = append(r.resizes, n) }
+
+func TestGetSetBasic(t *testing.T) {
+	m := New(nil)
+	if _, ok := m.Get(StrKey("missing")); ok {
+		t.Fatalf("empty map returned a value")
+	}
+	m.Set(StrKey("a"), 1)
+	m.Set(IntKey(7), "seven")
+	if v, ok := m.Get(StrKey("a")); !ok || v != 1 {
+		t.Errorf("Get(a) = %v %v", v, ok)
+	}
+	if v, ok := m.Get(IntKey(7)); !ok || v != "seven" {
+		t.Errorf("Get(7) = %v %v", v, ok)
+	}
+	if m.Size() != 2 {
+		t.Errorf("Size = %d, want 2", m.Size())
+	}
+	m.Set(StrKey("a"), 2)
+	if v, _ := m.Get(StrKey("a")); v != 2 {
+		t.Errorf("update failed: %v", v)
+	}
+	if m.Size() != 2 {
+		t.Errorf("update must not change size")
+	}
+}
+
+func TestIntAndStrKeysDistinct(t *testing.T) {
+	m := New(nil)
+	m.Set(IntKey(1), "int")
+	m.Set(StrKey("1"), "str")
+	if v, _ := m.Get(IntKey(1)); v != "int" {
+		t.Errorf("int key clobbered: %v", v)
+	}
+	if v, _ := m.Get(StrKey("1")); v != "str" {
+		t.Errorf("str key clobbered: %v", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New(nil)
+	m.Set(StrKey("x"), 1)
+	if !m.Delete(StrKey("x")) {
+		t.Fatalf("Delete of present key returned false")
+	}
+	if m.Delete(StrKey("x")) {
+		t.Fatalf("double Delete returned true")
+	}
+	if _, ok := m.Get(StrKey("x")); ok {
+		t.Errorf("deleted key still present")
+	}
+	if m.Size() != 0 {
+		t.Errorf("Size after delete = %d", m.Size())
+	}
+}
+
+func TestReinsertAfterDeleteUsesTombstone(t *testing.T) {
+	m := New(nil)
+	m.Set(StrKey("x"), 1)
+	m.Delete(StrKey("x"))
+	m.Set(StrKey("x"), 2)
+	if v, ok := m.Get(StrKey("x")); !ok || v != 2 {
+		t.Errorf("reinsert failed: %v %v", v, ok)
+	}
+	if m.Size() != 1 {
+		t.Errorf("Size = %d, want 1", m.Size())
+	}
+}
+
+func TestInsertionOrderIteration(t *testing.T) {
+	m := New(nil)
+	keys := []string{"delta", "alpha", "zulu", "bravo", "kilo"}
+	for i, k := range keys {
+		m.Set(StrKey(k), i)
+	}
+	m.Delete(StrKey("zulu"))
+	m.Set(StrKey("zulu"), 99) // deleted and re-added: moves to the end
+	var got []string
+	m.Foreach(func(k Key, _ interface{}) bool {
+		got = append(got, k.Str)
+		return true
+	})
+	want := []string{"delta", "alpha", "bravo", "kilo", "zulu"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("iteration order = %v, want %v", got, want)
+	}
+}
+
+func TestForeachEarlyStop(t *testing.T) {
+	m := New(nil)
+	for i := 0; i < 10; i++ {
+		m.Append(i)
+	}
+	n := 0
+	m.Foreach(func(Key, interface{}) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d entries, want 3", n)
+	}
+}
+
+func TestAppendAutoKeys(t *testing.T) {
+	m := New(nil)
+	k0 := m.Append("a")
+	k1 := m.Append("b")
+	if !k0.IsInt || k0.Int != 0 || k1.Int != 1 {
+		t.Errorf("auto keys wrong: %v %v", k0, k1)
+	}
+	m.Set(IntKey(10), "c")
+	if k := m.Append("d"); k.Int != 11 {
+		t.Errorf("append after explicit int key = %v, want 11", k)
+	}
+}
+
+func TestGrowthPreservesContents(t *testing.T) {
+	obs := &recObs{}
+	m := New(obs)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		m.Set(StrKey(fmt.Sprintf("key-%04d", i)), i)
+	}
+	if len(obs.resizes) == 0 {
+		t.Fatalf("expected at least one resize for %d inserts", n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(StrKey(fmt.Sprintf("key-%04d", i))); !ok || v != i {
+			t.Fatalf("lost key %d after growth: %v %v", i, v, ok)
+		}
+	}
+	if m.Size() != n {
+		t.Errorf("Size = %d, want %d", m.Size(), n)
+	}
+}
+
+func TestObserverWalkEvents(t *testing.T) {
+	obs := &recObs{}
+	m := New(obs)
+	m.Set(StrKey("abc"), 1)
+	m.Get(StrKey("abc"))
+	m.Get(StrKey("nope"))
+	m.Delete(StrKey("abc"))
+
+	if len(obs.walks) != 4 {
+		t.Fatalf("got %d walk events, want 4", len(obs.walks))
+	}
+	if obs.walks[0].op != OpSet || !obs.walks[0].inserted {
+		t.Errorf("first walk should be an inserting Set: %+v", obs.walks[0])
+	}
+	if obs.walks[1].op != OpGet || obs.walks[1].keyBytes < 3 {
+		t.Errorf("hit Get should compare the key bytes: %+v", obs.walks[1])
+	}
+	for _, w := range obs.walks {
+		if w.probes < 1 {
+			t.Errorf("every walk probes at least one slot: %+v", w)
+		}
+	}
+}
+
+func TestStaleRebuild(t *testing.T) {
+	m := New(nil)
+	m.Set(StrKey("a"), 1)
+	m.Set(StrKey("b"), 2)
+	m.MarkStale()
+	if !m.Stale() {
+		t.Fatalf("MarkStale did not mark")
+	}
+	if v, ok := m.Get(StrKey("a")); !ok || v != 1 {
+		t.Errorf("Get after stale rebuild = %v %v", v, ok)
+	}
+	if m.Stale() {
+		t.Errorf("access should clear stale flag")
+	}
+	if m.Rebuilds() != 1 {
+		t.Errorf("Rebuilds = %d, want 1", m.Rebuilds())
+	}
+}
+
+func TestSetRawWriteback(t *testing.T) {
+	m := New(nil)
+	m.Set(StrKey("a"), 1)
+	if !m.SetRaw(StrKey("a"), 5) {
+		t.Errorf("SetRaw on present key should return true")
+	}
+	if v, _ := m.Get(StrKey("a")); v != 5 {
+		t.Errorf("SetRaw did not update: %v", v)
+	}
+	if m.SetRaw(StrKey("new"), 7) {
+		t.Errorf("SetRaw on absent key should return false")
+	}
+	if v, ok := m.Get(StrKey("new")); !ok || v != 7 {
+		t.Errorf("SetRaw insert failed: %v %v", v, ok)
+	}
+	// Writeback insertion must land at the end of iteration order.
+	keys := m.Keys()
+	if keys[len(keys)-1].Str != "new" {
+		t.Errorf("writeback insert not at end: %v", keys)
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	a, b := New(nil), New(nil)
+	if a.ID() == b.ID() || a.ID() == 0 {
+		t.Errorf("map IDs must be unique and nonzero: %d %d", a.ID(), b.ID())
+	}
+}
+
+func TestRefCounting(t *testing.T) {
+	m := New(nil)
+	if m.RefCount() != 1 {
+		t.Fatalf("fresh map refcount = %d", m.RefCount())
+	}
+	if m.AddRef() != 2 || m.DecRef() != 1 || m.DecRef() != 0 {
+		t.Errorf("refcount sequence wrong")
+	}
+}
+
+func TestKeyHashStability(t *testing.T) {
+	if StrKey("wp_options").Hash() != StrKey("wp_options").Hash() {
+		t.Errorf("string key hash not deterministic")
+	}
+	if IntKey(42).Hash() != IntKey(42).Hash() {
+		t.Errorf("int key hash not deterministic")
+	}
+	if IntKey(42).Hash() == IntKey(43).Hash() {
+		t.Errorf("adjacent int keys should not collide in 64 bits")
+	}
+}
+
+func TestKeyLenAndString(t *testing.T) {
+	if IntKey(5).Len() != 8 {
+		t.Errorf("int key Len = %d", IntKey(5).Len())
+	}
+	if StrKey("abcde").Len() != 5 {
+		t.Errorf("str key Len wrong")
+	}
+	if IntKey(5).String() != "#5" || StrKey("x").String() != "x" {
+		t.Errorf("key String() wrong")
+	}
+}
+
+// TestModelEquivalence drives random operation sequences against both the
+// Map and a Go map + order slice model, checking full equivalence.
+func TestModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(nil)
+		model := map[string]int{}
+		var order []string // insertion order of live keys
+
+		removeOrder := func(k string) {
+			for i, s := range order {
+				if s == k {
+					order = append(order[:i], order[i+1:]...)
+					return
+				}
+			}
+		}
+
+		for step := 0; step < 300; step++ {
+			k := fmt.Sprintf("k%d", rng.Intn(40))
+			switch rng.Intn(4) {
+			case 0, 1: // set
+				v := rng.Intn(1000)
+				if _, ok := model[k]; !ok {
+					order = append(order, k)
+				}
+				model[k] = v
+				m.Set(StrKey(k), v)
+			case 2: // get
+				v, ok := m.Get(StrKey(k))
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 3: // delete
+				ok := m.Delete(StrKey(k))
+				_, mok := model[k]
+				if ok != mok {
+					return false
+				}
+				if mok {
+					delete(model, k)
+					removeOrder(k)
+				}
+			}
+			if rng.Intn(20) == 0 {
+				m.MarkStale() // exercise the coherence rebuild path
+			}
+		}
+		if m.Size() != len(model) {
+			return false
+		}
+		var got []string
+		m.Foreach(func(k Key, v interface{}) bool {
+			got = append(got, k.Str)
+			if model[k.Str] != v {
+				got = append(got, "VALUE-MISMATCH")
+			}
+			return true
+		})
+		return fmt.Sprint(got) == fmt.Sprint(order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMapGet(b *testing.B) {
+	m := New(nil)
+	for i := 0; i < 1024; i++ {
+		m.Set(StrKey(fmt.Sprintf("key-%d", i)), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(StrKey("key-512"))
+	}
+}
+
+func BenchmarkMapSet(b *testing.B) {
+	m := New(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(IntKey(int64(i&1023)), i)
+	}
+}

@@ -1,0 +1,290 @@
+// Package phpval models PHP's dynamic value system ("zvals"): tagged
+// values with null/bool/int/float/string/array types, reference counting,
+// and the run-time type checks that the paper identifies as scripting-
+// language abstraction overheads (§3).
+//
+// Values deliberately mirror how HHVM represents data: every access to a
+// dynamically-typed value implies a type check, and every copy or drop of
+// a counted value implies reference-count traffic. Both are surfaced
+// through the Accounting interface so the simulation can charge (or, with
+// the §3 mitigations enabled, waive) their cost.
+package phpval
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind is a PHP value's dynamic type tag.
+type Kind uint8
+
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindArray
+)
+
+// String returns the PHP-facing type name.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "boolean"
+	case KindInt:
+		return "integer"
+	case KindFloat:
+		return "double"
+	case KindString:
+		return "string"
+	case KindArray:
+		return "array"
+	default:
+		return "unknown"
+	}
+}
+
+// Accounting receives type-check and reference-count events. The sim
+// package's Meter satisfies it; a nil Accounting is silently ignored so
+// the value system can be used standalone.
+type Accounting interface {
+	AddTypeCheck(n int)
+	AddRefCount(n int)
+}
+
+// Str is a counted PHP string. PHP strings carry an explicit length
+// (never NUL-terminated), which the paper notes makes the string
+// accelerator's coherence logic straightforward (§4.4).
+type Str struct {
+	Bytes    []byte
+	refCount int32
+}
+
+// NewStr builds a counted string from a byte slice (not copied).
+func NewStr(b []byte) *Str { return &Str{Bytes: b, refCount: 1} }
+
+// NewStrCopy builds a counted string from a Go string.
+func NewStrCopy(s string) *Str { return &Str{Bytes: []byte(s), refCount: 1} }
+
+// Len returns the string length in bytes.
+func (s *Str) Len() int { return len(s.Bytes) }
+
+// RefCount returns the current reference count.
+func (s *Str) RefCount() int32 { return s.refCount }
+
+// Arr is the interface a PHP array implementation provides to the value
+// system. The concrete implementation lives in internal/hashmap; using an
+// interface here keeps the dependency arrow pointing the right way.
+type Arr interface {
+	// Size returns the number of live key/value pairs.
+	Size() int
+	// AddRef and DecRef adjust the array's reference count, returning the
+	// new count.
+	AddRef() int32
+	DecRef() int32
+}
+
+// Value is a tagged PHP value. The zero Value is PHP null.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    *Str
+	a    Arr
+}
+
+// Null returns the PHP null value.
+func Null() Value { return Value{} }
+
+// Bool wraps a boolean.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Int wraps an integer.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float wraps a float.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String wraps a counted string.
+func String(s *Str) Value { return Value{kind: KindString, s: s} }
+
+// StringOf wraps a Go string into a fresh counted string value.
+func StringOf(s string) Value { return String(NewStrCopy(s)) }
+
+// Array wraps an array.
+func Array(a Arr) Value { return Value{kind: KindArray, a: a} }
+
+// Kind returns the dynamic type tag. Reading the tag is free; acting on
+// it is what costs a type check (see Check*).
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is PHP null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Counted reports whether the value holds reference-counted payload.
+func (v Value) Counted() bool {
+	return (v.kind == KindString && v.s != nil) || (v.kind == KindArray && v.a != nil)
+}
+
+// CheckBool performs a checked read of a boolean, charging one dynamic
+// type check to acct.
+func (v Value) CheckBool(acct Accounting) (bool, error) {
+	charge(acct, 1)
+	if v.kind != KindBool {
+		return false, typeErr(KindBool, v.kind)
+	}
+	return v.b, nil
+}
+
+// CheckInt performs a checked read of an integer.
+func (v Value) CheckInt(acct Accounting) (int64, error) {
+	charge(acct, 1)
+	if v.kind != KindInt {
+		return 0, typeErr(KindInt, v.kind)
+	}
+	return v.i, nil
+}
+
+// CheckFloat performs a checked read of a float.
+func (v Value) CheckFloat(acct Accounting) (float64, error) {
+	charge(acct, 1)
+	if v.kind != KindFloat {
+		return 0, typeErr(KindFloat, v.kind)
+	}
+	return v.f, nil
+}
+
+// CheckString performs a checked read of a counted string.
+func (v Value) CheckString(acct Accounting) (*Str, error) {
+	charge(acct, 1)
+	if v.kind != KindString {
+		return nil, typeErr(KindString, v.kind)
+	}
+	return v.s, nil
+}
+
+// CheckArray performs a checked read of an array.
+func (v Value) CheckArray(acct Accounting) (Arr, error) {
+	charge(acct, 1)
+	if v.kind != KindArray {
+		return nil, typeErr(KindArray, v.kind)
+	}
+	return v.a, nil
+}
+
+// Copy duplicates the value, incrementing the reference count of counted
+// payload and charging the refcount traffic to acct.
+func (v Value) Copy(acct Accounting) Value {
+	switch v.kind {
+	case KindString:
+		if v.s != nil {
+			v.s.refCount++
+			if acct != nil {
+				acct.AddRefCount(1)
+			}
+		}
+	case KindArray:
+		if v.a != nil {
+			v.a.AddRef()
+			if acct != nil {
+				acct.AddRefCount(1)
+			}
+		}
+	}
+	return v
+}
+
+// Release drops one reference from counted payload, charging the refcount
+// traffic, and reports whether the payload became dead (count reached 0).
+func (v Value) Release(acct Accounting) bool {
+	switch v.kind {
+	case KindString:
+		if v.s != nil {
+			if acct != nil {
+				acct.AddRefCount(1)
+			}
+			v.s.refCount--
+			return v.s.refCount <= 0
+		}
+	case KindArray:
+		if v.a != nil {
+			if acct != nil {
+				acct.AddRefCount(1)
+			}
+			return v.a.DecRef() <= 0
+		}
+	}
+	return false
+}
+
+// ToPHPString renders the value the way PHP string conversion does, for
+// template interpolation. It charges one type check (the dispatch on the
+// tag) to acct.
+func (v Value) ToPHPString(acct Accounting) string {
+	charge(acct, 1)
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindBool:
+		if v.b {
+			return "1"
+		}
+		return ""
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'G', 14, 64)
+	case KindString:
+		if v.s == nil {
+			return ""
+		}
+		return string(v.s.Bytes)
+	case KindArray:
+		return "Array"
+	default:
+		return ""
+	}
+}
+
+// Equal reports deep equality for scalar values and identity for counted
+// values (PHP's === on non-arrays, identity on arrays). It charges two
+// type checks (one per operand).
+func (v Value) Equal(o Value, acct Accounting) bool {
+	charge(acct, 2)
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindBool:
+		return v.b == o.b
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindString:
+		if v.s == nil || o.s == nil {
+			return v.s == o.s
+		}
+		return string(v.s.Bytes) == string(o.s.Bytes)
+	case KindArray:
+		return v.a == o.a
+	default:
+		return false
+	}
+}
+
+func charge(acct Accounting, n int) {
+	if acct != nil {
+		acct.AddTypeCheck(n)
+	}
+}
+
+func typeErr(want, got Kind) error {
+	return fmt.Errorf("phpval: type check failed: want %s, got %s", want, got)
+}

@@ -1,0 +1,245 @@
+package phpval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// countAcct is a test double for the Accounting interface.
+type countAcct struct {
+	typeChecks int
+	refCounts  int
+}
+
+func (c *countAcct) AddTypeCheck(n int) { c.typeChecks += n }
+func (c *countAcct) AddRefCount(n int)  { c.refCounts += n }
+
+// fakeArr is a minimal Arr implementation.
+type fakeArr struct {
+	size int
+	refs int32
+}
+
+func (f *fakeArr) Size() int     { return f.size }
+func (f *fakeArr) AddRef() int32 { f.refs++; return f.refs }
+func (f *fakeArr) DecRef() int32 { f.refs--; return f.refs }
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindBool:   "boolean",
+		KindInt:    "integer",
+		KindFloat:  "double",
+		KindString: "string",
+		KindArray:  "array",
+		Kind(99):   "unknown",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() || v.Kind() != KindNull {
+		t.Errorf("zero Value should be null")
+	}
+	if Null() != (Value{}) {
+		t.Errorf("Null() should equal zero Value")
+	}
+}
+
+func TestCheckedReads(t *testing.T) {
+	acct := &countAcct{}
+	if b, err := Bool(true).CheckBool(acct); err != nil || !b {
+		t.Errorf("CheckBool: %v %v", b, err)
+	}
+	if i, err := Int(42).CheckInt(acct); err != nil || i != 42 {
+		t.Errorf("CheckInt: %v %v", i, err)
+	}
+	if f, err := Float(2.5).CheckFloat(acct); err != nil || f != 2.5 {
+		t.Errorf("CheckFloat: %v %v", f, err)
+	}
+	if s, err := StringOf("hi").CheckString(acct); err != nil || string(s.Bytes) != "hi" {
+		t.Errorf("CheckString: %v %v", s, err)
+	}
+	arr := &fakeArr{size: 3}
+	if a, err := Array(arr).CheckArray(acct); err != nil || a.Size() != 3 {
+		t.Errorf("CheckArray: %v %v", a, err)
+	}
+	if acct.typeChecks != 5 {
+		t.Errorf("expected 5 type checks, got %d", acct.typeChecks)
+	}
+}
+
+func TestCheckedReadsFailAcrossKinds(t *testing.T) {
+	if _, err := Int(1).CheckBool(nil); err == nil {
+		t.Errorf("CheckBool on int should fail")
+	}
+	if _, err := Bool(true).CheckInt(nil); err == nil {
+		t.Errorf("CheckInt on bool should fail")
+	}
+	if _, err := StringOf("x").CheckFloat(nil); err == nil {
+		t.Errorf("CheckFloat on string should fail")
+	}
+	if _, err := Int(1).CheckString(nil); err == nil {
+		t.Errorf("CheckString on int should fail")
+	}
+	if _, err := Null().CheckArray(nil); err == nil {
+		t.Errorf("CheckArray on null should fail")
+	}
+}
+
+func TestCopyReleaseStringRefCounting(t *testing.T) {
+	acct := &countAcct{}
+	s := NewStrCopy("hello")
+	v := String(s)
+	v2 := v.Copy(acct)
+	if s.RefCount() != 2 {
+		t.Errorf("refcount after copy = %d, want 2", s.RefCount())
+	}
+	if dead := v2.Release(acct); dead {
+		t.Errorf("first release should not kill the string")
+	}
+	if dead := v.Release(acct); !dead {
+		t.Errorf("second release should kill the string")
+	}
+	if acct.refCounts != 3 {
+		t.Errorf("refcount traffic = %d, want 3", acct.refCounts)
+	}
+}
+
+func TestCopyReleaseArrayRefCounting(t *testing.T) {
+	arr := &fakeArr{refs: 1}
+	v := Array(arr)
+	v.Copy(nil)
+	if arr.refs != 2 {
+		t.Errorf("array refs after copy = %d, want 2", arr.refs)
+	}
+	v.Release(nil)
+	v.Release(nil)
+	if arr.refs != 0 {
+		t.Errorf("array refs after releases = %d, want 0", arr.refs)
+	}
+}
+
+func TestScalarCopyHasNoRefTraffic(t *testing.T) {
+	acct := &countAcct{}
+	Int(7).Copy(acct)
+	Bool(true).Copy(acct)
+	Float(1.5).Copy(acct)
+	Null().Copy(acct)
+	Int(7).Release(acct)
+	if acct.refCounts != 0 {
+		t.Errorf("scalars must not generate refcount traffic, got %d", acct.refCounts)
+	}
+}
+
+func TestCountedPredicate(t *testing.T) {
+	if Int(1).Counted() || Null().Counted() || Bool(true).Counted() || Float(1).Counted() {
+		t.Errorf("scalars are not counted")
+	}
+	if !StringOf("x").Counted() {
+		t.Errorf("strings are counted")
+	}
+	if !Array(&fakeArr{}).Counted() {
+		t.Errorf("arrays are counted")
+	}
+}
+
+func TestToPHPString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), ""},
+		{Bool(true), "1"},
+		{Bool(false), ""},
+		{Int(-3), "-3"},
+		{Float(2.5), "2.5"},
+		{StringOf("abc"), "abc"},
+		{Array(&fakeArr{}), "Array"},
+	}
+	for _, c := range cases {
+		if got := c.v.ToPHPString(nil); got != c.want {
+			t.Errorf("ToPHPString(%v) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestToPHPStringChargesTypeCheck(t *testing.T) {
+	acct := &countAcct{}
+	Int(1).ToPHPString(acct)
+	if acct.typeChecks != 1 {
+		t.Errorf("ToPHPString should charge 1 type check, got %d", acct.typeChecks)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := &fakeArr{}
+	cases := []struct {
+		x, y Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(1), Float(1), false}, // strict: kinds differ
+		{Null(), Null(), true},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Float(1.5), Float(1.5), true},
+		{StringOf("a"), StringOf("a"), true},
+		{StringOf("a"), StringOf("b"), false},
+		{Array(a), Array(a), true},
+		{Array(a), Array(&fakeArr{}), false},
+	}
+	for i, c := range cases {
+		if got := c.x.Equal(c.y, nil); got != c.want {
+			t.Errorf("case %d: Equal = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestEqualPropertyReflexiveScalars(t *testing.T) {
+	f := func(i int64) bool { return Int(i).Equal(Int(i), nil) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(s string) bool { return StringOf(s).Equal(StringOf(s), nil) }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyReleaseBalanceProperty(t *testing.T) {
+	// Property: after n copies and n+1 releases, a fresh string is dead and
+	// the accounting saw 2n+1 refcount events.
+	f := func(n uint8) bool {
+		copies := int(n % 20)
+		acct := &countAcct{}
+		s := NewStrCopy("payload")
+		v := String(s)
+		for i := 0; i < copies; i++ {
+			v.Copy(acct)
+		}
+		dead := false
+		for i := 0; i <= copies; i++ {
+			dead = v.Release(acct)
+		}
+		return dead && s.RefCount() == 0 && acct.refCounts == 2*copies+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrLen(t *testing.T) {
+	if NewStr([]byte("abcd")).Len() != 4 {
+		t.Errorf("Str.Len wrong")
+	}
+	if NewStrCopy("").Len() != 0 {
+		t.Errorf("empty Str.Len wrong")
+	}
+}

@@ -1,0 +1,158 @@
+// Package profile turns the simulation meter's per-function cost
+// attribution into the leaf-function execution profiles of the paper's
+// analysis: the flat cycle distributions of Fig. 1, the before/after
+// mitigation comparison of Fig. 3, the category coloring of Fig. 4, and
+// the execution-time breakdowns of Figs. 5 and 15.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Entry is one leaf function's share of execution.
+type Entry struct {
+	Name     string
+	Category sim.Category
+	Cycles   float64
+	Frac     float64 // fraction of total cycles
+	Cum      float64 // cumulative fraction up to and including this entry
+}
+
+// Profile is a leaf-function execution profile sorted hottest-first.
+type Profile struct {
+	Entries []Entry
+	Total   float64
+}
+
+// FromMeter builds a profile from the meter's current attribution.
+func FromMeter(mt *sim.Meter) Profile {
+	fns := mt.Functions()
+	p := Profile{Entries: make([]Entry, 0, len(fns))}
+	for _, f := range fns {
+		p.Total += f.Cycles(&mt.Model)
+	}
+	cum := 0.0
+	for _, f := range fns {
+		cyc := f.Cycles(&mt.Model)
+		frac := 0.0
+		if p.Total > 0 {
+			frac = cyc / p.Total
+		}
+		cum += frac
+		p.Entries = append(p.Entries, Entry{
+			Name:     f.Name,
+			Category: f.Category,
+			Cycles:   cyc,
+			Frac:     frac,
+			Cum:      cum,
+		})
+	}
+	return p
+}
+
+// HottestFrac returns the hottest function's share (Fig. 1: ~10–12% for
+// the PHP applications, far higher for SPECWeb).
+func (p Profile) HottestFrac() float64 {
+	if len(p.Entries) == 0 {
+		return 0
+	}
+	return p.Entries[0].Frac
+}
+
+// FuncsForFrac returns how many of the hottest functions are needed to
+// cover the given fraction of cycles (Fig. 1: ~100 functions for 65%).
+func (p Profile) FuncsForFrac(target float64) int {
+	for i, e := range p.Entries {
+		if e.Cum >= target {
+			return i + 1
+		}
+	}
+	return len(p.Entries)
+}
+
+// CDF returns the cumulative fraction covered by the hottest n functions
+// for each n in ns.
+func (p Profile) CDF(ns []int) []float64 {
+	out := make([]float64, len(ns))
+	for i, n := range ns {
+		if n <= 0 {
+			continue
+		}
+		if n > len(p.Entries) {
+			n = len(p.Entries)
+		}
+		if n > 0 {
+			out[i] = p.Entries[n-1].Cum
+		}
+	}
+	return out
+}
+
+// CategoryShares returns each activity category's share of total cycles
+// (Figs. 4 and 5).
+func (p Profile) CategoryShares() map[sim.Category]float64 {
+	out := make(map[sim.Category]float64)
+	for _, e := range p.Entries {
+		out[e.Category] += e.Frac
+	}
+	return out
+}
+
+// TopN returns the hottest n entries.
+func (p Profile) TopN(n int) []Entry {
+	if n > len(p.Entries) {
+		n = len(p.Entries)
+	}
+	return p.Entries[:n]
+}
+
+// NumFunctions returns the number of distinct leaf functions.
+func (p Profile) NumFunctions() int { return len(p.Entries) }
+
+// Render prints the hottest n functions as an aligned table.
+func (p Profile) Render(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %-10s %8s %8s\n", "function", "category", "frac%", "cum%")
+	for _, e := range p.TopN(n) {
+		fmt.Fprintf(&b, "%-34s %-10s %8.2f %8.2f\n", e.Name, e.Category, 100*e.Frac, 100*e.Cum)
+	}
+	return b.String()
+}
+
+// Diff compares two profiles by function name (Fig. 3's before/after
+// mitigation bars). Functions absent from one side report zero.
+type DiffEntry struct {
+	Name       string
+	Category   sim.Category
+	BeforeFrac float64
+	AfterFrac  float64
+}
+
+// Diff returns per-function fraction changes sorted by before-share.
+func Diff(before, after Profile) []DiffEntry {
+	idx := map[string]*DiffEntry{}
+	var order []string
+	for _, e := range before.Entries {
+		idx[e.Name] = &DiffEntry{Name: e.Name, Category: e.Category, BeforeFrac: e.Frac}
+		order = append(order, e.Name)
+	}
+	for _, e := range after.Entries {
+		d := idx[e.Name]
+		if d == nil {
+			d = &DiffEntry{Name: e.Name, Category: e.Category}
+			idx[e.Name] = d
+			order = append(order, e.Name)
+		}
+		d.AfterFrac = e.Frac
+	}
+	out := make([]DiffEntry, 0, len(order))
+	for _, name := range order {
+		out = append(out, *idx[name])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].BeforeFrac > out[j].BeforeFrac })
+	return out
+}

@@ -1,0 +1,138 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func meterWith(fracs map[string]float64) *sim.Meter {
+	mt := sim.NewMeter(sim.DefaultCostModel())
+	for name, share := range fracs {
+		mt.AddUops(name, sim.CatOther, share*1000)
+	}
+	return mt
+}
+
+func TestFromMeterFractions(t *testing.T) {
+	mt := meterWith(map[string]float64{"a": 0.5, "b": 0.3, "c": 0.2})
+	p := FromMeter(mt)
+	if p.NumFunctions() != 3 {
+		t.Fatalf("NumFunctions = %d", p.NumFunctions())
+	}
+	if p.Entries[0].Name != "a" || math.Abs(p.Entries[0].Frac-0.5) > 1e-9 {
+		t.Errorf("hottest entry wrong: %+v", p.Entries[0])
+	}
+	if math.Abs(p.Entries[2].Cum-1.0) > 1e-9 {
+		t.Errorf("cumulative should end at 1: %v", p.Entries[2].Cum)
+	}
+	if math.Abs(p.HottestFrac()-0.5) > 1e-9 {
+		t.Errorf("HottestFrac = %v", p.HottestFrac())
+	}
+}
+
+func TestFuncsForFrac(t *testing.T) {
+	mt := meterWith(map[string]float64{"a": 0.4, "b": 0.3, "c": 0.2, "d": 0.1})
+	p := FromMeter(mt)
+	if got := p.FuncsForFrac(0.65); got != 2 {
+		t.Errorf("FuncsForFrac(0.65) = %d, want 2", got)
+	}
+	if got := p.FuncsForFrac(0.95); got != 4 {
+		t.Errorf("FuncsForFrac(0.95) = %d, want 4", got)
+	}
+	if got := p.FuncsForFrac(2.0); got != 4 {
+		t.Errorf("unreachable target should return all functions: %d", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	mt := meterWith(map[string]float64{"a": 0.4, "b": 0.3, "c": 0.2, "d": 0.1})
+	p := FromMeter(mt)
+	cdf := p.CDF([]int{1, 2, 10, 0})
+	if math.Abs(cdf[0]-0.4) > 1e-9 || math.Abs(cdf[1]-0.7) > 1e-9 {
+		t.Errorf("CDF wrong: %v", cdf)
+	}
+	if math.Abs(cdf[2]-1.0) > 1e-9 {
+		t.Errorf("CDF beyond length should saturate: %v", cdf[2])
+	}
+	if cdf[3] != 0 {
+		t.Errorf("CDF(0) should be 0")
+	}
+}
+
+func TestCategoryShares(t *testing.T) {
+	mt := sim.NewMeter(sim.DefaultCostModel())
+	mt.AddUops("h1", sim.CatHash, 300)
+	mt.AddUops("h2", sim.CatHash, 100)
+	mt.AddUops("s1", sim.CatString, 600)
+	p := FromMeter(mt)
+	cs := p.CategoryShares()
+	if math.Abs(cs[sim.CatHash]-0.4) > 1e-9 || math.Abs(cs[sim.CatString]-0.6) > 1e-9 {
+		t.Errorf("shares wrong: %v", cs)
+	}
+}
+
+func TestTopNAndRender(t *testing.T) {
+	mt := meterWith(map[string]float64{"a": 0.6, "b": 0.4})
+	p := FromMeter(mt)
+	if len(p.TopN(1)) != 1 || len(p.TopN(10)) != 2 {
+		t.Errorf("TopN clamping wrong")
+	}
+	r := p.Render(2)
+	if !strings.Contains(r, "a") || !strings.Contains(r, "cum%") {
+		t.Errorf("render missing content:\n%s", r)
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := FromMeter(sim.NewMeter(sim.DefaultCostModel()))
+	if p.HottestFrac() != 0 || p.NumFunctions() != 0 || p.FuncsForFrac(0.5) != 0 {
+		t.Errorf("empty profile accessors wrong")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	before := FromMeter(meterWith(map[string]float64{"refcount": 0.5, "hash": 0.3, "other": 0.2}))
+	after := FromMeter(meterWith(map[string]float64{"hash": 0.6, "other": 0.4}))
+	d := Diff(before, after)
+	if len(d) != 3 {
+		t.Fatalf("Diff entries = %d", len(d))
+	}
+	if d[0].Name != "refcount" || d[0].AfterFrac != 0 {
+		t.Errorf("mitigated function should drop to zero: %+v", d[0])
+	}
+	var hash DiffEntry
+	for _, e := range d {
+		if e.Name == "hash" {
+			hash = e
+		}
+	}
+	if hash.AfterFrac <= hash.BeforeFrac {
+		t.Errorf("surviving function's share should rise: %+v", hash)
+	}
+}
+
+func TestFlatVsHotspotShape(t *testing.T) {
+	// Synthetic check of the Fig. 1 contrast logic: a flat profile needs
+	// many more functions to reach 65% than a hotspotted one.
+	flat := sim.NewMeter(sim.DefaultCostModel())
+	for i := 0; i < 200; i++ {
+		flat.AddUops(fmt.Sprintf("f%03d", i), sim.CatOther, 10)
+	}
+	hot := sim.NewMeter(sim.DefaultCostModel())
+	hot.AddUops("hot1", sim.CatOther, 800)
+	hot.AddUops("hot2", sim.CatOther, 100)
+	for i := 0; i < 50; i++ {
+		hot.AddUops(fmt.Sprintf("cold%02d", i), sim.CatOther, 2)
+	}
+	fp, hp := FromMeter(flat), FromMeter(hot)
+	if fp.FuncsForFrac(0.65) < 50 {
+		t.Errorf("flat profile should need many functions: %d", fp.FuncsForFrac(0.65))
+	}
+	if hp.FuncsForFrac(0.65) > 2 {
+		t.Errorf("hotspot profile should need few functions: %d", hp.FuncsForFrac(0.65))
+	}
+}

@@ -1,0 +1,233 @@
+package regex
+
+import (
+	"errors"
+	"sort"
+)
+
+// DFA is the compiled FSM table: the structure a software regexp engine
+// interprets character-at-a-time and whose state indexes the paper's
+// content reuse table stores as "Next FSM State" values (§4.5, Fig. 13).
+//
+// Bytes are first mapped through classOf into equivalence classes so the
+// transition table stays small.
+type DFA struct {
+	classOf  [256]uint16
+	nclasses int
+	trans    [][]int32 // [state][class] -> next state, Dead if none
+	accept   []bool
+}
+
+// Dead is the DFA's reject state index.
+const Dead int32 = -1
+
+// maxDFAStates bounds subset construction; the paper's application
+// regexps are small, so hitting this indicates a pathological pattern.
+const maxDFAStates = 8192
+
+var errTooManyStates = errors.New("regex: DFA state limit exceeded")
+
+// epsClosure expands a set of NFA states through epsilon edges in place.
+func epsClosure(n *nfa, set map[int]bool) {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.states[s].eps {
+			if !set[t] {
+				set[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+}
+
+func setKey(set map[int]bool) string {
+	ids := make([]int, 0, len(set))
+	for s := range set {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	key := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		key = append(key, byte(id), byte(id>>8), byte(id>>16))
+	}
+	return string(key)
+}
+
+// buildDFA performs subset construction over byte equivalence classes.
+func buildDFA(n *nfa) (*DFA, error) {
+	d := &DFA{}
+	d.computeClasses(n)
+
+	// Per-class charSet membership test: pick one representative byte.
+	repr := make([]byte, d.nclasses)
+	seen := make([]bool, d.nclasses)
+	for b := 0; b < 256; b++ {
+		c := d.classOf[b]
+		if !seen[c] {
+			seen[c] = true
+			repr[c] = byte(b)
+		}
+	}
+
+	startSet := map[int]bool{n.start: true}
+	epsClosure(n, startSet)
+
+	ids := map[string]int32{}
+	var sets []map[int]bool
+	add := func(set map[int]bool) (int32, error) {
+		key := setKey(set)
+		if id, ok := ids[key]; ok {
+			return id, nil
+		}
+		if len(sets) >= maxDFAStates {
+			return Dead, errTooManyStates
+		}
+		id := int32(len(sets))
+		ids[key] = id
+		sets = append(sets, set)
+		d.trans = append(d.trans, make([]int32, d.nclasses))
+		d.accept = append(d.accept, set[n.accept])
+		return id, nil
+	}
+
+	if _, err := add(startSet); err != nil {
+		return nil, err
+	}
+	for work := 0; work < len(sets); work++ {
+		cur := sets[work]
+		for c := 0; c < d.nclasses; c++ {
+			b := repr[c]
+			next := map[int]bool{}
+			for s := range cur {
+				for _, tr := range n.states[s].trans {
+					if tr.set.contains(b) {
+						next[tr.to] = true
+					}
+				}
+			}
+			if len(next) == 0 {
+				d.trans[work][c] = Dead
+				continue
+			}
+			epsClosure(n, next)
+			id, err := add(next)
+			if err != nil {
+				return nil, err
+			}
+			d.trans[work][c] = id
+		}
+	}
+	return d, nil
+}
+
+// computeClasses partitions bytes into equivalence classes: two bytes are
+// equivalent when every character set in the NFA treats them identically.
+func (d *DFA) computeClasses(n *nfa) {
+	// Signature per byte: membership bit per distinct charSet.
+	var sets []charSet
+	seen := map[charSet]bool{}
+	for _, st := range n.states {
+		for _, tr := range st.trans {
+			if !seen[tr.set] {
+				seen[tr.set] = true
+				sets = append(sets, tr.set)
+			}
+		}
+	}
+	sig := make([]string, 256)
+	buf := make([]byte, (len(sets)+7)/8)
+	for b := 0; b < 256; b++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i, s := range sets {
+			if s.contains(byte(b)) {
+				buf[i/8] |= 1 << (i % 8)
+			}
+		}
+		sig[b] = string(buf)
+	}
+	classIDs := map[string]uint16{}
+	for b := 0; b < 256; b++ {
+		id, ok := classIDs[sig[b]]
+		if !ok {
+			id = uint16(len(classIDs))
+			classIDs[sig[b]] = id
+		}
+		d.classOf[b] = id
+	}
+	d.nclasses = len(classIDs)
+}
+
+// Start returns the DFA start state.
+func (d *DFA) Start() int32 { return 0 }
+
+// Step advances the DFA by one input byte. Stepping from Dead stays Dead.
+func (d *DFA) Step(state int32, b byte) int32 {
+	if state == Dead {
+		return Dead
+	}
+	return d.trans[state][d.classOf[b]]
+}
+
+// Accepting reports whether the state is accepting.
+func (d *DFA) Accepting(state int32) bool {
+	return state != Dead && d.accept[state]
+}
+
+// NumStates returns the number of DFA states (the FSM table size).
+func (d *DFA) NumStates() int { return len(d.trans) }
+
+// Run consumes input from the given state, returning the final state.
+// This is the primitive the content reuse table builds on: running the
+// FSM over a remembered prefix yields the state to jump to (§4.5).
+func (d *DFA) Run(state int32, input []byte) int32 {
+	for _, b := range input {
+		state = d.Step(state, b)
+		if state == Dead {
+			return Dead
+		}
+	}
+	return state
+}
+
+// acceptsOnly reports whether some non-empty string drawn entirely from
+// allowed bytes reaches an accepting state. Content sifting uses the
+// negation: if no regular-bytes-only string can match, segments with no
+// special characters are safe to skip (§4.5).
+func (d *DFA) acceptsOnly(allowed func(byte) bool) bool {
+	visited := make([]bool, len(d.trans))
+	stack := []int32{0}
+	visited[0] = true
+	steps := 0
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for b := 0; b < 256; b++ {
+			if !allowed(byte(b)) {
+				continue
+			}
+			t := d.trans[s][d.classOf[b]]
+			if t == Dead {
+				continue
+			}
+			if d.accept[t] {
+				return true
+			}
+			if !visited[t] {
+				visited[t] = true
+				stack = append(stack, t)
+			}
+		}
+		steps++
+		if steps > maxDFAStates {
+			break
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package regex
+
+// Thompson NFA construction. Each AST node becomes a fragment with one
+// start state and one accept state connected by epsilon and character-set
+// transitions; the DFA subset construction in dfa.go consumes this.
+
+type nfaTrans struct {
+	set charSet
+	to  int
+}
+
+type nfaState struct {
+	eps   []int
+	trans []nfaTrans
+}
+
+type nfa struct {
+	states []nfaState
+	start  int
+	accept int
+}
+
+type nfaBuilder struct {
+	states []nfaState
+}
+
+func (b *nfaBuilder) newState() int {
+	b.states = append(b.states, nfaState{})
+	return len(b.states) - 1
+}
+
+func (b *nfaBuilder) eps(from, to int) {
+	b.states[from].eps = append(b.states[from].eps, to)
+}
+
+func (b *nfaBuilder) char(from int, set charSet, to int) {
+	b.states[from].trans = append(b.states[from].trans, nfaTrans{set: set, to: to})
+}
+
+// frag is an NFA fragment with single entry and exit states.
+type frag struct{ in, out int }
+
+func (b *nfaBuilder) build(n *node) frag {
+	switch n.kind {
+	case nEmpty:
+		s := b.newState()
+		return frag{s, s}
+	case nChar:
+		in, out := b.newState(), b.newState()
+		b.char(in, n.set, out)
+		return frag{in, out}
+	case nConcat:
+		f := b.build(n.subs[0])
+		for _, sub := range n.subs[1:] {
+			g := b.build(sub)
+			b.eps(f.out, g.in)
+			f.out = g.out
+		}
+		return f
+	case nAlt:
+		in, out := b.newState(), b.newState()
+		for _, sub := range n.subs {
+			g := b.build(sub)
+			b.eps(in, g.in)
+			b.eps(g.out, out)
+		}
+		return frag{in, out}
+	case nStar:
+		in, out := b.newState(), b.newState()
+		g := b.build(n.subs[0])
+		b.eps(in, g.in)
+		b.eps(in, out)
+		b.eps(g.out, g.in)
+		b.eps(g.out, out)
+		return frag{in, out}
+	case nPlus:
+		g := b.build(n.subs[0])
+		out := b.newState()
+		b.eps(g.out, g.in)
+		b.eps(g.out, out)
+		return frag{g.in, out}
+	case nQuest:
+		in, out := b.newState(), b.newState()
+		g := b.build(n.subs[0])
+		b.eps(in, g.in)
+		b.eps(in, out)
+		b.eps(g.out, out)
+		return frag{in, out}
+	default:
+		panic("regex: unknown node kind")
+	}
+}
+
+func buildNFA(root *node) *nfa {
+	b := &nfaBuilder{}
+	f := b.build(root)
+	return &nfa{states: b.states, start: f.in, accept: f.out}
+}

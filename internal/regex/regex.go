@@ -1,0 +1,280 @@
+package regex
+
+import (
+	"fmt"
+)
+
+// Observer receives cost events from regex operations so the simulation
+// can charge the software character-at-a-time scan cost.
+type Observer interface {
+	// OnScan fires after a match attempt scanned n input bytes.
+	OnScan(n int)
+	// OnCompile fires once per compilation with the FSM table size.
+	OnCompile(states int)
+}
+
+// Regex is a compiled pattern.
+type Regex struct {
+	pattern      string
+	dfa          *DFA
+	lbDFA        *DFA // fixed-length lookbehind assertion, or nil
+	lbLen        int
+	anchored     bool
+	endAnchored  bool
+	matchesEmpty bool
+	firstBytes   [256]bool
+	Obs          Observer
+}
+
+// Compile parses and compiles a pattern into its FSM table.
+func Compile(pattern string) (*Regex, error) {
+	p, err := parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	dfa, err := buildDFA(buildNFA(p.root))
+	if err != nil {
+		return nil, fmt.Errorf("%w (pattern %q)", err, pattern)
+	}
+	r := &Regex{
+		pattern:     pattern,
+		dfa:         dfa,
+		anchored:    p.anchored,
+		endAnchored: p.endAnchored,
+		lbLen:       p.lbLen,
+	}
+	if p.lookbehind != nil {
+		lb, err := buildDFA(buildNFA(p.lookbehind))
+		if err != nil {
+			return nil, fmt.Errorf("%w (lookbehind of %q)", err, pattern)
+		}
+		r.lbDFA = lb
+	}
+	r.matchesEmpty = dfa.Accepting(dfa.Start())
+	for b := 0; b < 256; b++ {
+		r.firstBytes[b] = dfa.Step(dfa.Start(), byte(b)) != Dead
+	}
+	return r, nil
+}
+
+// MustCompile is Compile that panics on error, for statically known
+// patterns in workloads and tests.
+func MustCompile(pattern string) *Regex {
+	r, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Pattern returns the source pattern.
+func (r *Regex) Pattern() string { return r.pattern }
+
+// FSM returns the compiled DFA ("FSM table").
+func (r *Regex) FSM() *DFA { return r.dfa }
+
+// NumStates returns the FSM table size.
+func (r *Regex) NumStates() int { return r.dfa.NumStates() }
+
+// Anchored reports whether the pattern begins with ^.
+func (r *Regex) Anchored() bool { return r.anchored }
+
+// MatchesEmpty reports whether the pattern matches the empty string.
+func (r *Regex) MatchesEmpty() bool { return r.matchesEmpty }
+
+// LookbehindLen returns the fixed length of the leading lookbehind
+// assertion, or 0.
+func (r *Regex) LookbehindLen() int { return r.lbLen }
+
+func (r *Regex) emitScan(n int) {
+	if r.Obs != nil {
+		r.Obs.OnScan(n)
+	}
+}
+
+// Match reports whether the pattern matches anywhere in input.
+func (r *Regex) Match(input []byte) bool {
+	s, _ := r.Find(input)
+	return s >= 0
+}
+
+// Find returns the leftmost-longest match [start, end) in input, or
+// (-1, -1). Cost: one Observer scan event covering the bytes examined.
+func (r *Regex) Find(input []byte) (start, end int) {
+	start, end, scanned := r.findFrom(input, 0)
+	r.emitScan(scanned)
+	return start, end
+}
+
+// FindFrom behaves like Find but starts the search at byte offset from.
+func (r *Regex) FindFrom(input []byte, from int) (start, end int) {
+	start, end, scanned := r.findFrom(input, from)
+	r.emitScan(scanned)
+	return start, end
+}
+
+// FindInRange returns the leftmost-longest match whose start position
+// lies in [from, to); the match itself may extend past to. The content
+// sifting shadow scan uses this to confine match attempts to candidate
+// windows around flagged segments.
+func (r *Regex) FindInRange(input []byte, from, to int) (start, end int) {
+	start, end, scanned := r.findBounded(input, from, to)
+	r.emitScan(scanned)
+	return start, end
+}
+
+// FindInRangeScanned is FindInRange that also returns the engine's
+// scanned-byte cost metric without emitting an observer event; callers
+// that batch many bounded searches into one logical scan aggregate the
+// costs themselves.
+func (r *Regex) FindInRangeScanned(input []byte, from, to int) (start, end, scanned int) {
+	return r.findBounded(input, from, to)
+}
+
+// findFrom implements the sequential search. It returns the bytes it
+// examined so the cost model can charge them. Matching the paper's
+// characterization of software engines as a character-at-a-time
+// sequential processing model (§4.5), every byte the scan passes over is
+// charged, including bytes consumed by the first-byte skip loop (the
+// skip only avoids re-walking the DFA, not touching the byte).
+func (r *Regex) findFrom(input []byte, from int) (int, int, int) {
+	return r.findBounded(input, from, len(input))
+}
+
+// findBounded is findFrom with match starts restricted to [from, to].
+func (r *Regex) findBounded(input []byte, from, to int) (int, int, int) {
+	scanned := 0
+	if from < 0 {
+		from = 0
+	}
+	if to > len(input) {
+		to = len(input)
+	}
+	for s := from; s <= to; s++ {
+		if r.anchored && s > 0 {
+			break
+		}
+		// First-byte skip: cheap scan while no match can start here.
+		// Anchored patterns must not slide the start position.
+		// The skip loop must not run past the caller's start bound:
+		// bounded searches (content sifting windows) would otherwise be
+		// charged for the bytes they exist to skip.
+		if !r.matchesEmpty && !r.anchored {
+			skipped := 0
+			for s < len(input) && s <= to && !r.firstBytes[input[s]] {
+				s++
+				skipped++
+			}
+			scanned += skipped
+			if s >= len(input) || s > to {
+				break
+			}
+		}
+		st := r.dfa.Start()
+		best := -1
+		if r.dfa.Accepting(st) && (!r.endAnchored || s == len(input)) {
+			best = s
+		}
+		for i := s; i < len(input); i++ {
+			st = r.dfa.Step(st, input[i])
+			scanned++
+			if st == Dead {
+				break
+			}
+			if r.dfa.Accepting(st) && (!r.endAnchored || i+1 == len(input)) {
+				best = i + 1
+			}
+		}
+		if best >= 0 && r.lookbehindOK(input, s) {
+			return s, best, scanned
+		}
+	}
+	return -1, -1, scanned
+}
+
+// lookbehindOK verifies the fixed-length lookbehind assertion against the
+// lbLen bytes preceding the match start.
+func (r *Regex) lookbehindOK(input []byte, start int) bool {
+	if r.lbDFA == nil {
+		return true
+	}
+	if start < r.lbLen {
+		return false
+	}
+	st := r.lbDFA.Run(r.lbDFA.Start(), input[start-r.lbLen:start])
+	return r.lbDFA.Accepting(st)
+}
+
+// MatchRange is one match occurrence.
+type MatchRange struct{ Start, End int }
+
+// FindAll returns all non-overlapping leftmost-longest matches.
+func (r *Regex) FindAll(input []byte) []MatchRange {
+	var out []MatchRange
+	pos := 0
+	total := 0
+	for pos <= len(input) {
+		s, e, scanned := r.findFrom(input, pos)
+		total += scanned
+		if s < 0 {
+			break
+		}
+		out = append(out, MatchRange{s, e})
+		if e == s { // empty match: advance to avoid looping
+			pos = s + 1
+		} else {
+			pos = e
+		}
+		if r.anchored {
+			break
+		}
+	}
+	r.emitScan(total)
+	return out
+}
+
+// ReplaceAll substitutes every match with repl, returning a fresh slice
+// and the number of replacements.
+func (r *Regex) ReplaceAll(input, repl []byte) ([]byte, int) {
+	ms := r.FindAll(input)
+	if len(ms) == 0 {
+		out := make([]byte, len(input))
+		copy(out, input)
+		return out, 0
+	}
+	var out []byte
+	prev := 0
+	for _, m := range ms {
+		out = append(out, input[prev:m.Start]...)
+		out = append(out, repl...)
+		prev = m.End
+	}
+	out = append(out, input[prev:]...)
+	return out, len(ms)
+}
+
+// RequiresSpecial reports whether every possible match must contain at
+// least one "special" character under the isRegular classification. A
+// true result makes the pattern eligible for content sifting: segments
+// containing only regular characters cannot contain a match and can be
+// skipped wholesale (§4.5).
+func (r *Regex) RequiresSpecial(isRegular func(byte) bool) bool {
+	if r.matchesEmpty {
+		return false
+	}
+	return !r.dfa.acceptsOnly(isRegular)
+}
+
+// CompileObserved compiles a pattern, attaches the observer, and reports
+// the FSM construction cost through it.
+func CompileObserved(pattern string, obs Observer) (*Regex, error) {
+	r, err := Compile(pattern)
+	if err != nil {
+		return nil, err
+	}
+	r.Obs = obs
+	if obs != nil {
+		obs.OnCompile(r.NumStates())
+	}
+	return r, nil
+}

@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mitigations selects which prior-work optimizations from §3 are applied.
+// The paper applies all four together to expose the fundamental dominant
+// activities before adding its own accelerators.
+type Mitigations struct {
+	// InlineCaching enables inline caching and hash map inlining, which
+	// specialize hash map accesses with static or predictable key names
+	// into offset accesses.
+	InlineCaching bool
+	// CheckedLoad enables hardware type checking in the cache subsystem.
+	CheckedLoad bool
+	// HardwareRefCount enables hardware-assisted reference counting.
+	HardwareRefCount bool
+	// TunedAllocator reduces kernel involvement in allocation slab refill.
+	TunedAllocator bool
+}
+
+// AllMitigations returns the §3 configuration with every prior-work
+// optimization applied.
+func AllMitigations() Mitigations {
+	return Mitigations{
+		InlineCaching:    true,
+		CheckedLoad:      true,
+		HardwareRefCount: true,
+		TunedAllocator:   true,
+	}
+}
+
+// FnStats aggregates the cost attributed to one leaf function.
+type FnStats struct {
+	Name     string
+	Category Category
+	Uops     float64 // micro-ops executed on the general-purpose core
+	AccelCyc float64 // cycles spent inside accelerator datapaths
+	AccelEng float64 // accelerator energy, pJ
+	Calls    int64
+}
+
+// Cycles returns the function's total cycle cost under the given model.
+func (f *FnStats) Cycles(m *CostModel) float64 {
+	return m.Cycles(f.Uops) + f.AccelCyc
+}
+
+// Energy returns the function's total energy in picojoules.
+func (f *FnStats) Energy(m *CostModel) float64 {
+	return f.Uops*m.EnergyPerUop + f.AccelEng
+}
+
+// Meter accumulates simulation cost, attributed to leaf functions and
+// activity categories. It is the Go analogue of the paper's trace-driven
+// simulator counters. Meter is not safe for concurrent use; each simulated
+// core owns one.
+type Meter struct {
+	Model CostModel
+	Mit   Mitigations
+
+	fns map[fnKey]*FnStats
+
+	accelCycles [numAccelKinds]float64
+	accelEnergy [numAccelKinds]float64
+	accelCalls  [numAccelKinds]int64
+}
+
+// fnKey separates attribution by function and category: a leaf function
+// that performs work in more than one activity (a VM helper that both
+// walks a hash map and allocates) gets one row per activity, keeping the
+// category breakdowns (Figs. 4, 5, 15) exact.
+type fnKey struct {
+	name string
+	cat  Category
+}
+
+// NewMeter returns a Meter using the given cost model.
+func NewMeter(model CostModel) *Meter {
+	return &Meter{Model: model, fns: make(map[fnKey]*FnStats)}
+}
+
+// Reset clears all accumulated statistics but keeps the model and
+// mitigation configuration.
+func (mt *Meter) Reset() {
+	mt.fns = make(map[fnKey]*FnStats)
+	mt.accelCycles = [numAccelKinds]float64{}
+	mt.accelEnergy = [numAccelKinds]float64{}
+	mt.accelCalls = [numAccelKinds]int64{}
+}
+
+func (mt *Meter) fn(name string, cat Category) *FnStats {
+	k := fnKey{name, cat}
+	f := mt.fns[k]
+	if f == nil {
+		f = &FnStats{Name: name, Category: cat}
+		mt.fns[k] = f
+	}
+	return f
+}
+
+// AddUops charges uops micro-ops of core work to the named leaf function.
+func (mt *Meter) AddUops(name string, cat Category, uops float64) {
+	f := mt.fn(name, cat)
+	f.Uops += uops
+	f.Calls++
+}
+
+// AddAccel charges cycles of accelerator datapath time (and the matching
+// energy) to the named leaf function and the per-accelerator totals.
+func (mt *Meter) AddAccel(name string, cat Category, kind AccelKind, cycles float64) {
+	f := mt.fn(name, cat)
+	eng := cycles * mt.Model.EnergyPerAccelCycle[kind]
+	f.AccelCyc += cycles
+	f.AccelEng += eng
+	f.Calls++
+	mt.accelCycles[kind] += cycles
+	mt.accelEnergy[kind] += eng
+	mt.accelCalls[kind]++
+}
+
+// AddRefCount charges n reference count operations, honoring the hardware
+// reference counting mitigation.
+func (mt *Meter) AddRefCount(n int) {
+	if n <= 0 || mt.Mit.HardwareRefCount {
+		return
+	}
+	mt.AddUops("refcount_helper", CatRefCount, float64(n)*mt.Model.RefCountUops)
+}
+
+// AddTypeCheck charges n dynamic type checks, honoring the checked-load
+// mitigation.
+func (mt *Meter) AddTypeCheck(n int) {
+	if n <= 0 || mt.Mit.CheckedLoad {
+		return
+	}
+	mt.AddUops("type_check", CatTypeCheck, float64(n)*mt.Model.TypeCheckUops)
+}
+
+// TotalUops returns the total micro-ops executed on the core.
+func (mt *Meter) TotalUops() float64 {
+	var t float64
+	for _, f := range mt.fns {
+		t += f.Uops
+	}
+	return t
+}
+
+// TotalCycles returns core cycles plus accelerator cycles.
+func (mt *Meter) TotalCycles() float64 {
+	var t float64
+	for _, f := range mt.fns {
+		t += f.Cycles(&mt.Model)
+	}
+	return t
+}
+
+// TotalEnergy returns total energy in picojoules.
+func (mt *Meter) TotalEnergy() float64 {
+	var t float64
+	for _, f := range mt.fns {
+		t += f.Energy(&mt.Model)
+	}
+	return t
+}
+
+// CategoryCycles returns the cycle total attributed to each category.
+func (mt *Meter) CategoryCycles() map[Category]float64 {
+	out := make(map[Category]float64, int(numCategories))
+	for _, f := range mt.fns {
+		out[f.Category] += f.Cycles(&mt.Model)
+	}
+	return out
+}
+
+// AccelCycles returns the datapath cycles spent in the given accelerator.
+func (mt *Meter) AccelCycles(kind AccelKind) float64 { return mt.accelCycles[kind] }
+
+// AccelCalls returns the number of invocations of the given accelerator.
+func (mt *Meter) AccelCalls(kind AccelKind) int64 { return mt.accelCalls[kind] }
+
+// Functions returns per-function statistics sorted by descending cycles.
+func (mt *Meter) Functions() []*FnStats {
+	out := make([]*FnStats, 0, len(mt.fns))
+	for _, f := range mt.fns {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := out[i].Cycles(&mt.Model), out[j].Cycles(&mt.Model)
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Report renders a human-readable per-category summary, used by cmd/phpsim.
+func (mt *Meter) Report() string {
+	var b strings.Builder
+	total := mt.TotalCycles()
+	fmt.Fprintf(&b, "total cycles: %.0f  total uops: %.0f  energy: %.1f uJ\n",
+		total, mt.TotalUops(), mt.TotalEnergy()/1e6)
+	cc := mt.CategoryCycles()
+	for _, c := range Categories() {
+		if cc[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s %12.0f cycles (%5.2f%%)\n", c, cc[c], 100*cc[c]/total)
+	}
+	return b.String()
+}

@@ -1,0 +1,212 @@
+// Package trace defines the operation trace that drives the simulator,
+// mirroring the paper's trace-driven evaluation methodology (§5.1). The
+// VM records one event per runtime activity (hash map access, heap
+// operation, string function, regexp scan); the experiments replay or
+// aggregate these traces, and cmd/tracedump decodes them for inspection.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind is the event type.
+type Kind uint8
+
+const (
+	KindHashGet Kind = iota
+	KindHashSet
+	KindHashDelete
+	KindHashIterate
+	KindAlloc
+	KindFree
+	KindStringOp
+	KindRegexScan
+	KindRequest // request boundary marker
+
+	numKinds
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHashGet:
+		return "hash-get"
+	case KindHashSet:
+		return "hash-set"
+	case KindHashDelete:
+		return "hash-delete"
+	case KindHashIterate:
+		return "hash-iterate"
+	case KindAlloc:
+		return "alloc"
+	case KindFree:
+		return "free"
+	case KindStringOp:
+		return "string-op"
+	case KindRegexScan:
+		return "regex-scan"
+	case KindRequest:
+		return "request"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one traced runtime operation. Field meaning varies by kind:
+//
+//	hash ops:   A = map ID, B = key length, C = 1 if dynamic key
+//	alloc/free: A = address, B = size
+//	string op:  A = strlib op code, B = subject bytes
+//	regex scan: A = regexp PC (pattern identity), B = bytes scanned
+//	request:    A = request sequence number
+type Event struct {
+	Kind Kind
+	Fn   string // leaf function attribution
+	A    uint64
+	B    uint64
+	C    uint64
+}
+
+// Recorder collects events in memory with an optional capacity bound
+// (0 = unbounded). When bounded it keeps the most recent events.
+type Recorder struct {
+	cap    int
+	events []Event
+	total  int64
+	start  int
+}
+
+// NewRecorder creates a recorder holding at most capacity events
+// (0 for unbounded).
+func NewRecorder(capacity int) *Recorder {
+	return &Recorder{cap: capacity}
+}
+
+// Record appends an event.
+func (r *Recorder) Record(e Event) {
+	r.total++
+	if r.cap <= 0 {
+		r.events = append(r.events, e)
+		return
+	}
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.start] = e
+	r.start = (r.start + 1) % r.cap
+}
+
+// Total returns the number of events ever recorded.
+func (r *Recorder) Total() int64 { return r.total }
+
+// Events returns the retained events in record order.
+func (r *Recorder) Events() []Event {
+	if r.cap <= 0 || len(r.events) < r.cap {
+		return append([]Event(nil), r.events...)
+	}
+	out := make([]Event, 0, r.cap)
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.start = 0
+	r.total = 0
+}
+
+const magic = "PHPT1\n"
+
+// Write encodes events to w in the binary trace format.
+func Write(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(events))); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(e.Fn))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(e.Fn); err != nil {
+			return err
+		}
+		for _, v := range [3]uint64{e.A, e.B, e.C} {
+			if err := putUvarint(v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace previously encoded with Write.
+func Read(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if string(head) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxEvents = 1 << 28
+	if n > maxEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", n)
+	}
+	events := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e Event
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if Kind(kb) >= numKinds {
+			return nil, fmt.Errorf("trace: bad kind %d", kb)
+		}
+		e.Kind = Kind(kb)
+		fl, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if fl > 1<<16 {
+			return nil, fmt.Errorf("trace: implausible function name length %d", fl)
+		}
+		fn := make([]byte, fl)
+		if _, err := io.ReadFull(br, fn); err != nil {
+			return nil, err
+		}
+		e.Fn = string(fn)
+		for _, dst := range [3]*uint64{&e.A, &e.B, &e.C} {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			*dst = v
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Errorf("out-of-range kind should be unknown")
+	}
+}
+
+func TestRecorderUnbounded(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 100; i++ {
+		r.Record(Event{Kind: KindAlloc, A: uint64(i)})
+	}
+	ev := r.Events()
+	if len(ev) != 100 || r.Total() != 100 {
+		t.Fatalf("len=%d total=%d", len(ev), r.Total())
+	}
+	if ev[42].A != 42 {
+		t.Errorf("order broken: %v", ev[42])
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 20; i++ {
+		r.Record(Event{Kind: KindFree, A: uint64(i)})
+	}
+	ev := r.Events()
+	if len(ev) != 8 {
+		t.Fatalf("ring kept %d events, want 8", len(ev))
+	}
+	for i, e := range ev {
+		if e.A != uint64(12+i) {
+			t.Errorf("ring event %d = %d, want %d", i, e.A, 12+i)
+		}
+	}
+	if r.Total() != 20 {
+		t.Errorf("Total = %d, want 20", r.Total())
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(Event{})
+	r.Reset()
+	if len(r.Events()) != 0 || r.Total() != 0 {
+		t.Errorf("Reset incomplete")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: KindRequest, Fn: "main", A: 1},
+		{Kind: KindHashGet, Fn: "zend_hash_find", A: 77, B: 12, C: 1},
+		{Kind: KindAlloc, Fn: "smart_malloc", A: 0x10000, B: 64},
+		{Kind: KindStringOp, Fn: "strtoupper", A: 4, B: 1024},
+		{Kind: KindRegexScan, Fn: "pcre_exec", A: 9, B: 4096},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("expected empty trace, got %d events", len(got))
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOTATRACE")); err == nil {
+		t.Errorf("bad magic should fail")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	events := []Event{{Kind: KindAlloc, Fn: "f", A: 1, B: 2, C: 3}}
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full)-1; cut++ {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated at %d should fail", cut)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(kinds []uint8, fn string, a, b, c uint64) bool {
+		var events []Event
+		for _, k := range kinds {
+			events = append(events, Event{
+				Kind: Kind(k % uint8(numKinds)),
+				Fn:   fn,
+				A:    a, B: b, C: c,
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, events); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(events) {
+			return false
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+package uarch
+
+// RAS is a return address stack: the structure that predicts return
+// targets so they never burden the BTB. The model includes the classic
+// failure mode — overflow on deep call chains wraps around and corrupts
+// the oldest entries.
+type RAS struct {
+	stack []uint64
+	top   int // index of next push slot
+	depth int // live entries (<= cap)
+
+	Pushes      int64
+	Pops        int64
+	Mispredicts int64 // popped target != actual return target
+	Underflows  int64
+}
+
+// NewRAS builds a return address stack with the given capacity
+// (16 entries is typical of server cores).
+func NewRAS(entries int) *RAS {
+	if entries <= 0 {
+		entries = 16
+	}
+	return &RAS{stack: make([]uint64, entries)}
+}
+
+// Push records a call's return address.
+func (r *RAS) Push(returnAddr uint64) {
+	r.Pushes++
+	r.stack[r.top] = returnAddr
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+	// else: overflow silently overwrote the oldest entry
+}
+
+// Pop predicts a return target and checks it against the actual one.
+// It returns the prediction (0 on underflow).
+func (r *RAS) Pop(actual uint64) uint64 {
+	r.Pops++
+	if r.depth == 0 {
+		r.Underflows++
+		r.Mispredicts++
+		return 0
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	pred := r.stack[r.top]
+	if pred != actual {
+		r.Mispredicts++
+	}
+	return pred
+}
+
+// MispredictRate returns the fraction of pops that mispredicted.
+func (r *RAS) MispredictRate() float64 {
+	if r.Pops == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.Pops)
+}
+
+// ITTAGE is a tagged geometric-history indirect target predictor — the
+// class of front-end improvement the paper's §2 points to for the
+// megamorphic dispatch sites that defeat a plain BTB. A base table
+// (last-target per site) is backed by tagged tables indexed with
+// progressively longer global path history.
+type ITTAGE struct {
+	base      map[uint64]uint64 // site pc -> last target
+	tbls      []ittageTable
+	phist     uint64 // path history of recent indirect targets
+	allocTick uint64 // round-robin allocation cursor
+
+	Lookups     int64
+	Mispredicts int64
+}
+
+type ittageTable struct {
+	histLen int
+	entries []ittageEntry
+	mask    uint32
+}
+
+type ittageEntry struct {
+	tag    uint16
+	target uint64
+	conf   int8 // confidence counter
+}
+
+// ITTAGEConfig sizes the predictor.
+type ITTAGEConfig struct {
+	TableEntries int
+	HistLens     []int
+}
+
+// DefaultITTAGEConfig returns a small, server-core-sized predictor.
+func DefaultITTAGEConfig() ITTAGEConfig {
+	return ITTAGEConfig{TableEntries: 1024, HistLens: []int{1, 2, 3, 6}}
+}
+
+// NewITTAGE builds the predictor.
+func NewITTAGE(cfg ITTAGEConfig) *ITTAGE {
+	if cfg.TableEntries <= 0 {
+		cfg = DefaultITTAGEConfig()
+	}
+	it := &ITTAGE{base: make(map[uint64]uint64)}
+	for _, hl := range cfg.HistLens {
+		it.tbls = append(it.tbls, ittageTable{
+			histLen: hl,
+			entries: make([]ittageEntry, cfg.TableEntries),
+			mask:    uint32(cfg.TableEntries - 1),
+		})
+	}
+	return it
+}
+
+// fold compresses the last histLen targets (8 bits each) of path history
+// into 16 bits. Masking to the table's history length is what gives the
+// short tables their generalization: the shortest table keys on just the
+// previous target, exactly the context a dispatch-loop transition needs.
+func (it *ITTAGE) fold(histLen int) uint32 {
+	bits := uint(histLen * 8)
+	h := it.phist
+	if bits < 64 {
+		h &= (1 << bits) - 1
+	}
+	var f uint32
+	for h != 0 {
+		f ^= uint32(h) & 0xffff
+		h >>= 16
+	}
+	return f
+}
+
+func (it *ITTAGE) index(ti int, pc uint64) uint32 {
+	t := &it.tbls[ti]
+	return (uint32(pc>>3) ^ it.fold(t.histLen)*2654435761 ^ uint32(ti)<<7) & t.mask
+}
+
+func (it *ITTAGE) tag(ti int, pc uint64) uint16 {
+	return uint16((pc>>3)^uint64(it.fold(it.tbls[ti].histLen))*31^uint64(ti)<<11) | 1
+}
+
+// PredictAndUpdate predicts the target of the indirect branch at pc,
+// trains on the actual target, and reports whether the prediction was
+// correct.
+func (it *ITTAGE) PredictAndUpdate(pc, actual uint64) bool {
+	it.Lookups++
+	// Longest matching tagged table provides.
+	provider := -1
+	var pidx uint32
+	for i := len(it.tbls) - 1; i >= 0; i-- {
+		idx := it.index(i, pc)
+		if it.tbls[i].entries[idx].tag == it.tag(i, pc) {
+			provider = i
+			pidx = idx
+			break
+		}
+	}
+	var pred uint64
+	if provider >= 0 {
+		pred = it.tbls[provider].entries[pidx].target
+	} else {
+		pred = it.base[pc]
+	}
+	correct := pred == actual
+	if !correct {
+		it.Mispredicts++
+	}
+
+	// Train.
+	if provider >= 0 {
+		e := &it.tbls[provider].entries[pidx]
+		if e.target == actual {
+			if e.conf < 7 {
+				e.conf++
+			}
+		} else {
+			if e.conf > 0 {
+				e.conf--
+			} else {
+				e.target = actual
+				e.conf = 1
+			}
+		}
+	}
+	it.base[pc] = actual
+	if !correct && provider < len(it.tbls)-1 {
+		// Allocate in ONE longer-history table (round-robin), decaying
+		// only that slot if it is still useful. Allocating or decaying
+		// everywhere would let irreducible mispredictions churn out the
+		// entries that are doing their job.
+		it.allocTick++
+		span := len(it.tbls) - provider - 1
+		i := provider + 1 + int(it.allocTick%uint64(span))
+		idx := it.index(i, pc)
+		e := &it.tbls[i].entries[idx]
+		if e.conf <= 0 {
+			e.tag = it.tag(i, pc)
+			e.target = actual
+			e.conf = 1
+		} else {
+			e.conf--
+		}
+	}
+	// Path history: fold in a hash of the target so that targets
+	// differing only in high bits still produce distinct history.
+	h := actual * 0x9e3779b97f4a7c15
+	it.phist = it.phist<<8 | (h>>56)&0xff
+	return correct
+}
+
+// MispredictRate returns the per-lookup misprediction rate.
+func (it *ITTAGE) MispredictRate() float64 {
+	if it.Lookups == 0 {
+		return 0
+	}
+	return float64(it.Mispredicts) / float64(it.Lookups)
+}

@@ -1,0 +1,148 @@
+package uarch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRASBalancedCallsNeverMiss(t *testing.T) {
+	r := NewRAS(16)
+	for depth := 0; depth < 12; depth++ {
+		r.Push(uint64(0x1000 + depth*8))
+	}
+	for depth := 11; depth >= 0; depth-- {
+		if got := r.Pop(uint64(0x1000 + depth*8)); got != uint64(0x1000+depth*8) {
+			t.Fatalf("pop at depth %d predicted %#x", depth, got)
+		}
+	}
+	if r.Mispredicts != 0 {
+		t.Errorf("balanced call tree should not mispredict: %d", r.Mispredicts)
+	}
+}
+
+func TestRASOverflowCorruptsOldEntries(t *testing.T) {
+	r := NewRAS(4)
+	for i := 0; i < 8; i++ { // overflows by 4
+		r.Push(uint64(0x2000 + i*8))
+	}
+	// The newest 4 survive...
+	for i := 7; i >= 4; i-- {
+		if got := r.Pop(uint64(0x2000 + i*8)); got != uint64(0x2000+i*8) {
+			t.Fatalf("recent entry %d corrupted: %#x", i, got)
+		}
+	}
+	// ...the older 4 were overwritten: pops underflow or mispredict.
+	before := r.Mispredicts
+	for i := 3; i >= 0; i-- {
+		r.Pop(uint64(0x2000 + i*8))
+	}
+	if r.Mispredicts == before {
+		t.Errorf("overflowed entries should mispredict")
+	}
+}
+
+func TestRASUnderflow(t *testing.T) {
+	r := NewRAS(8)
+	if got := r.Pop(0x42); got != 0 {
+		t.Errorf("underflow pop should predict 0, got %#x", got)
+	}
+	if r.Underflows != 1 || r.MispredictRate() != 1 {
+		t.Errorf("underflow not counted: %+v", r)
+	}
+}
+
+func TestITTAGEMonomorphicSite(t *testing.T) {
+	it := NewITTAGE(DefaultITTAGEConfig())
+	miss := 0
+	for i := 0; i < 1000; i++ {
+		if !it.PredictAndUpdate(0x7f0000, 0x400100) {
+			miss++
+		}
+	}
+	if miss > 2 {
+		t.Errorf("monomorphic site missed %d times, want ~1 (cold)", miss)
+	}
+}
+
+func TestITTAGELearnsPathCorrelatedTargets(t *testing.T) {
+	// A dispatch site whose target depends on the previous target — the
+	// pattern path history captures and a plain BTB cannot.
+	it := NewITTAGE(DefaultITTAGEConfig())
+	targets := []uint64{0x400100, 0x400200, 0x400300}
+	miss := 0
+	cur := 0
+	for i := 0; i < 6000; i++ {
+		next := (cur + 1) % len(targets) // deterministic rotation
+		ok := it.PredictAndUpdate(0x7f0008, targets[next])
+		if i > 2000 && !ok {
+			miss++
+		}
+		cur = next
+	}
+	rate := float64(miss) / 4000
+	if rate > 0.10 {
+		t.Errorf("rotating-target miss rate %0.3f after warmup, want < 0.10", rate)
+	}
+}
+
+func TestITTAGEBeatsLastTargetOnAlternation(t *testing.T) {
+	// Alternating targets defeat a last-target BTB (100% miss) but are
+	// trivially path-predictable.
+	it := NewITTAGE(DefaultITTAGEConfig())
+	miss := 0
+	for i := 0; i < 4000; i++ {
+		tgt := uint64(0x400100)
+		if i%2 == 1 {
+			tgt = 0x400200
+		}
+		if !it.PredictAndUpdate(0x7f0010, tgt) && i > 1000 {
+			miss++
+		}
+	}
+	if rate := float64(miss) / 3000; rate > 0.15 {
+		t.Errorf("alternating targets miss rate %0.3f, want well under 0.5 (last-target)", rate)
+	}
+}
+
+func TestITTAGERandomTargetsNearChance(t *testing.T) {
+	it := NewITTAGE(DefaultITTAGEConfig())
+	rng := rand.New(rand.NewSource(5))
+	targets := []uint64{0x1, 0x2, 0x3, 0x4}
+	for i := 0; i < 4000; i++ {
+		it.PredictAndUpdate(0x7f0018, targets[rng.Intn(4)])
+	}
+	if r := it.MispredictRate(); r < 0.5 {
+		t.Errorf("uniform random over 4 targets should miss >= 50%%: %0.3f", r)
+	}
+}
+
+func TestCharacterizeWithITTAGEReducesBubbles(t *testing.T) {
+	cfg := DefaultCharacterizeConfig()
+	cfg.Instructions = 1_000_000
+	base := Characterize(PHPProfile("wordpress"), cfg)
+
+	cfg.WithITTAGE = true
+	ext := Characterize(PHPProfile("wordpress"), cfg)
+
+	if ext.Stats.BTBMissPKI > base.Stats.BTBMissPKI {
+		t.Errorf("ITTAGE should not increase front-end bubbles: %0.3f vs %0.3f",
+			ext.Stats.BTBMissPKI, base.Stats.BTBMissPKI)
+	}
+	if base.Stats.IndirectPerKI <= 0 {
+		t.Errorf("workload should contain indirect dispatch")
+	}
+	if ext.Stats.ITTAGEMiss >= base.Stats.IndirectBTBMiss {
+		t.Errorf("ITTAGE should beat the BTB on dispatch sites: %0.3f vs %0.3f",
+			ext.Stats.ITTAGEMiss, base.Stats.IndirectBTBMiss)
+	}
+}
+
+func TestCharacterizeRASBehavesWell(t *testing.T) {
+	cfg := DefaultCharacterizeConfig()
+	cfg.Instructions = 800_000
+	ch := Characterize(PHPProfile("wordpress"), cfg)
+	// Returns are overwhelmingly predicted; only deep chains overflow.
+	if ch.Stats.RASMispredicts > 0.25 {
+		t.Errorf("RAS mispredict rate %0.3f implausibly high", ch.Stats.RASMispredicts)
+	}
+}

@@ -1,0 +1,244 @@
+// Package vm is the PHP-like runtime the workloads execute on — the Go
+// stand-in for HHVM in the paper's evaluation stack. It binds the
+// software substrates (dynamic values, ordered hash maps, slab heap,
+// string library, regex engine) and the four accelerators behind one
+// Runtime API, meters every operation through the trace-driven cost
+// model, and records an operation trace.
+//
+// The accelerators are semantically invisible by design principle (a) of
+// §4.1: a Runtime with every accelerator enabled renders byte-identical
+// output to a software-only Runtime (modulo the whitespace padding that
+// content sifting is explicitly allowed to insert by the HTML spec).
+package vm
+
+import (
+	"repro/internal/hashmap"
+	"repro/internal/heap"
+	"repro/internal/isa"
+	"repro/internal/phpval"
+	"repro/internal/regex"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config assembles a Runtime.
+type Config struct {
+	// Features selects the accelerators (zero = software-only core).
+	Features isa.Features
+	// Mitigations selects the §3 prior-work optimizations.
+	Mitigations sim.Mitigations
+	// Model is the cost model; zero value selects the default.
+	Model sim.CostModel
+	// TraceCapacity bounds the in-memory operation trace (0 = unbounded,
+	// -1 = tracing disabled).
+	TraceCapacity int
+	// HeapSampleEvery sets the allocator timeline sampling period for
+	// Fig. 8 (0 disables).
+	HeapSampleEvery int
+}
+
+// Runtime is one simulated PHP execution context (one worker).
+type Runtime struct {
+	cpu *isa.CPU
+	rec *trace.Recorder
+
+	regexMgr   *hashmap.Map // the regexp manager's pattern -> FSM hash map
+	requestSeq uint64
+}
+
+// New builds a Runtime.
+func New(cfg Config) *Runtime {
+	if cfg.Model.IPC == 0 {
+		cfg.Model = sim.DefaultCostModel()
+	}
+	meter := sim.NewMeter(cfg.Model)
+	meter.Mit = cfg.Mitigations
+	cpu := isa.New(meter, cfg.Features, cfg.HeapSampleEvery)
+	r := &Runtime{cpu: cpu}
+	if cfg.TraceCapacity >= 0 {
+		r.rec = trace.NewRecorder(cfg.TraceCapacity)
+	}
+	r.regexMgr = cpu.NewMap()
+	return r
+}
+
+// CPU exposes the simulated core.
+func (r *Runtime) CPU() *isa.CPU { return r.cpu }
+
+// Meter exposes the cost meter.
+func (r *Runtime) Meter() *sim.Meter { return r.cpu.Meter }
+
+// Trace returns the recorded operation trace (nil if disabled).
+func (r *Runtime) Trace() *trace.Recorder { return r.rec }
+
+func (r *Runtime) record(e trace.Event) {
+	if r.rec != nil {
+		r.rec.Record(e)
+	}
+}
+
+// BeginRequest marks a request boundary in the trace and returns its
+// sequence number.
+func (r *Runtime) BeginRequest() uint64 {
+	r.requestSeq++
+	r.record(trace.Event{Kind: trace.KindRequest, Fn: "request", A: r.requestSeq})
+	return r.requestSeq
+}
+
+// ContextSwitch models preemption of this worker (accelerator flush
+// protocol, §4.6).
+func (r *Runtime) ContextSwitch() { r.cpu.ContextSwitch() }
+
+// RemoteTouch models another core accessing the array's memory: the
+// hardware hash table gives up its cached entries so the remote reader
+// observes a coherent software map (§4.1 design principle e / §4.2).
+func (r *Runtime) RemoteTouch(fn string, a *Array) {
+	r.cpu.RemoteCoherence(fn, a.m)
+}
+
+// --- Arrays (PHP hash maps) ---
+
+// Array is a PHP array handle: the ordered hash map plus its heap
+// allocation.
+type Array struct {
+	m     *hashmap.Map
+	block heap.Block
+	freed bool
+}
+
+// Map exposes the underlying ordered hash map.
+func (a *Array) Map() *hashmap.Map { return a.m }
+
+// Size returns the number of live pairs.
+func (a *Array) Size() int { return a.m.Size() }
+
+// NewArray allocates a PHP array (the map structure itself comes from the
+// heap, as in the VM).
+func (r *Runtime) NewArray(fn string) *Array {
+	b := r.cpu.Malloc(fn, 96) // MixedArray header-sized allocation
+	a := &Array{m: r.cpu.NewMap(), block: b}
+	r.record(trace.Event{Kind: trace.KindAlloc, Fn: fn, A: b.Addr, B: uint64(b.Size)})
+	return a
+}
+
+// FreeArray deallocates the array: the accelerator invalidates its
+// entries through the RTT and the heap reclaims the structure.
+func (r *Runtime) FreeArray(fn string, a *Array) {
+	if a.freed {
+		panic("vm: double free of array")
+	}
+	a.freed = true
+	r.record(trace.Event{Kind: trace.KindFree, Fn: fn, A: a.block.Addr, B: uint64(a.block.Size)})
+	r.cpu.HashFree(fn, a.m)
+	r.cpu.Free(fn, a.block)
+}
+
+// AGet reads a key. dynamic marks dynamic key names that software methods
+// cannot specialize (§4.2).
+func (r *Runtime) AGet(fn string, a *Array, k hashmap.Key, dynamic bool) (interface{}, bool) {
+	v, ok := r.cpu.HashGet(fn, a.m, k, !dynamic)
+	dyn := uint64(0)
+	if dynamic {
+		dyn = 1
+	}
+	r.record(trace.Event{Kind: trace.KindHashGet, Fn: fn, A: a.m.ID(), B: uint64(k.Len()), C: dyn})
+	return v, ok
+}
+
+// ASet writes a key.
+func (r *Runtime) ASet(fn string, a *Array, k hashmap.Key, v interface{}, dynamic bool) {
+	r.cpu.HashSet(fn, a.m, k, v, !dynamic)
+	dyn := uint64(0)
+	if dynamic {
+		dyn = 1
+	}
+	r.record(trace.Event{Kind: trace.KindHashSet, Fn: fn, A: a.m.ID(), B: uint64(k.Len()), C: dyn})
+}
+
+// ADelete removes a key (PHP unset).
+func (r *Runtime) ADelete(fn string, a *Array, k hashmap.Key) bool {
+	r.record(trace.Event{Kind: trace.KindHashDelete, Fn: fn, A: a.m.ID(), B: uint64(k.Len())})
+	return r.cpu.HashDelete(fn, a.m, k)
+}
+
+// AForeach iterates in insertion order (PHP foreach).
+func (r *Runtime) AForeach(fn string, a *Array, f func(k hashmap.Key, v interface{}) bool) {
+	r.record(trace.Event{Kind: trace.KindHashIterate, Fn: fn, A: a.m.ID()})
+	r.cpu.HashForeach(fn, a.m, f)
+}
+
+// Extract implements the PHP extract command: it imports every key/value
+// pair of src into the symbol table dst using dynamic key names — the
+// access pattern the paper highlights as unspecializable in software.
+func (r *Runtime) Extract(fn string, dst *Array, src *Array) int {
+	n := 0
+	r.AForeach(fn, src, func(k hashmap.Key, v interface{}) bool {
+		r.ASet(fn, dst, k, v, true)
+		n++
+		return true
+	})
+	return n
+}
+
+// --- Strings (counted, heap-backed) ---
+
+// Str is a PHP string handle: counted bytes plus the heap block backing
+// them.
+type Str struct {
+	val   *phpval.Str
+	block heap.Block
+	freed bool
+}
+
+// Bytes exposes the string contents.
+func (s *Str) Bytes() []byte { return s.val.Bytes }
+
+// Len returns the byte length.
+func (s *Str) Len() int { return s.val.Len() }
+
+// NewStr allocates a PHP string object holding b (not copied).
+func (r *Runtime) NewStr(fn string, b []byte) *Str {
+	size := len(b) + 16 // header + payload
+	blk := r.cpu.Malloc(fn, size)
+	r.record(trace.Event{Kind: trace.KindAlloc, Fn: fn, A: blk.Addr, B: uint64(size)})
+	return &Str{val: phpval.NewStr(b), block: blk}
+}
+
+// FreeStr releases a string object.
+func (r *Runtime) FreeStr(fn string, s *Str) {
+	if s.freed {
+		panic("vm: double free of string")
+	}
+	s.freed = true
+	r.record(trace.Event{Kind: trace.KindFree, Fn: fn, A: s.block.Addr, B: uint64(s.block.Size)})
+	r.cpu.Free(fn, s.block)
+}
+
+// --- Regex manager ---
+
+// Regex compiles (or fetches from the regexp manager's hash map) a
+// pattern. The manager shares patterns and FSM tables with other
+// functions through a hash map accessed with dynamic key names (§4.2);
+// that lookup is attributed to the manager itself, the compile to the
+// caller.
+func (r *Runtime) Regex(fn, pattern string) (*regex.Regex, error) {
+	const mgrFn = "regex_cache_lookup"
+	if v, ok := r.cpu.HashGet(mgrFn, r.regexMgr, hashmap.StrKey(pattern), true); ok {
+		return v.(*regex.Regex), nil
+	}
+	re, err := r.cpu.RegexCompile(fn, pattern)
+	if err != nil {
+		return nil, err
+	}
+	r.cpu.HashSet(mgrFn, r.regexMgr, hashmap.StrKey(pattern), re, true)
+	return re, nil
+}
+
+// MustRegex is Regex for statically known patterns.
+func (r *Runtime) MustRegex(fn, pattern string) *regex.Regex {
+	re, err := r.Regex(fn, pattern)
+	if err != nil {
+		panic(err)
+	}
+	return re
+}

@@ -1,0 +1,322 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashmap"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func swRuntime() *Runtime {
+	return New(Config{})
+}
+
+func hwRuntime() *Runtime {
+	return New(Config{Features: isa.AllAccelerators(), Mitigations: sim.AllMitigations()})
+}
+
+func TestArrayLifecycle(t *testing.T) {
+	r := hwRuntime()
+	a := r.NewArray("f")
+	r.ASet("f", a, hashmap.StrKey("k"), []byte("v"), true)
+	if v, ok := r.AGet("f", a, hashmap.StrKey("k"), true); !ok || string(v.([]byte)) != "v" {
+		t.Errorf("AGet = %v %v", v, ok)
+	}
+	if !r.ADelete("f", a, hashmap.StrKey("k")) {
+		// With the hardware hash table a silent SET lives only in hardware;
+		// Delete still must make it unobservable.
+		if _, ok := r.AGet("f", a, hashmap.StrKey("k"), true); ok {
+			t.Errorf("deleted key visible")
+		}
+	}
+	r.FreeArray("f", a)
+}
+
+func TestFreeArrayPanicsOnDoubleFree(t *testing.T) {
+	r := swRuntime()
+	a := r.NewArray("f")
+	r.FreeArray("f", a)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("double FreeArray should panic")
+		}
+	}()
+	r.FreeArray("f", a)
+}
+
+func TestExtractImportsAllPairs(t *testing.T) {
+	r := hwRuntime()
+	src := r.NewArray("f")
+	dst := r.NewArray("f")
+	for i := 0; i < 10; i++ {
+		r.ASet("f", src, hashmap.StrKey(fmt.Sprintf("var%d", i)), i, false)
+	}
+	if n := r.Extract("extract", dst, src); n != 10 {
+		t.Fatalf("Extract moved %d pairs", n)
+	}
+	var order []string
+	r.AForeach("f", dst, func(k hashmap.Key, v interface{}) bool {
+		order = append(order, k.Str)
+		return true
+	})
+	if len(order) != 10 || order[0] != "var0" || order[9] != "var9" {
+		t.Errorf("extract order wrong: %v", order)
+	}
+}
+
+func TestStrLifecycle(t *testing.T) {
+	r := hwRuntime()
+	s := r.NewStr("f", []byte("hello"))
+	if s.Len() != 5 || string(s.Bytes()) != "hello" {
+		t.Errorf("Str accessors wrong")
+	}
+	r.FreeStr("f", s)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("double FreeStr should panic")
+		}
+	}()
+	r.FreeStr("f", s)
+}
+
+func TestRegexManagerCaches(t *testing.T) {
+	r := hwRuntime()
+	re1 := r.MustRegex("f", `<[a-z]+>`)
+	re2 := r.MustRegex("f", `<[a-z]+>`)
+	if re1 != re2 {
+		t.Errorf("regex manager should return the cached FSM")
+	}
+	// Compilation charged once.
+	var compiles int64
+	for _, f := range r.Meter().Functions() {
+		if f.Name == "pcre_compile" {
+			compiles = f.Calls
+		}
+	}
+	if compiles != 1 {
+		t.Errorf("pcre_compile calls = %d, want 1", compiles)
+	}
+}
+
+func TestOutputBuffer(t *testing.T) {
+	r := swRuntime()
+	ob := r.NewOutputBuffer("render")
+	ob.WriteString("<html>")
+	ob.Write([]byte("body"))
+	ob.WriteString("</html>")
+	if string(ob.Bytes()) != "<html>body</html>" || ob.Len() != 17 {
+		t.Errorf("buffer = %q", ob.Bytes())
+	}
+	if r.Meter().TotalUops() == 0 {
+		t.Errorf("buffer writes must be charged")
+	}
+}
+
+func TestBuildTagEquivalence(t *testing.T) {
+	build := func(r *Runtime) string {
+		attrs := r.NewArray("f")
+		r.ASet("f", attrs, hashmap.StrKey("href"), []byte(`/page?a=1&b=2`), false)
+		r.ASet("f", attrs, hashmap.StrKey("title"), []byte(`say "hi"`), false)
+		out := r.BuildTag("f", "a", attrs, []byte("link"))
+		r.FreeArray("f", attrs)
+		return string(out)
+	}
+	sw := build(swRuntime())
+	hw := build(hwRuntime())
+	want := `<a href="/page?a=1&amp;b=2" title="say &quot;hi&quot;">link</a>`
+	if sw != want {
+		t.Errorf("software tag = %q, want %q", sw, want)
+	}
+	if sw != hw {
+		t.Errorf("accelerated tag differs:\n sw %q\n hw %q", sw, hw)
+	}
+}
+
+func TestChainEquivalenceModuloPadding(t *testing.T) {
+	steps := []ChainStep{
+		{Pattern: `'`, Repl: "&#039;"},
+		{Pattern: `"`, Repl: "&quot;"},
+		{Pattern: "\n", Repl: "<br/>"},
+		{Pattern: `<`, Repl: "&lt;"},
+	}
+	content := []byte("it's a \"test\"\nwith " + strings.Repeat("filler text ", 30) + "'ends'")
+
+	apply := func(r *Runtime) (string, int) {
+		ch, err := r.NewChain("wptexturize", steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, n := ch.Apply("wptexturize", content)
+		return string(out), n
+	}
+	swOut, swN := apply(swRuntime())
+	hwOut, hwN := apply(hwRuntime())
+	if swN != hwN {
+		t.Errorf("replacement counts differ: %d vs %d", swN, hwN)
+	}
+	norm := func(s string) string { return strings.ReplaceAll(s, " ", "") }
+	if norm(swOut) != norm(hwOut) {
+		t.Errorf("chain output differs beyond padding:\n sw %q\n hw %q", swOut, hwOut)
+	}
+}
+
+func TestChainPropertyEquivalence(t *testing.T) {
+	// Chain steps must be padding-insensitive (see Chain doc); the Fig. 11
+	// set of single special characters is the canonical example.
+	steps := []ChainStep{
+		{Pattern: `'`, Repl: "&#039;"},
+		{Pattern: `&`, Repl: "&amp;"},
+		{Pattern: `<`, Repl: "&lt;"},
+	}
+	f := func(seed int64) bool {
+		content := genText(seed, 500)
+		sw, swN := func() ([]byte, int) {
+			r := swRuntime()
+			ch, _ := r.NewChain("f", steps)
+			return ch.Apply("f", append([]byte(nil), content...))
+		}()
+		hw, hwN := func() ([]byte, int) {
+			r := hwRuntime()
+			ch, _ := r.NewChain("f", steps)
+			return ch.Apply("f", append([]byte(nil), content...))
+		}()
+		if swN != hwN {
+			return false
+		}
+		return strings.ReplaceAll(string(sw), " ", "") == strings.ReplaceAll(string(hw), " ", "")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genText produces deterministic HTML-flavored text.
+func genText(seed int64, n int) []byte {
+	state := uint64(seed)*2654435761 + 1
+	next := func(m int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % m
+	}
+	specials := []byte(`'"<>&`)
+	out := make([]byte, n)
+	for i := range out {
+		if next(15) == 0 {
+			out[i] = specials[next(len(specials))]
+		} else {
+			out[i] = byte('a' + next(26))
+		}
+	}
+	return out
+}
+
+func TestScanURLEquivalence(t *testing.T) {
+	pattern := `https://[a-z]+/\?author=[a-z0-9]+`
+	for i := 0; i < 20; i++ {
+		url := []byte(fmt.Sprintf("https://localhost/?author=user%d", i))
+		sw := swRuntime()
+		hw := hwRuntime()
+		swEnd := sw.ScanURL("f", sw.MustRegex("f", pattern), 7, url)
+		hwEnd := hw.ScanURL("f", hw.MustRegex("f", pattern), 7, url)
+		if swEnd != hwEnd {
+			t.Errorf("url %d: sw %d hw %d", i, swEnd, hwEnd)
+		}
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	r := New(Config{TraceCapacity: 0})
+	r.BeginRequest()
+	a := r.NewArray("f")
+	r.ASet("f", a, hashmap.StrKey("k"), 1, true)
+	r.AGet("f", a, hashmap.StrKey("k"), true)
+	r.EscapeHTML("f", []byte("<x>"))
+	ev := r.Trace().Events()
+	kinds := map[trace.Kind]int{}
+	for _, e := range ev {
+		kinds[e.Kind]++
+	}
+	if kinds[trace.KindRequest] != 1 || kinds[trace.KindHashSet] != 1 ||
+		kinds[trace.KindHashGet] != 1 || kinds[trace.KindStringOp] != 1 ||
+		kinds[trace.KindAlloc] == 0 {
+		t.Errorf("trace kinds = %v", kinds)
+	}
+}
+
+func TestTracingDisabled(t *testing.T) {
+	r := New(Config{TraceCapacity: -1})
+	if r.Trace() != nil {
+		t.Errorf("TraceCapacity -1 should disable tracing")
+	}
+	r.BeginRequest() // must not panic
+}
+
+func TestStringWrappersEquivalent(t *testing.T) {
+	subject := []byte("  The <b>Quick</b> fox's \"day\"  ")
+	ops := func(r *Runtime) string {
+		var sb strings.Builder
+		sb.Write(r.EscapeHTML("f", subject))
+		sb.Write(r.ToUpper("f", subject))
+		sb.Write(r.ToLower("f", subject))
+		sb.Write(r.Trim("f", subject))
+		sb.Write(r.Replace("f", subject, []byte("fox"), []byte("wolf")))
+		sb.Write(r.Translate("f", subject, []byte("aeiou"), []byte("AEIOU")))
+		fmt.Fprint(&sb, r.Find("f", subject, []byte("Quick")))
+		fmt.Fprint(&sb, r.Compare("f", subject, []byte("zzz")))
+		sb.Write(r.Concat("f", subject, []byte("|end")))
+		return sb.String()
+	}
+	if ops(swRuntime()) != ops(hwRuntime()) {
+		t.Errorf("string wrapper results differ between cores")
+	}
+}
+
+func TestContextSwitchPreservesState(t *testing.T) {
+	r := hwRuntime()
+	a := r.NewArray("f")
+	r.ASet("f", a, hashmap.StrKey("persist"), 42, true)
+	r.ContextSwitch()
+	if v, ok := r.AGet("f", a, hashmap.StrKey("persist"), true); !ok || v != 42 {
+		t.Errorf("value lost across context switch: %v %v", v, ok)
+	}
+}
+
+func TestRemoteCoherenceScenario(t *testing.T) {
+	// A worker caches silent SETs in the hardware hash table; a remote
+	// core's access forces a flush; direct software reads (the remote
+	// core's view) must observe every pair, and the worker keeps going.
+	r := hwRuntime()
+	a := r.NewArray("f")
+	for i := 0; i < 12; i++ {
+		r.ASet("f", a, hashmap.StrKey(fmt.Sprintf("shared%d", i)), i, true)
+	}
+	// Remote view before coherence: the silent SETs are not in memory.
+	// (Not asserted — some may have been written back by evictions.)
+	r.RemoteTouch("remote_reader", a)
+	for i := 0; i < 12; i++ {
+		v, ok := a.Map().Get(hashmap.StrKey(fmt.Sprintf("shared%d", i)))
+		if !ok || v != i {
+			t.Fatalf("remote reader missed shared%d: %v %v", i, v, ok)
+		}
+	}
+	// The worker continues through the accelerator unharmed.
+	r.ASet("f", a, hashmap.StrKey("after"), 99, true)
+	if v, ok := r.AGet("f", a, hashmap.StrKey("after"), true); !ok || v != 99 {
+		t.Errorf("worker broken after coherence event: %v %v", v, ok)
+	}
+	r.FreeArray("f", a)
+}
+
+func TestRemoteCoherenceNoAccelIsNoop(t *testing.T) {
+	r := swRuntime()
+	a := r.NewArray("f")
+	r.ASet("f", a, hashmap.StrKey("k"), 1, true)
+	r.RemoteTouch("remote_reader", a) // must not panic without hardware
+	if v, ok := r.AGet("f", a, hashmap.StrKey("k"), true); !ok || v != 1 {
+		t.Errorf("software map affected by remote touch: %v %v", v, ok)
+	}
+}

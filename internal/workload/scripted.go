@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"repro/internal/php"
+	"repro/internal/vm"
+)
+
+// ScriptedApp runs an actual PHP program per request through the
+// interpreter, so the workload's hash/heap/string/regexp activity comes
+// from real script execution rather than a Go-coded request recipe.
+type ScriptedApp struct {
+	name string
+	prog *php.Program
+	seq  int64
+}
+
+// NewScripted wraps parsed PHP source as an App.
+func NewScripted(name, src string) (*ScriptedApp, error) {
+	prog, err := php.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &ScriptedApp{name: name, prog: prog}, nil
+}
+
+// Name returns the workload name.
+func (s *ScriptedApp) Name() string { return s.name }
+
+// ServeRequest runs the script once with $req set to the request number.
+func (s *ScriptedApp) ServeRequest(rt *vm.Runtime) []byte {
+	s.seq++
+	in := php.New(rt, s.prog)
+	in.SetGlobal("req", s.seq)
+	out, err := in.Run()
+	if err != nil {
+		panic("workload: scripted app failed: " + err.Error())
+	}
+	return out
+}
+
+// BlogScript is a self-contained PHP blog page: option loading, post
+// rendering with texturize-style preg_replace chains, tag building with
+// escaped attributes, and comment formatting — the WordPress request
+// shape, as an actual PHP program.
+const BlogScript = `<!DOCTYPE html>
+<?php
+function site_options() {
+	return [
+		'blogname' => "repro blog",
+		'posts_per_page' => 4,
+		'tagline' => "it's \"hardware\" for PHP",
+	];
+}
+
+function load_post($id) {
+	$author = "author" . ($id % 7);
+	$body = "The quick brown fox said \"hello\" to the lazy dog. ";
+	$body .= str_repeat("Plain prose fills the middle of the article with ordinary words. ", 6);
+	$body .= "It's a wrap.
+New paragraph starts here with <em>markup</em> and more text.";
+	return [
+		'id' => $id,
+		'title' => "  Post number " . $id . " isn't boring  ",
+		'author' => $author,
+		'href' => "/?p=" . $id,
+		'body' => $body,
+	];
+}
+
+function texturize($text) {
+	$text = preg_replace('/"/', "&#8221;", $text);
+	$text = preg_replace('/\n/', "<br />", $text);
+	$text = preg_replace('/</', "&lt;", $text);
+	return $text;
+}
+
+function render_post($post) {
+	$meta = "";
+	foreach (["author", "id", "href"] as $fld) {
+		$meta .= $post[$fld] . ";";
+	}
+	extract($post);
+	$out = "<article id=\"post-" . $id . "\">";
+	$out .= "<h2><a href=\"" . htmlspecialchars($href) . "\">";
+	$out .= htmlspecialchars(trim($title)) . "</a></h2>";
+	$out .= "<address>" . strtoupper($author) . "</address>";
+	$out .= "<div>" . texturize($body) . "</div>";
+	$out .= "</article>";
+	return $out;
+}
+
+function render_comment($post_id, $n) {
+	$text = "Comment $n on post $post_id: nice article!
+It has a line break and a \"quote\".";
+	return "<li>" . nl2br(addslashes($text)) . "</li>";
+}
+
+$opts = site_options();
+echo "<html><head><title>", htmlspecialchars($opts['blogname']), "</title></head><body>";
+echo "<p>", texturize($opts['tagline']), "</p>";
+
+for ($i = 0; $i < $opts['posts_per_page']; $i++) {
+	$post = load_post($req * 10 + $i);
+	echo render_post($post);
+	echo "<ul>";
+	for ($c = 0; $c < 2; $c++) {
+		echo render_comment($post['id'], $c);
+	}
+	echo "</ul>";
+}
+echo "</body></html>";
+`
+
+// NewBlogScript builds the scripted blog workload.
+func NewBlogScript() *ScriptedApp {
+	app, err := NewScripted("phpscript-blog", BlogScript)
+	if err != nil {
+		panic(err) // the embedded script must parse
+	}
+	return app
+}
