@@ -1,0 +1,26 @@
+# Repro build/test gate. `make check` is the CI entry point: vet plus
+# the full test suite under the race detector (the serving layer runs
+# request workers on goroutines, so races are first-class failures).
+
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+check: build vet race

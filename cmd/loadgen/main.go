@@ -1,10 +1,14 @@
 // Command loadgen drives the oss-performance-style load generator over
 // one or more workloads and compares configurations side by side:
 // baseline HHVM, prior-work mitigations, and the full accelerated core.
+// With -workers N it serves the measured phase from a pool of N request
+// workers in parallel (one runtime per worker, oss-performance style) and
+// reports aggregate throughput and tail latency alongside the cycle table.
 //
 // Usage:
 //
 //	loadgen [-apps wordpress,drupal,mediawiki] [-requests 200] [-warmup 300]
+//	        [-workers 1] [-concurrency 0]
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/isa"
 	"repro/internal/sim"
@@ -21,10 +26,23 @@ import (
 
 func main() {
 	apps := flag.String("apps", "wordpress,drupal,mediawiki", "comma-separated workloads")
-	requests := flag.Int("requests", 200, "measured requests per run")
-	warmup := flag.Int("warmup", 300, "warmup requests (oss-performance default)")
-	seed := flag.Int64("seed", 1, "workload seed")
+	requests := flag.Int("requests", 200, "measured requests per run (total across workers)")
+	warmup := flag.Int("warmup", 300, "warmup requests per worker (oss-performance default)")
+	seed := flag.Int64("seed", 1, "workload seed (worker i uses seed+i)")
+	workers := flag.Int("workers", 1, "request workers (independent runtimes)")
+	concurrency := flag.Int("concurrency", 0, "workers executing at once (0 = all)")
 	flag.Parse()
+
+	if *requests <= 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: -requests must be positive, got %d\n", *requests)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers <= 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: -workers must be positive, got %d\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	type config struct {
 		name string
@@ -37,8 +55,9 @@ func main() {
 		{"accelerated", true, true},
 	}
 
-	fmt.Printf("%-12s %-12s %16s %14s %14s %12s\n",
-		"workload", "config", "cycles/request", "uops/request", "energy uJ/req", "norm.time")
+	fmt.Printf("%-12s %-12s %16s %14s %14s %10s %10s %9s %9s %9s\n",
+		"workload", "config", "cycles/request", "uops/request", "energy uJ/req",
+		"norm.time", "req/s", "p50", "p95", "p99")
 	for _, appName := range strings.Split(*apps, ",") {
 		appName = strings.TrimSpace(appName)
 		var baseCycles float64
@@ -50,23 +69,38 @@ func main() {
 			if c.acc {
 				cfg.Features = isa.AllAccelerators()
 			}
-			rt := vm.New(cfg)
-			app, err := workload.ByName(appName, *seed)
+			lg := workload.LoadGenerator{Warmup: *warmup, Requests: *requests, ContextSwitchEvery: 64}
+			pool, err := workload.NewPool(*workers, cfg, appName, *seed)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
-			lg := workload.LoadGenerator{Warmup: *warmup, Requests: *requests, ContextSwitchEvery: 64}
-			res := lg.Run(rt, app)
+			res := pool.Run(lg, *concurrency)
 			if c.name == "baseline" {
 				baseCycles = res.Cycles
 			}
-			fmt.Printf("%-12s %-12s %16.0f %14.0f %14.2f %11.2f%%\n",
+			norm := "n/a"
+			if baseCycles > 0 {
+				norm = fmt.Sprintf("%.2f%%", 100*res.Cycles/baseCycles)
+			}
+			fmt.Printf("%-12s %-12s %16.0f %14.0f %14.2f %10s %10.0f %9s %9s %9s\n",
 				appName, c.name,
 				res.CyclesPerRequest(),
 				res.Uops/float64(res.Requests),
 				res.EnergyPJ/float64(res.Requests)/1e6,
-				100*res.Cycles/baseCycles)
+				norm,
+				res.Throughput(),
+				fmtLatency(res.Latency.P50),
+				fmtLatency(res.Latency.P95),
+				fmtLatency(res.Latency.P99))
 		}
 	}
+}
+
+// fmtLatency renders a latency compactly (µs below 10ms, ms above).
+func fmtLatency(d time.Duration) string {
+	if d < 10*time.Millisecond {
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
 }

@@ -1,0 +1,224 @@
+// Command phpserve exposes a simulated PHP workload over HTTP, the way
+// the paper's evaluation serves WordPress/Drupal/MediaWiki from a pool
+// of HHVM request workers behind a web frontend (§5.1). Each incoming
+// request is routed to a free worker (its own vm.Runtime); /stats
+// reports fleet-level simulated cost totals and wall-latency
+// percentiles so an external load generator (ab, wrk, hey) can drive
+// the server and the simulated architecture side by side.
+//
+// Usage:
+//
+//	phpserve [-addr :8080] [-app wordpress] [-config accelerated]
+//	         [-workers 4] [-seed 1] [-warmup 300] [-ctxswitch 64]
+//
+// Endpoints:
+//
+//	GET /        render one page on a free worker
+//	GET /stats   JSON fleet statistics
+//	GET /healthz liveness probe
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// maxRetainedLatencies bounds the latency reservoir; beyond it the
+// oldest half is discarded so /stats percentiles track recent traffic.
+const maxRetainedLatencies = 1 << 16
+
+// server routes requests to free pool workers and aggregates
+// serving-side statistics across all of them.
+type server struct {
+	pool           *workload.Pool
+	app            string
+	config         string
+	ctxSwitchEvery int
+	start          time.Time
+
+	mu        sync.Mutex
+	requests  int64
+	respBytes int64
+	latencies []time.Duration
+}
+
+func newServer(pool *workload.Pool, app, config string, ctxSwitchEvery int) *server {
+	return &server{
+		pool:           pool,
+		app:            app,
+		config:         config,
+		ctxSwitchEvery: ctxSwitchEvery,
+		start:          time.Now(),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleRender)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	start := time.Now()
+	wk := s.pool.Acquire()
+	page := wk.ServeOne()
+	if s.ctxSwitchEvery > 0 && wk.Served()%s.ctxSwitchEvery == 0 {
+		wk.Runtime().ContextSwitch()
+	}
+	s.pool.Release(wk)
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	s.requests++
+	s.respBytes += int64(len(page))
+	if len(s.latencies) >= maxRetainedLatencies {
+		s.latencies = append(s.latencies[:0], s.latencies[len(s.latencies)/2:]...)
+	}
+	s.latencies = append(s.latencies, elapsed)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(page)
+}
+
+// statsResponse is the /stats JSON shape. Latencies are reported in
+// microseconds; simulated totals cover the whole fleet since startup.
+type statsResponse struct {
+	App            string  `json:"app"`
+	Config         string  `json:"config"`
+	Workers        int     `json:"workers"`
+	Requests       int64   `json:"requests"`
+	ResponseBytes  int64   `json:"response_bytes"`
+	UptimeSec      float64 `json:"uptime_sec"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+
+	LatencyP50Us  int64 `json:"latency_p50_us"`
+	LatencyP95Us  int64 `json:"latency_p95_us"`
+	LatencyP99Us  int64 `json:"latency_p99_us"`
+	LatencyMaxUs  int64 `json:"latency_max_us"`
+	LatencyMeanUs int64 `json:"latency_mean_us"`
+
+	SimCycles        float64 `json:"sim_cycles"`
+	SimUops          float64 `json:"sim_uops"`
+	SimEnergyPJ      float64 `json:"sim_energy_pj"`
+	CyclesPerRequest float64 `json:"cycles_per_request"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	reqs := s.requests
+	bytes := s.respBytes
+	lat := workload.LatencyStatsFrom(s.latencies)
+	s.mu.Unlock()
+
+	// MergedMeter drains the free list, so it also acts as a barrier:
+	// in-flight renders finish before their costs are aggregated.
+	mt := s.pool.MergedMeter()
+
+	up := time.Since(s.start).Seconds()
+	resp := statsResponse{
+		App:           s.app,
+		Config:        s.config,
+		Workers:       s.pool.Size(),
+		Requests:      reqs,
+		ResponseBytes: bytes,
+		UptimeSec:     up,
+		LatencyP50Us:  lat.P50.Microseconds(),
+		LatencyP95Us:  lat.P95.Microseconds(),
+		LatencyP99Us:  lat.P99.Microseconds(),
+		LatencyMaxUs:  lat.Max.Microseconds(),
+		LatencyMeanUs: lat.Mean.Microseconds(),
+		SimCycles:     mt.TotalCycles(),
+		SimUops:       mt.TotalUops(),
+		SimEnergyPJ:   mt.TotalEnergy(),
+	}
+	if up > 0 {
+		resp.RequestsPerSec = float64(reqs) / up
+	}
+	if reqs > 0 {
+		resp.CyclesPerRequest = resp.SimCycles / float64(reqs)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// configByName maps the CLI -config choice to a vm.Config.
+func configByName(name string) (vm.Config, error) {
+	switch name {
+	case "baseline":
+		return vm.Config{}, nil
+	case "mitigated":
+		return vm.Config{Mitigations: sim.AllMitigations()}, nil
+	case "accelerated":
+		return vm.Config{Mitigations: sim.AllMitigations(), Features: isa.AllAccelerators()}, nil
+	}
+	return vm.Config{}, fmt.Errorf("phpserve: unknown -config %q (want baseline, mitigated, or accelerated)", name)
+}
+
+// warmPool serves warmup requests on every worker so the server answers
+// steady-state traffic from the start, then discards the warmup costs.
+func warmPool(p *workload.Pool, warmup, ctxSwitchEvery int) {
+	if warmup <= 0 {
+		return
+	}
+	p.Run(workload.LoadGenerator{Warmup: warmup, Requests: 0, ContextSwitchEvery: ctxSwitchEvery}, 0)
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	app := flag.String("app", "wordpress", "workload to serve (wordpress, drupal, mediawiki)")
+	config := flag.String("config", "accelerated", "core config: baseline, mitigated, accelerated")
+	workers := flag.Int("workers", 4, "request workers (independent runtimes)")
+	seed := flag.Int64("seed", 1, "workload seed (worker i uses seed+i)")
+	warmup := flag.Int("warmup", 300, "warmup requests per worker before listening")
+	ctxSwitch := flag.Int("ctxswitch", 64, "context switch every n requests per worker (0 disables)")
+	flag.Parse()
+
+	if *workers <= 0 {
+		fmt.Fprintf(os.Stderr, "phpserve: -workers must be positive, got %d\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg, err := configByName(*config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	pool, err := workload.NewPool(*workers, cfg, *app, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("phpserve: warming %d %s worker(s) (%d requests each, %s core)\n",
+		*workers, *app, *warmup, *config)
+	warmPool(pool, *warmup, *ctxSwitch)
+
+	srv := newServer(pool, *app, *config, *ctxSwitch)
+	fmt.Printf("phpserve: listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func testServer(t *testing.T, workers int) *server {
+	t.Helper()
+	cfg, err := configByName("accelerated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := workload.NewPool(workers, cfg, "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmPool(pool, 2, 0)
+	return newServer(pool, "wordpress", "accelerated", 8)
+}
+
+func TestServeConcurrentRequests(t *testing.T) {
+	s := testServer(t, 4)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	const clients, perClient = 8, 4
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Get(ts.URL + "/")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d", resp.StatusCode)
+				}
+				if len(body) == 0 || !strings.Contains(string(body), "<") {
+					t.Errorf("response does not look like a page: %q", string(body)[:min(64, len(body))])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != clients*perClient {
+		t.Errorf("stats requests = %d, want %d", st.Requests, clients*perClient)
+	}
+	if st.Workers != 4 || st.App != "wordpress" || st.Config != "accelerated" {
+		t.Errorf("stats header wrong: %+v", st)
+	}
+	if st.SimCycles <= 0 || st.CyclesPerRequest <= 0 {
+		t.Errorf("no simulated cost recorded: %+v", st)
+	}
+	if st.LatencyP50Us <= 0 || st.LatencyP50Us > st.LatencyP99Us || st.LatencyP99Us > st.LatencyMaxUs {
+		t.Errorf("latency percentiles out of order: %+v", st)
+	}
+	if st.ResponseBytes <= 0 {
+		t.Errorf("no response bytes counted")
+	}
+}
+
+func TestNotFoundAndHealthz(t *testing.T) {
+	s := testServer(t, 1)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/nosuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz = %d %q", resp.StatusCode, string(body))
+	}
+}
+
+func TestConfigByName(t *testing.T) {
+	for _, name := range []string{"baseline", "mitigated", "accelerated"} {
+		if _, err := configByName(name); err != nil {
+			t.Errorf("configByName(%q) = %v", name, err)
+		}
+	}
+	if _, err := configByName("turbo"); err == nil {
+		t.Errorf("unknown config should error")
+	}
+}
+
+func TestLatencyReservoirBounded(t *testing.T) {
+	s := testServer(t, 1)
+	s.mu.Lock()
+	for i := 0; i < maxRetainedLatencies; i++ {
+		s.latencies = append(s.latencies, 1)
+	}
+	s.mu.Unlock()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	if resp, err := http.Get(ts.URL + "/"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	s.mu.Lock()
+	n := len(s.latencies)
+	s.mu.Unlock()
+	if n > maxRetainedLatencies {
+		t.Errorf("latency reservoir grew past cap: %d", n)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

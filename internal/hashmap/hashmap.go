@@ -126,16 +126,27 @@ type Map struct {
 	unordered  bool   // a writeback landed out of sequence order
 }
 
-// New creates an empty map. obs may be nil.
+// New creates an empty map. obs may be nil. The map ID comes from a
+// process-wide counter; callers that need IDs deterministic under
+// concurrency (one simulated core per goroutine) should use NewWithID
+// with their own per-core counter.
 func New(obs Observer) *Map {
-	m := &Map{
-		id:    atomic.AddUint64(&nextMapID, 1),
+	return NewWithID(atomic.AddUint64(&nextMapID, 1), obs)
+}
+
+// NewWithID creates an empty map with a caller-chosen identity. The ID
+// stands in for the map structure's base address (§4.2), so it only needs
+// to be unique among maps that share a hardware hash table — one
+// simulated core's maps — letting each core number its maps locally and
+// deterministically regardless of goroutine interleaving.
+func NewWithID(id uint64, obs Observer) *Map {
+	return &Map{
+		id:    id,
 		index: newIndex(1 << minLgSize),
 		mask:  1<<minLgSize - 1,
 		refs:  1,
 		obs:   obs,
 	}
-	return m
 }
 
 func newIndex(n int) []int32 {
@@ -275,7 +286,7 @@ func (m *Map) Set(k Key, v interface{}) {
 			m.nextIntKey = k.Int + 1
 		}
 		if m.needGrow() {
-			m.rebuildIndex(len(m.index) * 2)
+			m.grow()
 		}
 	} else {
 		m.entries[pos].val = v
@@ -317,19 +328,42 @@ func (m *Map) needGrow() bool {
 	return len(m.entries) >= len(m.index)*3/4
 }
 
+// grow resizes the index after a grow trigger. Because needGrow counts
+// tombstones, a delete-heavy workload can trip it while the live load is
+// low; in that case compaction alone restores the load factor, so the
+// index is rebuilt at the same size instead of doubling (keeping the
+// index bounded by the live population, not the churn history).
+func (m *Map) grow() {
+	n := len(m.index)
+	if m.size > n/2 {
+		n *= 2
+	}
+	m.rebuildIndex(n)
+}
+
 // Foreach iterates live pairs in insertion order, the invariant PHP's
 // foreach guarantees and the RTT preserves in hardware (§4.2). The
 // callback returns false to stop early.
+//
+// The callback may mutate the map: a Set that grows the index, a Delete,
+// or a stale-flag rebuild (MarkStale + access) all compact or relocate
+// m.entries mid-iteration, so iteration runs over a snapshot of the live
+// entries taken at call time — PHP's foreach-over-a-copy semantics. Keys
+// live at the start of the iteration are each visited exactly once;
+// entries inserted by the callback are not visited.
 func (m *Map) Foreach(f func(k Key, v interface{}) bool) {
 	m.ensureFresh()
 	m.ensureOrdered()
-	n := 0
+	snap := make([]entry, 0, m.size)
 	for i := range m.entries {
-		if m.entries[i].dead {
-			continue
+		if !m.entries[i].dead {
+			snap = append(snap, m.entries[i])
 		}
+	}
+	n := 0
+	for i := range snap {
 		n++
-		if !f(m.entries[i].key, m.entries[i].val) {
+		if !f(snap[i].key, snap[i].val) {
 			break
 		}
 	}
@@ -405,7 +439,7 @@ func (m *Map) WritebackSeq(k Key, v interface{}, seq uint64) bool {
 		m.nextIntKey = k.Int + 1
 	}
 	if m.needGrow() {
-		m.rebuildIndex(len(m.index) * 2)
+		m.grow()
 	}
 	return false
 }

@@ -331,6 +331,110 @@ func TestModelEquivalence(t *testing.T) {
 	}
 }
 
+// TestForeachSurvivesStaleRebuild is the regression test for the
+// mid-iteration compaction panic: with tombstones in the entry table, a
+// callback that marks the index stale and touches the map forces
+// rebuildIndex to compact m.entries under the running iteration, which
+// used to index past the shortened slice.
+func TestForeachSurvivesStaleRebuild(t *testing.T) {
+	m := New(nil)
+	for i := 0; i < 20; i++ {
+		m.Set(StrKey(fmt.Sprintf("k%02d", i)), i)
+	}
+	for i := 0; i < 10; i++ {
+		m.Delete(StrKey(fmt.Sprintf("k%02d", i)))
+	}
+	visited := map[string]int{}
+	m.Foreach(func(k Key, v interface{}) bool {
+		// The coherence-rebuild path: the hardware flushes, the next
+		// software access compacts the tombstoned entries.
+		m.MarkStale()
+		m.Get(k)
+		visited[k.Str]++
+		return true
+	})
+	if len(visited) != 10 {
+		t.Fatalf("visited %d live keys, want 10", len(visited))
+	}
+	for k, n := range visited {
+		if n != 1 {
+			t.Errorf("key %s visited %d times, want exactly once", k, n)
+		}
+	}
+}
+
+// TestForeachSurvivesCallbackSet covers grows triggered by callback Sets:
+// inserting new keys during iteration relocates the entry table.
+func TestForeachSurvivesCallbackSet(t *testing.T) {
+	m := New(nil)
+	for i := 0; i < 8; i++ {
+		m.Set(IntKey(int64(i)), i)
+	}
+	var got []Key
+	i := 0
+	m.Foreach(func(k Key, v interface{}) bool {
+		// Enough inserts to force at least one index doubling mid-flight.
+		for j := 0; j < 16; j++ {
+			m.Set(StrKey(fmt.Sprintf("new-%d-%d", i, j)), j)
+		}
+		i++
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 8 {
+		t.Fatalf("visited %d keys, want the 8 pre-iteration keys", len(got))
+	}
+	for i, k := range got {
+		if !k.IsInt || k.Int != int64(i) {
+			t.Errorf("visit %d = %v, want #%d", i, k, i)
+		}
+	}
+	if m.Size() != 8+8*16 {
+		t.Errorf("Size = %d after callback inserts", m.Size())
+	}
+}
+
+// TestForeachSurvivesCallbackDelete covers deletes during iteration: every
+// key live at the start is still visited exactly once (copy semantics).
+func TestForeachSurvivesCallbackDelete(t *testing.T) {
+	m := New(nil)
+	for i := 0; i < 12; i++ {
+		m.Set(IntKey(int64(i)), i)
+	}
+	var got []int64
+	m.Foreach(func(k Key, v interface{}) bool {
+		m.Delete(IntKey((k.Int + 1) % 12)) // delete the next key
+		got = append(got, k.Int)
+		return true
+	})
+	if len(got) != 12 {
+		t.Fatalf("visited %d keys, want 12: %v", len(got), got)
+	}
+}
+
+// TestDeleteHeavyKeepsIndexBounded is the regression test for needGrow
+// counting tombstones: repeated insert+delete cycles must not double the
+// index when the live population stays tiny.
+func TestDeleteHeavyKeepsIndexBounded(t *testing.T) {
+	m := New(nil)
+	for i := 0; i < 10000; i++ {
+		k := StrKey(fmt.Sprintf("churn-%d", i))
+		m.Set(k, i)
+		m.Delete(k)
+	}
+	if m.Size() != 0 {
+		t.Fatalf("Size = %d after balanced churn", m.Size())
+	}
+	if n := len(m.index); n > 64 {
+		t.Errorf("index grew to %d slots under churn with ~0 live entries", n)
+	}
+	// The map must still work after all that compaction.
+	m.Set(StrKey("alive"), 1)
+	if v, ok := m.Get(StrKey("alive")); !ok || v != 1 {
+		t.Errorf("map broken after churn: %v %v", v, ok)
+	}
+}
+
 func BenchmarkMapGet(b *testing.B) {
 	m := New(nil)
 	for i := 0; i < 1024; i++ {

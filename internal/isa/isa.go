@@ -72,9 +72,10 @@ type CPU struct {
 
 	feats Features
 
-	curFn  string
-	curCat sim.Category
-	mute   bool // suppress substrate observer charges (IC-specialized path)
+	curFn     string
+	curCat    sim.Category
+	mute      bool   // suppress substrate observer charges (IC-specialized path)
+	nextMapID uint64 // per-core map identity counter (deterministic under concurrency)
 }
 
 // New builds a CPU with the given meter and features. The software heap
@@ -108,7 +109,12 @@ func (c *CPU) at(fn string, cat sim.Category) {
 }
 
 // NewMap creates a software hash map wired to this CPU's cost accounting.
-func (c *CPU) NewMap() *hashmap.Map { return hashmap.New((*mapObs)(c)) }
+// Map IDs are assigned per core so that concurrent workers (one core per
+// goroutine) produce identical hardware hash-table behavior run to run.
+func (c *CPU) NewMap() *hashmap.Map {
+	c.nextMapID++
+	return hashmap.NewWithID(c.nextMapID, (*mapObs)(c))
+}
 
 // --- phpval.Accounting ---
 

@@ -101,6 +101,28 @@ func (mt *Meter) fn(name string, cat Category) *FnStats {
 	return f
 }
 
+// Merge folds another meter's accumulated statistics into this one:
+// per-function uops, accelerator cycles/energy, and call counts all sum.
+// It is the fleet-aggregation primitive for multi-worker runs — each
+// worker owns a private Meter while serving, and the pool merges them
+// after the goroutines join. The other meter is read-only during the
+// merge and is left unchanged; models and mitigation flags are not
+// merged (the receiver keeps its own).
+func (mt *Meter) Merge(o *Meter) {
+	for k, f := range o.fns {
+		dst := mt.fn(k.name, k.cat)
+		dst.Uops += f.Uops
+		dst.AccelCyc += f.AccelCyc
+		dst.AccelEng += f.AccelEng
+		dst.Calls += f.Calls
+	}
+	for i := 0; i < int(numAccelKinds); i++ {
+		mt.accelCycles[i] += o.accelCycles[i]
+		mt.accelEnergy[i] += o.accelEnergy[i]
+		mt.accelCalls[i] += o.accelCalls[i]
+	}
+}
+
 // AddUops charges uops micro-ops of core work to the named leaf function.
 func (mt *Meter) AddUops(name string, cat Category, uops float64) {
 	f := mt.fn(name, cat)

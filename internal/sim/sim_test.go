@@ -259,3 +259,52 @@ func TestFunctionsSortedDeterministically(t *testing.T) {
 		t.Errorf("equal-cost functions should sort by name: %v, %v", fns[0].Name, fns[1].Name)
 	}
 }
+
+func TestMeterMerge(t *testing.T) {
+	model := DefaultCostModel()
+	a, b := NewMeter(model), NewMeter(model)
+	a.AddUops("shared_fn", CatHash, 100)
+	b.AddUops("shared_fn", CatHash, 50)
+	b.AddUops("b_only_fn", CatString, 30)
+	a.AddAccel("accel_fn", CatHash, AccelHashTable, 10)
+	b.AddAccel("accel_fn", CatHash, AccelHashTable, 5)
+
+	wantCycles := a.TotalCycles() + b.TotalCycles()
+	wantUops := a.TotalUops() + b.TotalUops()
+	wantEnergy := a.TotalEnergy() + b.TotalEnergy()
+	bCyclesBefore := b.TotalCycles()
+
+	a.Merge(b)
+	if got := a.TotalCycles(); math.Abs(got-wantCycles) > 1e-9 {
+		t.Errorf("merged cycles %g, want %g", got, wantCycles)
+	}
+	if got := a.TotalUops(); math.Abs(got-wantUops) > 1e-9 {
+		t.Errorf("merged uops %g, want %g", got, wantUops)
+	}
+	if got := a.TotalEnergy(); math.Abs(got-wantEnergy) > 1e-9 {
+		t.Errorf("merged energy %g, want %g", got, wantEnergy)
+	}
+	if got := a.AccelCycles(AccelHashTable); got != 15 {
+		t.Errorf("merged accel cycles %g, want 15", got)
+	}
+	if got := a.AccelCalls(AccelHashTable); got != 2 {
+		t.Errorf("merged accel calls %d, want 2", got)
+	}
+	// Per-function stats must sum, and calls must be preserved.
+	for _, f := range a.Functions() {
+		switch f.Name {
+		case "shared_fn":
+			if f.Uops != 150 || f.Calls != 2 {
+				t.Errorf("shared_fn merged wrong: %+v", f)
+			}
+		case "b_only_fn":
+			if f.Uops != 30 || f.Calls != 1 {
+				t.Errorf("b_only_fn merged wrong: %+v", f)
+			}
+		}
+	}
+	// The source meter is untouched.
+	if b.TotalCycles() != bCyclesBefore {
+		t.Errorf("Merge mutated its argument")
+	}
+}

@@ -294,6 +294,20 @@ func TestObserverSeesEveryCall(t *testing.T) {
 	}
 }
 
+// TestFindMatchesNaiveReference checks the bytes.Index-backed find against
+// the naive reference scan on random inputs.
+func TestFindMatchesNaiveReference(t *testing.T) {
+	f := func(subject []byte, pattern []byte) bool {
+		if len(pattern) > 4 {
+			pattern = pattern[:4] // keep match probability meaningful
+		}
+		return find(subject, pattern) == findRef(subject, pattern)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
 func BenchmarkFind1KB(b *testing.B) {
 	var l Lib
 	subject := bytes.Repeat([]byte("the quick brown fox "), 51)
@@ -301,6 +315,17 @@ func BenchmarkFind1KB(b *testing.B) {
 	b.SetBytes(int64(len(subject)))
 	for i := 0; i < b.N; i++ {
 		l.Find(subject, pattern)
+	}
+}
+
+// BenchmarkFindNaive1KB is the pre-optimization baseline for
+// BenchmarkFind1KB: the naive O(n·m) scan over the same input.
+func BenchmarkFindNaive1KB(b *testing.B) {
+	subject := bytes.Repeat([]byte("the quick brown fox "), 51)
+	pattern := []byte("fox jumps")
+	b.SetBytes(int64(len(subject)))
+	for i := 0; i < b.N; i++ {
+		findRef(subject, pattern)
 	}
 }
 

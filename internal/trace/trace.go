@@ -115,6 +115,19 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
+// Merge appends another recorder's retained events to this one (honoring
+// this recorder's capacity bound) and folds in its total count. Workers
+// record privately while serving; the pool merges the per-worker traces
+// after the goroutines join, so merged events are grouped by worker, not
+// interleaved by time.
+func (r *Recorder) Merge(o *Recorder) {
+	dropped := o.total - int64(len(o.events))
+	for _, e := range o.Events() {
+		r.Record(e)
+	}
+	r.total += dropped // events o's ring already evicted still count
+}
+
 // Reset clears the recorder.
 func (r *Recorder) Reset() {
 	r.events = r.events[:0]

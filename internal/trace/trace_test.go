@@ -148,3 +148,43 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRecorderMerge(t *testing.T) {
+	a, b := NewRecorder(0), NewRecorder(0)
+	a.Record(Event{Kind: KindHashGet, Fn: "a1"})
+	b.Record(Event{Kind: KindHashSet, Fn: "b1"})
+	b.Record(Event{Kind: KindAlloc, Fn: "b2"})
+	a.Merge(b)
+	ev := a.Events()
+	if len(ev) != 3 || a.Total() != 3 {
+		t.Fatalf("merged %d events (total %d), want 3", len(ev), a.Total())
+	}
+	if ev[0].Fn != "a1" || ev[1].Fn != "b1" || ev[2].Fn != "b2" {
+		t.Errorf("merged order wrong: %+v", ev)
+	}
+	// b is unchanged.
+	if b.Total() != 2 || len(b.Events()) != 2 {
+		t.Errorf("Merge mutated its argument")
+	}
+}
+
+func TestRecorderMergeBounded(t *testing.T) {
+	a := NewRecorder(3)
+	b := NewRecorder(2)
+	for i := 0; i < 4; i++ {
+		b.Record(Event{Kind: KindHashGet, A: uint64(i)}) // ring keeps 2, 3
+	}
+	a.Record(Event{Kind: KindHashSet, A: 100})
+	a.Merge(b)
+	ev := a.Events()
+	if len(ev) != 3 {
+		t.Fatalf("bounded merge kept %d events, want 3", len(ev))
+	}
+	if ev[1].A != 2 || ev[2].A != 3 {
+		t.Errorf("bounded merge took wrong tail: %+v", ev)
+	}
+	// Total counts every event ever recorded on either side: 1 + 4.
+	if a.Total() != 5 {
+		t.Errorf("merged total %d, want 5", a.Total())
+	}
+}

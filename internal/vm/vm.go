@@ -223,14 +223,18 @@ func (r *Runtime) FreeStr(fn string, s *Str) {
 // caller.
 func (r *Runtime) Regex(fn, pattern string) (*regex.Regex, error) {
 	const mgrFn = "regex_cache_lookup"
-	if v, ok := r.cpu.HashGet(mgrFn, r.regexMgr, hashmap.StrKey(pattern), true); ok {
+	k := hashmap.StrKey(pattern)
+	v, ok := r.cpu.HashGet(mgrFn, r.regexMgr, k, true)
+	r.record(trace.Event{Kind: trace.KindHashGet, Fn: mgrFn, A: r.regexMgr.ID(), B: uint64(k.Len()), C: 1})
+	if ok {
 		return v.(*regex.Regex), nil
 	}
 	re, err := r.cpu.RegexCompile(fn, pattern)
 	if err != nil {
 		return nil, err
 	}
-	r.cpu.HashSet(mgrFn, r.regexMgr, hashmap.StrKey(pattern), re, true)
+	r.cpu.HashSet(mgrFn, r.regexMgr, k, re, true)
+	r.record(trace.Event{Kind: trace.KindHashSet, Fn: mgrFn, A: r.regexMgr.ID(), B: uint64(k.Len()), C: 1})
 	return re, nil
 }
 

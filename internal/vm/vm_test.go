@@ -247,6 +247,37 @@ func TestTraceRecording(t *testing.T) {
 	}
 }
 
+// TestRegexCacheLookupTraced is the regression test for regex manager
+// cache hits bypassing the trace: both the miss (compile) and the hit
+// must record the dynamic-key hash access attributed to the manager.
+func TestRegexCacheLookupTraced(t *testing.T) {
+	r := New(Config{TraceCapacity: 0})
+	pattern := `<[a-z]+>`
+	r.MustRegex("f", pattern) // miss: get + compile + set
+	r.MustRegex("f", pattern) // hit: get only
+	var gets, sets int
+	for _, e := range r.Trace().Events() {
+		if e.Fn != "regex_cache_lookup" {
+			continue
+		}
+		if e.C != 1 {
+			t.Errorf("regex manager access not marked dynamic: %+v", e)
+		}
+		if e.B != uint64(len(pattern)) {
+			t.Errorf("key length %d, want %d", e.B, len(pattern))
+		}
+		switch e.Kind {
+		case trace.KindHashGet:
+			gets++
+		case trace.KindHashSet:
+			sets++
+		}
+	}
+	if gets != 2 || sets != 1 {
+		t.Errorf("regex manager trace: %d gets, %d sets; want 2 gets (miss+hit), 1 set", gets, sets)
+	}
+}
+
 func TestTracingDisabled(t *testing.T) {
 	r := New(Config{TraceCapacity: -1})
 	if r.Trace() != nil {

@@ -1,6 +1,9 @@
 package workload
 
 import (
+	"sort"
+	"time"
+
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -59,15 +62,65 @@ func (k KeyStats) DynamicFrac() float64 {
 	return float64(k.DynamicKeys) / float64(k.TotalKeys)
 }
 
-// Result is one measured load-generation run.
+// LatencyStats summarizes the per-request wall-clock latency distribution
+// of a measured run — the tail percentiles the serving literature reports
+// alongside throughput.
+type LatencyStats struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// LatencyStatsFrom computes the distribution summary over per-request
+// wall latencies. The input is not modified.
+func LatencyStatsFrom(d []time.Duration) LatencyStats {
+	if len(d) == 0 {
+		return LatencyStats{}
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pct := func(q float64) time.Duration {
+		// Nearest-rank percentile: the smallest value with at least q of
+		// the distribution at or below it.
+		idx := int(q*float64(len(s))+0.9999999) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	var sum time.Duration
+	for _, v := range s {
+		sum += v
+	}
+	return LatencyStats{
+		Count: len(s),
+		Mean:  sum / time.Duration(len(s)),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+		Max:   s[len(s)-1],
+	}
+}
+
+// Result is one measured load-generation run. Serial runs set Workers to
+// 1; Pool.Run reports the fleet-level aggregate across all workers.
 type Result struct {
 	App           string
 	Requests      int
+	Workers       int
 	ResponseBytes int64
 	Cycles        float64
 	Uops          float64
 	EnergyPJ      float64
 	Keys          KeyStats
+	Wall          time.Duration
+	Latency       LatencyStats
 }
 
 // CyclesPerRequest returns the mean request cost.
@@ -76,6 +129,15 @@ func (r Result) CyclesPerRequest() float64 {
 		return 0
 	}
 	return r.Cycles / float64(r.Requests)
+}
+
+// Throughput returns measured requests per wall-clock second (0 when the
+// run recorded no wall time).
+func (r Result) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Wall.Seconds()
 }
 
 // Run drives the workload: warmup (costs discarded, accelerator state
@@ -94,24 +156,29 @@ func (lg LoadGenerator) Run(rt *vm.Runtime, app App) Result {
 		rt.Trace().Reset()
 	}
 
-	res := Result{App: app.Name(), Requests: lg.Requests}
+	res := Result{App: app.Name(), Requests: lg.Requests, Workers: 1}
+	lats := make([]time.Duration, 0, lg.Requests)
+	start := time.Now()
 	for i := 0; i < lg.Requests; i++ {
+		reqStart := time.Now()
 		page := app.ServeRequest(rt)
+		lats = append(lats, time.Since(reqStart))
 		res.ResponseBytes += int64(len(page))
 		if lg.ContextSwitchEvery > 0 && (i+1)%lg.ContextSwitchEvery == 0 {
 			rt.ContextSwitch()
 		}
 	}
+	res.Wall = time.Since(start)
+	res.Latency = LatencyStatsFrom(lats)
 	res.Cycles = rt.Meter().TotalCycles()
 	res.Uops = rt.Meter().TotalUops()
 	res.EnergyPJ = rt.Meter().TotalEnergy()
-	res.Keys = keyStatsFromTrace(rt)
+	res.Keys = keyStatsFromTrace(rt.Trace())
 	return res
 }
 
-func keyStatsFromTrace(rt *vm.Runtime) KeyStats {
+func keyStatsFromTrace(rec *trace.Recorder) KeyStats {
 	var ks KeyStats
-	rec := rt.Trace()
 	if rec == nil {
 		return ks
 	}

@@ -1,0 +1,224 @@
+// Multi-worker serving layer: the Go analogue of the paper's evaluation
+// stack, which drives oss-performance load at a pool of HHVM request
+// workers (§5.1). Each Worker owns a private vm.Runtime — its own
+// accelerators, meter, and trace — so workers share no mutable state and
+// run freely on separate goroutines; the fleet-level Result is produced
+// by merging the per-worker meters and traces after the goroutines join.
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Worker is one serving slot: a private runtime plus the app instance
+// bound to it. A worker must be owned by exactly one goroutine at a time;
+// ownership is transferred through Pool.Acquire/Release.
+type Worker struct {
+	id  int
+	rt  *vm.Runtime
+	app App
+
+	served    int
+	respBytes int64
+	latencies []time.Duration
+}
+
+// ID returns the worker's index in the pool.
+func (w *Worker) ID() int { return w.id }
+
+// Runtime exposes the worker's private runtime. Callers must hold
+// ownership of the worker (via Pool.Acquire or inside Pool.Run).
+func (w *Worker) Runtime() *vm.Runtime { return w.rt }
+
+// Served returns how many requests this worker has served since its last
+// reset.
+func (w *Worker) Served() int { return w.served }
+
+// ServeOne renders one request on the worker's runtime, recording its
+// wall-clock latency and response size.
+func (w *Worker) ServeOne() []byte {
+	start := time.Now()
+	page := w.app.ServeRequest(w.rt)
+	w.latencies = append(w.latencies, time.Since(start))
+	w.served++
+	w.respBytes += int64(len(page))
+	return page
+}
+
+// reset discards accumulated measurements but keeps runtime state warm.
+func (w *Worker) reset() {
+	w.rt.Meter().Reset()
+	if w.rt.Trace() != nil {
+		w.rt.Trace().Reset()
+	}
+	w.served = 0
+	w.respBytes = 0
+	w.latencies = w.latencies[:0]
+}
+
+// Pool owns n independent workers and hands them out one goroutine at a
+// time. Worker i runs app appName seeded with seed+i, so a pool run is
+// deterministic in its simulated metrics (cycles, uops, energy) even
+// though wall-clock latencies vary.
+type Pool struct {
+	workers []*Worker
+	free    chan *Worker
+}
+
+// NewPool builds n workers, each with a fresh runtime from cfg and its
+// own app instance.
+func NewPool(n int, cfg vm.Config, appName string, seed int64) (*Pool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: pool needs at least 1 worker, got %d", n)
+	}
+	p := &Pool{free: make(chan *Worker, n)}
+	for i := 0; i < n; i++ {
+		app, err := ByName(appName, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		w := &Worker{id: i, rt: vm.New(cfg), app: app}
+		p.workers = append(p.workers, w)
+		p.free <- w
+	}
+	return p, nil
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Acquire blocks until a worker is free and transfers its ownership to
+// the caller. Pair with Release.
+func (p *Pool) Acquire() *Worker { return <-p.free }
+
+// Release returns a worker to the free list.
+func (p *Pool) Release(w *Worker) { p.free <- w }
+
+// acquireAll takes exclusive ownership of every worker, blocking until
+// in-flight requests drain.
+func (p *Pool) acquireAll() {
+	for range p.workers {
+		<-p.free
+	}
+}
+
+func (p *Pool) releaseAll() {
+	for _, w := range p.workers {
+		p.free <- w
+	}
+}
+
+// MergedMeter returns a fresh meter aggregating every worker's cost
+// statistics. It blocks until all workers are idle.
+func (p *Pool) MergedMeter() *sim.Meter {
+	p.acquireAll()
+	defer p.releaseAll()
+	return p.mergedMeterOwned()
+}
+
+// mergedMeterOwned requires the caller to hold every worker.
+func (p *Pool) mergedMeterOwned() *sim.Meter {
+	mt := sim.NewMeter(p.workers[0].rt.Meter().Model)
+	for _, w := range p.workers {
+		mt.Merge(w.rt.Meter())
+	}
+	return mt
+}
+
+// MergedTrace returns a fresh unbounded recorder holding every worker's
+// retained events, grouped by worker. It returns nil when tracing is
+// disabled and blocks until all workers are idle.
+func (p *Pool) MergedTrace() *trace.Recorder {
+	p.acquireAll()
+	defer p.releaseAll()
+	return p.mergedTraceOwned()
+}
+
+func (p *Pool) mergedTraceOwned() *trace.Recorder {
+	if p.workers[0].rt.Trace() == nil {
+		return nil
+	}
+	rec := trace.NewRecorder(0)
+	for _, w := range p.workers {
+		rec.Merge(w.rt.Trace())
+	}
+	return rec
+}
+
+// Run drives the load generator across the pool: every worker serves the
+// full warmup phase (bringing its private accelerator state and metadata
+// caches to steady state, costs discarded), then lg.Requests measured
+// requests are statically partitioned across workers and served on one
+// goroutine per worker, at most concurrency workers executing at once
+// (<=0 means all). The static partition keeps the simulated metrics
+// deterministic for a given pool regardless of scheduling.
+func (p *Pool) Run(lg LoadGenerator, concurrency int) Result {
+	p.acquireAll()
+	defer p.releaseAll()
+
+	n := len(p.workers)
+	if concurrency <= 0 || concurrency > n {
+		concurrency = n
+	}
+	counts := make([]int, n)
+	for i := 0; i < lg.Requests; i++ {
+		counts[i%n]++
+	}
+
+	sem := make(chan struct{}, concurrency)
+	runPhase := func(f func(w *Worker, count int)) {
+		var wg sync.WaitGroup
+		for i, w := range p.workers {
+			wg.Add(1)
+			go func(w *Worker, count int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				f(w, count)
+			}(w, counts[i])
+		}
+		wg.Wait()
+	}
+
+	runPhase(func(w *Worker, _ int) {
+		for i := 0; i < lg.Warmup; i++ {
+			w.app.ServeRequest(w.rt)
+			if lg.ContextSwitchEvery > 0 && (i+1)%lg.ContextSwitchEvery == 0 {
+				w.rt.ContextSwitch()
+			}
+		}
+		w.reset()
+	})
+
+	start := time.Now()
+	runPhase(func(w *Worker, count int) {
+		for i := 0; i < count; i++ {
+			w.ServeOne()
+			if lg.ContextSwitchEvery > 0 && (i+1)%lg.ContextSwitchEvery == 0 {
+				w.rt.ContextSwitch()
+			}
+		}
+	})
+	wall := time.Since(start)
+
+	res := Result{App: p.workers[0].app.Name(), Workers: n, Wall: wall}
+	var lats []time.Duration
+	for _, w := range p.workers {
+		res.Requests += w.served
+		res.ResponseBytes += w.respBytes
+		lats = append(lats, w.latencies...)
+	}
+	res.Latency = LatencyStatsFrom(lats)
+	mt := p.mergedMeterOwned()
+	res.Cycles = mt.TotalCycles()
+	res.Uops = mt.TotalUops()
+	res.EnergyPJ = mt.TotalEnergy()
+	res.Keys = keyStatsFromTrace(p.mergedTraceOwned())
+	return res
+}

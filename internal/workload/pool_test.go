@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func swConfig() vm.Config {
+	return vm.Config{Mitigations: sim.AllMitigations()}
+}
+
+func hwConfig() vm.Config {
+	return vm.Config{Features: isa.AllAccelerators(), Mitigations: sim.AllMitigations()}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(0, swConfig(), "wordpress", 1); err == nil {
+		t.Errorf("0 workers should error")
+	}
+	if _, err := NewPool(2, swConfig(), "rails", 1); err == nil {
+		t.Errorf("unknown app should error")
+	}
+	p, err := NewPool(3, swConfig(), "wordpress", 1)
+	if err != nil || p.Size() != 3 {
+		t.Fatalf("NewPool = %v, %v", p, err)
+	}
+}
+
+// TestPoolRunFourWorkers is the acceptance test: a pool with >= 4 workers
+// serving concurrently (run under -race), producing a merged fleet result
+// with sane latency percentiles and throughput.
+func TestPoolRunFourWorkers(t *testing.T) {
+	p, err := NewPool(4, swConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := LoadGenerator{Warmup: 6, Requests: 24, ContextSwitchEvery: 8}
+	res := p.Run(lg, 0)
+	if res.Requests != 24 || res.Workers != 4 {
+		t.Fatalf("fleet result header wrong: %+v", res)
+	}
+	if res.Cycles <= 0 || res.Uops <= 0 || res.ResponseBytes <= 0 {
+		t.Errorf("no measured work: %+v", res)
+	}
+	if res.Keys.TotalKeys == 0 {
+		t.Errorf("merged trace produced no key stats")
+	}
+	l := res.Latency
+	if l.Count != 24 {
+		t.Errorf("latency count %d, want 24", l.Count)
+	}
+	if l.P50 <= 0 || l.P50 > l.P95 || l.P95 > l.P99 || l.P99 > l.Max {
+		t.Errorf("percentiles out of order: %+v", l)
+	}
+	if res.Wall <= 0 || res.Throughput() <= 0 {
+		t.Errorf("throughput not measured: wall=%v", res.Wall)
+	}
+}
+
+// TestPoolDeterministicMetrics: the static request partition plus
+// per-worker seeds make the simulated metrics independent of goroutine
+// scheduling.
+func TestPoolDeterministicMetrics(t *testing.T) {
+	run := func(concurrency int) Result {
+		p, err := NewPool(4, hwConfig(), "mediawiki", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Run(LoadGenerator{Warmup: 4, Requests: 18, ContextSwitchEvery: 8}, concurrency)
+	}
+	// TotalCycles sums a map in randomized iteration order, so allow
+	// float-summation jitter at the ulp scale; real nondeterminism (e.g.
+	// scheduling-dependent map IDs) shows up orders of magnitude larger.
+	same := func(x, y float64) bool {
+		return math.Abs(x-y) <= 1e-9*math.Max(math.Abs(x), math.Abs(y))
+	}
+	a, b, c := run(0), run(0), run(2)
+	if !same(a.Cycles, b.Cycles) || !same(a.Uops, b.Uops) || !same(a.EnergyPJ, b.EnergyPJ) {
+		t.Errorf("pool metrics not deterministic: %v vs %v cycles", a.Cycles, b.Cycles)
+	}
+	if a.ResponseBytes != b.ResponseBytes {
+		t.Errorf("response bytes not deterministic")
+	}
+	// Bounding concurrency changes scheduling but not the simulated work.
+	if !same(a.Cycles, c.Cycles) {
+		t.Errorf("concurrency bound changed simulated cycles: %v vs %v", a.Cycles, c.Cycles)
+	}
+}
+
+// TestPoolRatiosMatchSerial: per-config normalized cycle ratios from a
+// 4-worker pool must match the serial run within noise (the workers see
+// slightly different request streams via their per-worker seeds).
+func TestPoolRatiosMatchSerial(t *testing.T) {
+	lg := LoadGenerator{Warmup: 20, Requests: 40, ContextSwitchEvery: 32}
+
+	serialRatio := func(name string) float64 {
+		base, _ := ByName(name, 4)
+		accel, _ := ByName(name, 4)
+		sw := lg.Run(vm.New(swConfig()), base)
+		hw := lg.Run(vm.New(hwConfig()), accel)
+		return hw.Cycles / sw.Cycles
+	}
+	poolRatio := func(name string) float64 {
+		swPool, err := NewPool(4, swConfig(), name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hwPool, err := NewPool(4, hwConfig(), name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := swPool.Run(lg, 0)
+		hw := hwPool.Run(lg, 0)
+		return hw.Cycles / sw.Cycles
+	}
+
+	for _, name := range []string{"wordpress", "drupal"} {
+		s, p := serialRatio(name), poolRatio(name)
+		if s <= 0 || p <= 0 {
+			t.Fatalf("%s: degenerate ratios serial=%v pool=%v", name, s, p)
+		}
+		if diff := p/s - 1; diff > 0.10 || diff < -0.10 {
+			t.Errorf("%s: pool accel ratio %0.4f vs serial %0.4f (off by %0.1f%%)",
+				name, p, s, 100*diff)
+		}
+	}
+}
+
+// TestPoolAcquireReleaseConcurrent exercises the phpserve dispatch path:
+// many goroutines competing for workers, each serving requests on
+// whichever worker is free.
+func TestPoolAcquireReleaseConcurrent(t *testing.T) {
+	p, err := NewPool(4, swConfig(), "drupal", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, perClient = 8, 5
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				w := p.Acquire()
+				if page := w.ServeOne(); len(page) == 0 {
+					t.Error("empty page from pool worker")
+				}
+				p.Release(w)
+			}
+		}()
+	}
+	wg.Wait()
+	mt := p.MergedMeter()
+	if mt.TotalCycles() <= 0 {
+		t.Errorf("merged meter empty after concurrent serving")
+	}
+	total := 0
+	p.acquireAll()
+	for _, w := range p.workers {
+		total += w.Served()
+	}
+	p.releaseAll()
+	if total != clients*perClient {
+		t.Errorf("served %d requests, want %d", total, clients*perClient)
+	}
+}
+
+func TestPoolMoreWorkersThanRequests(t *testing.T) {
+	p, err := NewPool(6, swConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Run(LoadGenerator{Warmup: 1, Requests: 3}, 0)
+	if res.Requests != 3 {
+		t.Errorf("served %d, want 3", res.Requests)
+	}
+	if res.Latency.Count != 3 {
+		t.Errorf("latency count %d, want 3", res.Latency.Count)
+	}
+}
+
+func TestLatencyStatsPercentiles(t *testing.T) {
+	var d []time.Duration
+	for i := 1; i <= 100; i++ {
+		d = append(d, time.Duration(i)*time.Millisecond)
+	}
+	l := LatencyStatsFrom(d)
+	if l.Count != 100 {
+		t.Errorf("count %d", l.Count)
+	}
+	if l.P50 != 50*time.Millisecond || l.P95 != 95*time.Millisecond || l.P99 != 99*time.Millisecond {
+		t.Errorf("percentiles wrong: p50=%v p95=%v p99=%v", l.P50, l.P95, l.P99)
+	}
+	if l.Max != 100*time.Millisecond {
+		t.Errorf("max %v", l.Max)
+	}
+	if l.Mean != 50500*time.Microsecond {
+		t.Errorf("mean %v", l.Mean)
+	}
+	if z := LatencyStatsFrom(nil); z.Count != 0 || z.P99 != 0 {
+		t.Errorf("empty input should zero out: %+v", z)
+	}
+}
+
+func TestThroughputGuardsZeroWall(t *testing.T) {
+	if r := (Result{Requests: 10}); r.Throughput() != 0 {
+		t.Errorf("zero wall must not divide: %v", r.Throughput())
+	}
+	if r := (Result{}); r.CyclesPerRequest() != 0 {
+		t.Errorf("zero requests must not divide")
+	}
+}
