@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench docs-check check
 
 all: check
 
@@ -13,6 +13,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fail if exported identifiers in the observability package lack doc
+# comments — its API is the operator-facing surface (docs/OPERATIONS.md).
+docs-check:
+	sh scripts/docs_check.sh internal/obs
 
 test:
 	$(GO) test ./...
@@ -23,4 +28,4 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-check: build vet race
+check: build vet docs-check race

@@ -8,7 +8,12 @@
 // Usage:
 //
 //	loadgen [-apps wordpress,drupal,mediawiki] [-requests 200] [-warmup 300]
-//	        [-workers 1] [-concurrency 0]
+//	        [-workers 1] [-concurrency 0] [-breakdown]
+//
+// With -breakdown (the default) each row is followed by the per-category
+// cycle attribution — the paper's four accelerated activities plus the
+// abstraction/kernel/other remainder — so a run shows *where* the cycles
+// went, not just how many there were (the Fig. 5 view of the run).
 package main
 
 import (
@@ -31,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed (worker i uses seed+i)")
 	workers := flag.Int("workers", 1, "request workers (independent runtimes)")
 	concurrency := flag.Int("concurrency", 0, "workers executing at once (0 = all)")
+	breakdown := flag.Bool("breakdown", true, "print the per-category cycle breakdown under each row")
 	flag.Parse()
 
 	if *requests <= 0 {
@@ -93,8 +99,27 @@ func main() {
 				fmtLatency(res.Latency.P50),
 				fmtLatency(res.Latency.P95),
 				fmtLatency(res.Latency.P99))
+			if *breakdown {
+				fmt.Printf("  %-10s %s\n", "", breakdownLine(res))
+			}
 		}
 	}
+}
+
+// breakdownLine renders the per-category cycle shares of one run,
+// skipping categories the configuration eliminated (e.g. refcount under
+// hardware reference counting).
+func breakdownLine(res workload.Result) string {
+	var b strings.Builder
+	b.WriteString("breakdown:")
+	for _, c := range sim.Categories() {
+		share := res.CategoryShare(c)
+		if share == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s %.1f%%", c, 100*share)
+	}
+	return b.String()
 }
 
 // fmtLatency renders a latency compactly (µs below 10ms, ms above).

@@ -1,60 +1,63 @@
 // Command phpserve exposes a simulated PHP workload over HTTP, the way
 // the paper's evaluation serves WordPress/Drupal/MediaWiki from a pool
 // of HHVM request workers behind a web frontend (§5.1). Each incoming
-// request is routed to a free worker (its own vm.Runtime); /stats
-// reports fleet-level simulated cost totals and wall-latency
-// percentiles so an external load generator (ab, wrk, hey) can drive
-// the server and the simulated architecture side by side.
+// request is routed to a free worker (its own vm.Runtime). The server
+// carries the full observability stack: /stats for a human-readable
+// JSON snapshot, /metrics in Prometheus text format (per-category cycle
+// counters, latency histogram, accelerator and cache counters), sampled
+// per-request attribution spans written to a JSON-lines access log, and
+// optional net/http/pprof endpoints.
 //
 // Usage:
 //
 //	phpserve [-addr :8080] [-app wordpress] [-config accelerated]
 //	         [-workers 4] [-seed 1] [-warmup 300] [-ctxswitch 64]
+//	         [-sample 0.01] [-accesslog path|-] [-pprof] [-tracebuf 4096]
 //
 // Endpoints:
 //
-//	GET /        render one page on a free worker
-//	GET /stats   JSON fleet statistics
-//	GET /healthz liveness probe
+//	GET /             render one page on a free worker
+//	GET /stats        JSON fleet statistics
+//	GET /metrics      Prometheus text-format metrics
+//	GET /healthz      liveness probe
+//	GET /debug/pprof/ Go profiling (only with -pprof)
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
-	"sync"
 	"time"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
-// maxRetainedLatencies bounds the latency reservoir; beyond it the
-// oldest half is discarded so /stats percentiles track recent traffic.
-const maxRetainedLatencies = 1 << 16
-
 // server routes requests to free pool workers and aggregates
-// serving-side statistics across all of them.
+// serving-side statistics across all of them through an obs.Collector.
 type server struct {
 	pool           *workload.Pool
+	col            *obs.Collector
 	app            string
 	config         string
 	ctxSwitchEvery int
+	pprofEnabled   bool
 	start          time.Time
-
-	mu        sync.Mutex
-	requests  int64
-	respBytes int64
-	latencies []time.Duration
 }
 
-func newServer(pool *workload.Pool, app, config string, ctxSwitchEvery int) *server {
+func newServer(pool *workload.Pool, col *obs.Collector, app, config string, ctxSwitchEvery int) *server {
 	return &server{
 		pool:           pool,
+		col:            col,
 		app:            app,
 		config:         config,
 		ctxSwitchEvery: ctxSwitchEvery,
@@ -66,9 +69,17 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleRender)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if s.pprofEnabled {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -79,24 +90,36 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	wk := s.pool.Acquire()
-	page := wk.ServeOne()
+	var page []byte
+	var sp obs.Span
+	if s.col.ShouldSample() {
+		page, sp = wk.ServeOneProfiled()
+	} else {
+		page = wk.ServeOne()
+	}
 	if s.ctxSwitchEvery > 0 && wk.Served()%s.ctxSwitchEvery == 0 {
 		wk.Runtime().ContextSwitch()
 	}
 	s.pool.Release(wk)
-	elapsed := time.Since(start)
-
-	s.mu.Lock()
-	s.requests++
-	s.respBytes += int64(len(page))
-	if len(s.latencies) >= maxRetainedLatencies {
-		s.latencies = append(s.latencies[:0], s.latencies[len(s.latencies)/2:]...)
-	}
-	s.latencies = append(s.latencies, elapsed)
-	s.mu.Unlock()
+	sp.Worker = wk.ID()
+	// Report latency as the client saw it: queueing for a free worker
+	// included, not just the render.
+	sp.Wall = time.Since(start)
+	s.col.Observe(sp, len(page))
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.Write(page)
+}
+
+// finite clamps NaN and ±Inf to 0 so a zero-request or zero-cycle
+// snapshot still encodes as valid JSON (encoding/json rejects
+// non-finite floats outright, turning a cold /stats scrape into a 200
+// with a half-written body).
+func finite(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
 }
 
 // statsResponse is the /stats JSON shape. Latencies are reported in
@@ -106,6 +129,7 @@ type statsResponse struct {
 	Config         string  `json:"config"`
 	Workers        int     `json:"workers"`
 	Requests       int64   `json:"requests"`
+	SampledSpans   int64   `json:"sampled_spans"`
 	ResponseBytes  int64   `json:"response_bytes"`
 	UptimeSec      float64 `json:"uptime_sec"`
 	RequestsPerSec float64 `json:"requests_per_sec"`
@@ -120,46 +144,183 @@ type statsResponse struct {
 	SimUops          float64 `json:"sim_uops"`
 	SimEnergyPJ      float64 `json:"sim_energy_pj"`
 	CyclesPerRequest float64 `json:"cycles_per_request"`
+
+	SimCategoryCycles map[string]float64 `json:"sim_category_cycles"`
+	SimCategoryShare  map[string]float64 `json:"sim_category_share"`
+
+	HashTableHitRatio  float64 `json:"hashtable_hit_ratio"`
+	HashMapRebuilds    int64   `json:"hashmap_rebuilds"`
+	RegexCacheHitRatio float64 `json:"regex_cache_hit_ratio"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	reqs := s.requests
-	bytes := s.respBytes
-	lat := workload.LatencyStatsFrom(s.latencies)
-	s.mu.Unlock()
-
-	// MergedMeter drains the free list, so it also acts as a barrier:
+	snap := s.col.Snapshot()
+	lat := workload.LatencyStatsFrom(snap.Latencies)
+	// Pool.Snapshot drains the free list, so it also acts as a barrier:
 	// in-flight renders finish before their costs are aggregated.
-	mt := s.pool.MergedMeter()
+	ps := s.pool.Snapshot()
+	cats := ps.Meter.CategoryCyclesVec()
+	total := cats.Total()
 
 	up := time.Since(s.start).Seconds()
 	resp := statsResponse{
-		App:           s.app,
-		Config:        s.config,
-		Workers:       s.pool.Size(),
-		Requests:      reqs,
-		ResponseBytes: bytes,
-		UptimeSec:     up,
-		LatencyP50Us:  lat.P50.Microseconds(),
-		LatencyP95Us:  lat.P95.Microseconds(),
-		LatencyP99Us:  lat.P99.Microseconds(),
-		LatencyMaxUs:  lat.Max.Microseconds(),
-		LatencyMeanUs: lat.Mean.Microseconds(),
-		SimCycles:     mt.TotalCycles(),
-		SimUops:       mt.TotalUops(),
-		SimEnergyPJ:   mt.TotalEnergy(),
+		App:               s.app,
+		Config:            s.config,
+		Workers:           s.pool.Size(),
+		Requests:          snap.Requests,
+		SampledSpans:      snap.SampledSpans,
+		ResponseBytes:     snap.ResponseBytes,
+		UptimeSec:         up,
+		LatencyP50Us:      lat.P50.Microseconds(),
+		LatencyP95Us:      lat.P95.Microseconds(),
+		LatencyP99Us:      lat.P99.Microseconds(),
+		LatencyMaxUs:      lat.Max.Microseconds(),
+		LatencyMeanUs:     lat.Mean.Microseconds(),
+		SimCycles:         total,
+		SimUops:           ps.Meter.TotalUops(),
+		SimEnergyPJ:       ps.Meter.TotalEnergy(),
+		SimCategoryCycles: make(map[string]float64, sim.NumCategories),
+		SimCategoryShare:  make(map[string]float64, sim.NumCategories),
+		HashMapRebuilds:   ps.Accel.MapRebuilds,
 	}
 	if up > 0 {
-		resp.RequestsPerSec = float64(reqs) / up
+		resp.RequestsPerSec = finite(float64(snap.Requests) / up)
 	}
-	if reqs > 0 {
-		resp.CyclesPerRequest = resp.SimCycles / float64(reqs)
+	if snap.Requests > 0 {
+		resp.CyclesPerRequest = finite(total / float64(snap.Requests))
+	}
+	for _, c := range sim.Categories() {
+		resp.SimCategoryCycles[c.String()] = cats[c]
+		if total > 0 {
+			resp.SimCategoryShare[c.String()] = finite(cats[c] / total)
+		} else {
+			resp.SimCategoryShare[c.String()] = 0
+		}
+	}
+	resp.HashTableHitRatio = finite(ps.Accel.HashTable.HitRate())
+	if ps.Accel.RegexLookups > 0 {
+		resp.RegexCacheHitRatio = finite(float64(ps.Accel.RegexHits) / float64(ps.Accel.RegexLookups))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(resp)
+}
+
+// handleMetrics renders the Prometheus text-format exposition. Every
+// series it exports is documented in docs/OPERATIONS.md.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.col.Snapshot()
+	lat := workload.LatencyStatsFrom(snap.Latencies)
+	ps := s.pool.Snapshot()
+	cats := ps.Meter.CategoryCyclesVec()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e := obs.NewEncoder(w)
+	base := []obs.Label{{Name: "app", Value: s.app}, {Name: "config", Value: s.config}}
+
+	e.Counter("phpserve_requests_total",
+		"Requests served since startup.",
+		obs.Sample{Labels: base, Value: float64(snap.Requests)})
+	e.Counter("phpserve_response_bytes_total",
+		"Response body bytes written since startup.",
+		obs.Sample{Labels: base, Value: float64(snap.ResponseBytes)})
+	e.Counter("phpserve_sampled_spans_total",
+		"Requests that carried a per-request attribution span.",
+		obs.Sample{Labels: base, Value: float64(snap.SampledSpans)})
+	e.Gauge("phpserve_uptime_seconds",
+		"Seconds since the server started.",
+		obs.Sample{Value: time.Since(s.start).Seconds()})
+	e.Gauge("phpserve_workers",
+		"Configured pool size (request workers).",
+		obs.Sample{Value: float64(s.pool.Size())})
+	e.Gauge("phpserve_workers_busy",
+		"Workers currently serving a request (instantaneous).",
+		obs.Sample{Value: float64(s.pool.Size() - s.pool.Idle())})
+
+	e.Histogram("phpserve_request_latency_seconds",
+		"Request wall latency, queueing included.", nil, snap.Latency)
+	e.Summary("phpserve_request_latency_summary_seconds",
+		"Recent-request latency quantiles from the bounded reservoir.",
+		nil,
+		[]obs.Quantile{
+			{Q: 0.5, Value: lat.P50.Seconds()},
+			{Q: 0.95, Value: lat.P95.Seconds()},
+			{Q: 0.99, Value: lat.P99.Seconds()},
+		},
+		lat.Mean.Seconds()*float64(lat.Count), uint64(lat.Count))
+
+	catSamples := make([]obs.Sample, 0, sim.NumCategories)
+	for _, c := range sim.Categories() {
+		catSamples = append(catSamples, obs.Sample{
+			Labels: []obs.Label{{Name: "category", Value: c.String()}},
+			Value:  cats[c],
+		})
+	}
+	e.Counter("phpserve_sim_cycles_total",
+		"Simulated cycles by activity category, fleet-wide since warmup.",
+		catSamples...)
+	e.Counter("phpserve_sim_uops_total",
+		"Simulated micro-ops executed on the general-purpose cores.",
+		obs.Sample{Value: ps.Meter.TotalUops()})
+	e.Counter("phpserve_sim_energy_picojoules_total",
+		"Simulated energy in picojoules (core + accelerators).",
+		obs.Sample{Value: ps.Meter.TotalEnergy()})
+
+	accelCyc := make([]obs.Sample, 0, 4)
+	accelCalls := make([]obs.Sample, 0, 4)
+	for _, k := range sim.AccelKinds() {
+		l := []obs.Label{{Name: "accel", Value: k.String()}}
+		accelCyc = append(accelCyc, obs.Sample{Labels: l, Value: ps.Meter.AccelCycles(k)})
+		accelCalls = append(accelCalls, obs.Sample{Labels: l, Value: float64(ps.Meter.AccelCalls(k))})
+	}
+	e.Counter("phpserve_accel_cycles_total",
+		"Cycles spent inside each accelerator datapath.", accelCyc...)
+	e.Counter("phpserve_accel_calls_total",
+		"Invocations of each accelerator.", accelCalls...)
+
+	ht := ps.Accel.HashTable
+	e.Counter("phpserve_hashtable_gets_total",
+		"Hardware hash table GET requests.", obs.Sample{Value: float64(ht.Gets)})
+	e.Counter("phpserve_hashtable_get_hits_total",
+		"Hardware hash table GETs served without software.", obs.Sample{Value: float64(ht.GetHits)})
+	e.Counter("phpserve_hashtable_sets_total",
+		"Hardware hash table SET requests.", obs.Sample{Value: float64(ht.Sets)})
+	e.Counter("phpserve_hashtable_writebacks_total",
+		"Key/value pairs written back to software maps.", obs.Sample{Value: float64(ht.Writebacks)})
+	e.Gauge("phpserve_hashtable_hit_ratio",
+		"Hardware hash table GET hit fraction (0 when no GETs).",
+		obs.Sample{Value: finite(ht.HitRate())})
+	e.Counter("phpserve_hashmap_rebuilds_total",
+		"Stale hash-index rebuilds (coherence events) across all workers.",
+		obs.Sample{Value: float64(ps.Accel.MapRebuilds)})
+
+	e.Counter("phpserve_regex_cache_lookups_total",
+		"Regexp manager pattern-cache probes.",
+		obs.Sample{Value: float64(ps.Accel.RegexLookups)})
+	e.Counter("phpserve_regex_cache_hits_total",
+		"Regexp manager probes that found a compiled FSM.",
+		obs.Sample{Value: float64(ps.Accel.RegexHits)})
+	ratio := 0.0
+	if ps.Accel.RegexLookups > 0 {
+		ratio = finite(float64(ps.Accel.RegexHits) / float64(ps.Accel.RegexLookups))
+	}
+	e.Gauge("phpserve_regex_cache_hit_ratio",
+		"Regexp manager cache hit fraction (0 when no lookups).",
+		obs.Sample{Value: ratio})
+
+	if ps.Trace != nil {
+		totals := ps.Trace.KindTotals()
+		kinds := make([]obs.Sample, 0, trace.NumKinds)
+		for k := 0; k < trace.NumKinds; k++ {
+			kinds = append(kinds, obs.Sample{
+				Labels: []obs.Label{{Name: "kind", Value: trace.Kind(k).String()}},
+				Value:  float64(totals[k]),
+			})
+		}
+		e.Counter("phpserve_trace_events_total",
+			"Operation trace events recorded, by kind, since warmup.", kinds...)
+	}
 }
 
 // configByName maps the CLI -config choice to a vm.Config.
@@ -184,6 +345,18 @@ func warmPool(p *workload.Pool, warmup, ctxSwitchEvery int) {
 	p.Run(workload.LoadGenerator{Warmup: warmup, Requests: 0, ContextSwitchEvery: ctxSwitchEvery}, 0)
 }
 
+// accessLogWriter resolves the -accesslog flag: "" disables, "-" is
+// stdout, anything else is appended to as a file.
+func accessLogWriter(path string) (io.Writer, error) {
+	switch path {
+	case "":
+		return nil, nil
+	case "-":
+		return os.Stdout, nil
+	}
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	app := flag.String("app", "wordpress", "workload to serve (wordpress, drupal, mediawiki)")
@@ -192,6 +365,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed (worker i uses seed+i)")
 	warmup := flag.Int("warmup", 300, "warmup requests per worker before listening")
 	ctxSwitch := flag.Int("ctxswitch", 64, "context switch every n requests per worker (0 disables)")
+	sample := flag.Float64("sample", 0.01, "per-request span sampling rate in [0,1]")
+	accessLog := flag.String("accesslog", "", "JSON-lines access log for sampled spans (path, - for stdout, empty disables)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	traceBuf := flag.Int("tracebuf", 4096, "per-worker operation trace ring size (0 unbounded — leaks on a long-running server; -1 disables tracing)")
 	flag.Parse()
 
 	if *workers <= 0 {
@@ -205,7 +382,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	cfg.TraceCapacity = *traceBuf
 	pool, err := workload.NewPool(*workers, cfg, *app, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logW, err := accessLogWriter(*accessLog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -215,8 +398,14 @@ func main() {
 		*workers, *app, *warmup, *config)
 	warmPool(pool, *warmup, *ctxSwitch)
 
-	srv := newServer(pool, *app, *config, *ctxSwitch)
-	fmt.Printf("phpserve: listening on %s\n", *addr)
+	col := obs.NewCollector(*sample, logW, nil)
+	srv := newServer(pool, col, *app, *config, *ctxSwitch)
+	srv.pprofEnabled = *pprofFlag
+	fmt.Printf("phpserve: listening on %s (sample rate %g", *addr, *sample)
+	if *pprofFlag {
+		fmt.Print(", pprof on")
+	}
+	fmt.Println(")")
 	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,33 +1,43 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
-func testServer(t *testing.T, workers int) *server {
+// testServer builds a warmed server. sampleRate 1 profiles every
+// request; logW may be nil.
+func testServer(t *testing.T, workers, warmup int, sampleRate float64, logW io.Writer) *server {
 	t.Helper()
 	cfg, err := configByName("accelerated")
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg.TraceCapacity = 1024
 	pool, err := workload.NewPool(workers, cfg, "wordpress", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmPool(pool, 2, 0)
-	return newServer(pool, "wordpress", "accelerated", 8)
+	warmPool(pool, warmup, 0)
+	return newServer(pool, obs.NewCollector(sampleRate, logW, nil), "wordpress", "accelerated", 8)
 }
 
 func TestServeConcurrentRequests(t *testing.T) {
-	s := testServer(t, 4)
+	var logBuf bytes.Buffer
+	s := testServer(t, 4, 2, 1, &logBuf)
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 
@@ -72,6 +82,9 @@ func TestServeConcurrentRequests(t *testing.T) {
 	if st.Requests != clients*perClient {
 		t.Errorf("stats requests = %d, want %d", st.Requests, clients*perClient)
 	}
+	if st.SampledSpans != st.Requests {
+		t.Errorf("sample rate 1: sampled %d of %d", st.SampledSpans, st.Requests)
+	}
 	if st.Workers != 4 || st.App != "wordpress" || st.Config != "accelerated" {
 		t.Errorf("stats header wrong: %+v", st)
 	}
@@ -84,10 +97,220 @@ func TestServeConcurrentRequests(t *testing.T) {
 	if st.ResponseBytes <= 0 {
 		t.Errorf("no response bytes counted")
 	}
+	for _, cat := range []string{"hash", "heap", "string", "regex"} {
+		if st.SimCategoryCycles[cat] <= 0 {
+			t.Errorf("category %s has no cycles: %v", cat, st.SimCategoryCycles)
+		}
+	}
+	var shareSum float64
+	for _, v := range st.SimCategoryShare {
+		shareSum += v
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Errorf("category shares sum to %v, want 1", shareSum)
+	}
+	if st.RegexCacheHitRatio <= 0 || st.RegexCacheHitRatio > 1 {
+		t.Errorf("regex cache hit ratio = %v", st.RegexCacheHitRatio)
+	}
+
+	// Every request was sampled, so the access log must hold one valid
+	// JSON line per request with an attribution breakdown.
+	lines := 0
+	sc := bufio.NewScanner(&logBuf)
+	for sc.Scan() {
+		var e obs.LogEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("access log line %d: %v", lines, err)
+		}
+		if !e.Sampled || e.Cycles <= 0 || len(e.Breakdown) == 0 {
+			t.Errorf("access log entry missing attribution: %+v", e)
+		}
+		if e.Worker < 0 || e.Worker >= 4 || e.Request == 0 {
+			t.Errorf("access log identity wrong: %+v", e)
+		}
+		lines++
+	}
+	if lines != clients*perClient {
+		t.Errorf("access log has %d lines, want %d", lines, clients*perClient)
+	}
+}
+
+// TestStatsZeroRequests is the NaN/Inf regression test: a freshly
+// started (even unwarmed) server must emit valid, finite JSON from
+// /stats before it has measured a single request.
+func TestStatsZeroRequests(t *testing.T) {
+	s := testServer(t, 2, 0, 0.01, nil)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), "NaN") || strings.Contains(string(body), "Inf") {
+		t.Fatalf("/stats emitted non-finite values: %s", body)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("zero-request /stats is not valid JSON: %v\n%s", err, body)
+	}
+	if st.Requests != 0 || st.CyclesPerRequest != 0 || st.RequestsPerSec < 0 {
+		t.Errorf("zero-request stats inconsistent: %+v", st)
+	}
+	for k, v := range st.SimCategoryShare {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("share %s non-finite after decode: %v", k, v)
+		}
+	}
+}
+
+var metricLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]Inf|[-+0-9.eE]+)$`)
+
+// TestMetricsEndpoint scrapes /metrics from a live server under a small
+// pooled workload and validates the Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t, 2, 2, 1, nil)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	for i := 0; i < 6; i++ {
+		resp, err := http.Get(ts.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.HasSuffix(text, "\n") {
+		t.Errorf("exposition must end with a newline")
+	}
+
+	// Every non-comment line must be a well-formed sample line.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !metricLine.MatchString(line) {
+			t.Errorf("malformed metric line: %q", line)
+		}
+	}
+
+	for _, want := range []string{
+		`phpserve_requests_total{app="wordpress",config="accelerated"} 6`,
+		`phpserve_sim_cycles_total{category="hash"}`,
+		`phpserve_sim_cycles_total{category="heap"}`,
+		`phpserve_sim_cycles_total{category="string"}`,
+		`phpserve_sim_cycles_total{category="regex"}`,
+		`phpserve_request_latency_seconds_bucket{le="+Inf"} 6`,
+		`phpserve_request_latency_seconds_count 6`,
+		`phpserve_request_latency_summary_seconds{quantile="0.5"}`,
+		`phpserve_workers 2`,
+		`phpserve_hashtable_hit_ratio`,
+		`phpserve_hashmap_rebuilds_total`,
+		`phpserve_regex_cache_hit_ratio`,
+		`phpserve_accel_cycles_total{accel="hash-table"}`,
+		`phpserve_trace_events_total{kind="hash-get"}`,
+		`# TYPE phpserve_request_latency_seconds histogram`,
+		`# TYPE phpserve_requests_total counter`,
+		`# TYPE phpserve_workers gauge`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Histogram buckets must be cumulative (non-decreasing).
+	var last float64 = -1
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "phpserve_request_latency_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Errorf("bucket counts not cumulative: %q after %v", line, last)
+		}
+		last = v
+	}
+
+	// Per-category cycle counters from /metrics must agree with /stats.
+	if !strings.Contains(text, "phpserve_sim_uops_total") {
+		t.Errorf("missing uops counter")
+	}
+}
+
+// TestMetricsZeroRequests: a cold scrape must still be valid exposition
+// (zero-sample series).
+func TestMetricsZeroRequests(t *testing.T) {
+	s := testServer(t, 1, 0, 0.01, nil)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	if !strings.Contains(text, "phpserve_request_latency_seconds_count 0") {
+		t.Errorf("zero-sample histogram missing count 0:\n%s", text)
+	}
+	if strings.Contains(text, "NaN") {
+		t.Errorf("cold scrape emitted NaN:\n%s", text)
+	}
+}
+
+func TestPprofGated(t *testing.T) {
+	s := testServer(t, 1, 0, 0, nil)
+	ts := httptest.NewServer(s.handler())
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof disabled: status %d, want 404", resp.StatusCode)
+	}
+	ts.Close()
+
+	s.pprofEnabled = true
+	ts = httptest.NewServer(s.handler())
+	defer ts.Close()
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof enabled: status %d", resp.StatusCode)
+	}
 }
 
 func TestNotFoundAndHealthz(t *testing.T) {
-	s := testServer(t, 1)
+	s := testServer(t, 1, 1, 0, nil)
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 
@@ -119,28 +342,6 @@ func TestConfigByName(t *testing.T) {
 	}
 	if _, err := configByName("turbo"); err == nil {
 		t.Errorf("unknown config should error")
-	}
-}
-
-func TestLatencyReservoirBounded(t *testing.T) {
-	s := testServer(t, 1)
-	s.mu.Lock()
-	for i := 0; i < maxRetainedLatencies; i++ {
-		s.latencies = append(s.latencies, 1)
-	}
-	s.mu.Unlock()
-	ts := httptest.NewServer(s.handler())
-	defer ts.Close()
-	if resp, err := http.Get(ts.URL + "/"); err != nil {
-		t.Fatal(err)
-	} else {
-		resp.Body.Close()
-	}
-	s.mu.Lock()
-	n := len(s.latencies)
-	s.mu.Unlock()
-	if n > maxRetainedLatencies {
-		t.Errorf("latency reservoir grew past cap: %d", n)
 	}
 }
 

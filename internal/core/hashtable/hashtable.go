@@ -106,6 +106,24 @@ type Stats struct {
 	CoherenceEv int64 // flushes triggered by remote coherence requests
 }
 
+// Add folds another counter snapshot into this one — the fleet
+// aggregation primitive for multi-worker pools, where each worker owns a
+// private table.
+func (s *Stats) Add(o Stats) {
+	s.Gets += o.Gets
+	s.GetHits += o.GetHits
+	s.Sets += o.Sets
+	s.SetHits += o.SetHits
+	s.Bypasses += o.Bypasses
+	s.EvictClean += o.EvictClean
+	s.EvictDirty += o.EvictDirty
+	s.Frees += o.Frees
+	s.FreeScans += o.FreeScans
+	s.Foreaches += o.Foreaches
+	s.Writebacks += o.Writebacks
+	s.CoherenceEv += o.CoherenceEv
+}
+
 // HitRate returns the GET hit fraction (SETs never miss, §4.2/Fig. 7).
 func (s Stats) HitRate() float64 {
 	if s.Gets == 0 {

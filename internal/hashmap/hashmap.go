@@ -91,6 +91,10 @@ type Observer interface {
 	OnWalk(op Op, probes int, keyBytes int, inserted bool)
 	// OnResize is called when the table grows to newSlots slots.
 	OnResize(newSlots int)
+	// OnRebuild is called when a stale hash index (hardware writeback
+	// without index maintenance, §4.2 coherence protocol) is rebuilt by a
+	// software access. Rare in practice; counted for observability.
+	OnRebuild()
 }
 
 const (
@@ -193,6 +197,9 @@ func (m *Map) ensureFresh() {
 	}
 	m.stale = false
 	m.rebuilt++
+	if m.obs != nil {
+		m.obs.OnRebuild()
+	}
 	m.rebuildIndex(len(m.index))
 }
 

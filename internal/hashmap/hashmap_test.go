@@ -15,14 +15,16 @@ type walkRec struct {
 }
 
 type recObs struct {
-	walks   []walkRec
-	resizes []int
+	walks    []walkRec
+	resizes  []int
+	rebuilds int
 }
 
 func (r *recObs) OnWalk(op Op, probes, keyBytes int, inserted bool) {
 	r.walks = append(r.walks, walkRec{op, probes, keyBytes, inserted})
 }
 func (r *recObs) OnResize(n int) { r.resizes = append(r.resizes, n) }
+func (r *recObs) OnRebuild()     { r.rebuilds++ }
 
 func TestGetSetBasic(t *testing.T) {
 	m := New(nil)

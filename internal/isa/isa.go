@@ -76,6 +76,7 @@ type CPU struct {
 	curCat    sim.Category
 	mute      bool   // suppress substrate observer charges (IC-specialized path)
 	nextMapID uint64 // per-core map identity counter (deterministic under concurrency)
+	rebuilds  int64  // stale-index rebuilds across this core's maps
 }
 
 // New builds a CPU with the given meter and features. The software heap
@@ -101,6 +102,12 @@ func New(meter *sim.Meter, feats Features, sampleEvery int) *CPU {
 
 // Features returns the core's accelerator feature set.
 func (c *CPU) Features() Features { return c.feats }
+
+// MapRebuilds returns how many stale-index rebuilds have occurred across
+// every hash map created on this core (hashmap.Map.Rebuilds, aggregated).
+// The paper notes these coherence events are exceedingly rare; the
+// serving layer exports the counter so operators can confirm that.
+func (c *CPU) MapRebuilds() int64 { return c.rebuilds }
 
 // at sets the leaf-function attribution context for subsequent charges.
 func (c *CPU) at(fn string, cat sim.Category) {
@@ -155,6 +162,12 @@ func (o *mapObs) OnResize(newSlots int) {
 		return
 	}
 	c.Meter.AddUops(c.curFn, c.curCat, c.Meter.Model.HashResizePerSlot*float64(newSlots))
+}
+
+func (o *mapObs) OnRebuild() {
+	// Counted even when muted: a coherence rebuild is an observability
+	// event regardless of which cost path triggered the access.
+	(*CPU)(o).rebuilds++
 }
 
 type heapObs CPU

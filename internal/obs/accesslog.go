@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// AccessLog writes one JSON object per sampled request to an injectable
+// io.Writer (a file in production, a bytes.Buffer in tests). Writes are
+// serialized by an internal mutex so concurrent workers never interleave
+// lines.
+type AccessLog struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewAccessLog builds an access log writing JSON lines to w.
+func NewAccessLog(w io.Writer) *AccessLog {
+	return &AccessLog{enc: json.NewEncoder(w)}
+}
+
+// LogEntry is the JSON shape of one access-log line. Cycle fields are
+// present only on sampled spans; latency is reported in microseconds to
+// match /stats.
+type LogEntry struct {
+	Time      string             `json:"ts"`
+	Request   uint64             `json:"request"`
+	Worker    int                `json:"worker"`
+	LatencyUS int64              `json:"latency_us"`
+	Bytes     int                `json:"bytes"`
+	Sampled   bool               `json:"sampled"`
+	Cycles    float64            `json:"cycles,omitempty"`
+	Breakdown map[string]float64 `json:"cycles_by_category,omitempty"`
+}
+
+// Write emits one line for the span. Unsampled spans log only identity
+// and latency; sampled spans add the per-category cycle breakdown.
+func (l *AccessLog) Write(sp Span, respBytes int) error {
+	e := LogEntry{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		Request:   sp.Request,
+		Worker:    sp.Worker,
+		LatencyUS: sp.Wall.Microseconds(),
+		Bytes:     respBytes,
+		Sampled:   sp.Sampled,
+	}
+	if sp.Sampled {
+		e.Cycles = sp.Cycles
+		e.Breakdown = make(map[string]float64, sim.NumCategories)
+		for _, c := range sim.Categories() {
+			if v := sp.Categories[c]; v != 0 {
+				e.Breakdown[c.String()] = v
+			}
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enc.Encode(e)
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// maxRetainedLatencies bounds the collector's latency reservoir; beyond
+// it the oldest half is discarded so quantiles track recent traffic.
+const maxRetainedLatencies = 1 << 16
+
+// Collector is the serving stack's aggregation point. Every request
+// flows through Observe, which assigns the request sequence number,
+// updates the counters and the latency histogram, and retains the
+// latency in a bounded reservoir for quantile reporting; sampled spans
+// are additionally written to the access log. Safe for concurrent use.
+type Collector struct {
+	sampler *Sampler
+	log     *AccessLog // nil when access logging is disabled
+
+	mu        sync.Mutex
+	requests  int64
+	respBytes int64
+	sampled   int64
+	hist      *Histogram
+	latencies []time.Duration
+}
+
+// NewCollector builds a collector sampling spans at rate (0 disables
+// spans, 1 profiles every request), logging sampled requests as JSON
+// lines to logW (nil disables the access log), with a latency histogram
+// over buckets (nil selects DefLatencyBuckets).
+func NewCollector(rate float64, logW io.Writer, buckets []float64) *Collector {
+	if buckets == nil {
+		buckets = DefLatencyBuckets()
+	}
+	c := &Collector{
+		sampler: NewSampler(rate),
+		hist:    NewHistogram(buckets),
+	}
+	if logW != nil {
+		c.log = NewAccessLog(logW)
+	}
+	return c
+}
+
+// ShouldSample reports whether the next request should be served through
+// the profiled path (Worker.ServeOneProfiled), advancing the sampling
+// counter.
+func (c *Collector) ShouldSample() bool { return c.sampler.Sample() }
+
+// Observe records one served request: it assigns the span's request
+// sequence number, bumps the fleet counters, feeds the latency histogram
+// and reservoir, and writes sampled spans to the access log. The
+// completed span is returned.
+func (c *Collector) Observe(sp Span, respBytes int) Span {
+	c.mu.Lock()
+	c.requests++
+	sp.Request = uint64(c.requests)
+	c.respBytes += int64(respBytes)
+	if sp.Sampled {
+		c.sampled++
+	}
+	c.hist.Observe(sp.Wall.Seconds())
+	if len(c.latencies) >= maxRetainedLatencies {
+		c.latencies = append(c.latencies[:0], c.latencies[len(c.latencies)/2:]...)
+	}
+	c.latencies = append(c.latencies, sp.Wall)
+	c.mu.Unlock()
+
+	if c.log != nil && sp.Sampled {
+		c.log.Write(sp, respBytes)
+	}
+	return sp
+}
+
+// Snapshot is a consistent copy of the collector's state for a /stats or
+// /metrics render.
+type Snapshot struct {
+	Requests      int64
+	ResponseBytes int64
+	SampledSpans  int64
+	Latency       HistogramSnapshot
+	// Latencies is a copy of the bounded recent-latency reservoir, for
+	// quantile computation (workload.LatencyStatsFrom).
+	Latencies []time.Duration
+}
+
+// Snapshot returns a consistent copy of the counters, histogram, and
+// latency reservoir.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Snapshot{
+		Requests:      c.requests,
+		ResponseBytes: c.respBytes,
+		SampledSpans:  c.sampled,
+		Latency:       c.hist.Snapshot(),
+		Latencies:     append([]time.Duration(nil), c.latencies...),
+	}
+}

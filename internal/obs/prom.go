@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Label is one name="value" pair on a metric sample. Labels are emitted
+// in the order given, so callers control (and tests can assert) the
+// exact exposition text.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one series of a metric family: its labels and current value.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Quantile is one φ-quantile of a summary metric.
+type Quantile struct {
+	Q     float64 // e.g. 0.5, 0.95, 0.99
+	Value float64
+}
+
+// Encoder writes metric families in the Prometheus text exposition
+// format (version 0.0.4): a # HELP and # TYPE header per family followed
+// by one line per series. Errors are sticky; check Err once at the end.
+//
+// The encoder is deliberately snapshot-oriented: the serving layer keeps
+// plain counters and histograms on the hot path and renders them here
+// only at scrape time, so exposition cost is never paid per request.
+type Encoder struct {
+	w   io.Writer
+	err error
+}
+
+// NewEncoder builds an encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Err returns the first write error, if any.
+func (e *Encoder) Err() error { return e.err }
+
+func (e *Encoder) printf(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value ("+Inf"/"-Inf"/"NaN" spelled the
+// way the exposition format requires).
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {a="b",c="d"}, or "" for no labels.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (e *Encoder) header(name, help, typ string) {
+	e.printf("# HELP " + name + " " + escapeHelp(help) + "\n")
+	e.printf("# TYPE " + name + " " + typ + "\n")
+}
+
+func (e *Encoder) series(name string, labels []Label, v float64) {
+	e.printf(name + labelString(labels) + " " + formatValue(v) + "\n")
+}
+
+// Counter writes one counter family with the given samples.
+func (e *Encoder) Counter(name, help string, samples ...Sample) {
+	e.header(name, help, "counter")
+	for _, s := range samples {
+		e.series(name, s.Labels, s.Value)
+	}
+}
+
+// Gauge writes one gauge family with the given samples.
+func (e *Encoder) Gauge(name, help string, samples ...Sample) {
+	e.header(name, help, "gauge")
+	for _, s := range samples {
+		e.series(name, s.Labels, s.Value)
+	}
+}
+
+// Histogram writes one histogram family from a cumulative snapshot:
+// name_bucket{le="..."} lines (cumulative counts, +Inf last), then
+// name_sum and name_count. labels are prepended to every bucket's le
+// label. A zero-sample snapshot is valid and exports all-zero series.
+func (e *Encoder) Histogram(name, help string, labels []Label, s HistogramSnapshot) {
+	e.header(name, help, "histogram")
+	for i, b := range s.Bounds {
+		le := append(append([]Label(nil), labels...), Label{"le", formatValue(b)})
+		e.series(name+"_bucket", le, float64(s.Counts[i]))
+	}
+	inf := append(append([]Label(nil), labels...), Label{"le", "+Inf"})
+	e.series(name+"_bucket", inf, float64(s.Count))
+	e.series(name+"_sum", labels, s.Sum)
+	e.series(name+"_count", labels, float64(s.Count))
+}
+
+// Summary writes one summary family: name{quantile="..."} lines followed
+// by name_sum and name_count. Used for the pool's precomputed
+// p50/p95/p99 latency quantiles.
+func (e *Encoder) Summary(name, help string, labels []Label, quantiles []Quantile, sum float64, count uint64) {
+	e.header(name, help, "summary")
+	for _, q := range quantiles {
+		ql := append(append([]Label(nil), labels...), Label{"quantile", formatValue(q.Q)})
+		e.series(name, ql, q.Value)
+	}
+	e.series(name+"_sum", labels, sum)
+	e.series(name+"_count", labels, float64(count))
+}

@@ -1,0 +1,41 @@
+package obs
+
+import "sync/atomic"
+
+// Sampler decides which requests carry a full attribution span. It is
+// deterministic (every nth request) rather than randomized, so a given
+// request count always yields the same number of spans — the property
+// the <5% overhead bound and the tests rely on. Safe for concurrent use.
+type Sampler struct {
+	every uint64 // sample every nth request; 0 disables sampling
+	n     uint64 // atomic request counter
+}
+
+// NewSampler builds a sampler from a rate in [0, 1]: rate 1 samples
+// every request, 0.01 roughly every hundredth, and rates <= 0 disable
+// sampling entirely.
+func NewSampler(rate float64) *Sampler {
+	s := &Sampler{}
+	switch {
+	case rate <= 0:
+		s.every = 0
+	case rate >= 1:
+		s.every = 1
+	default:
+		s.every = uint64(1/rate + 0.5)
+	}
+	return s
+}
+
+// Interval returns the sampling interval n (every nth request sampled),
+// 0 when sampling is disabled.
+func (s *Sampler) Interval() uint64 { return s.every }
+
+// Sample reports whether the current request should carry a span,
+// advancing the request counter.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.every == 0 {
+		return false
+	}
+	return atomic.AddUint64(&s.n, 1)%s.every == 0
+}

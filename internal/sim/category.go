@@ -39,6 +39,10 @@ const (
 	numCategories
 )
 
+// NumCategories is the number of activity categories, for dense
+// per-category vectors (CategoryVec) indexed by Category.
+const NumCategories = int(numCategories)
+
 // String returns the short name used in figures and reports.
 func (c Category) String() string {
 	switch c {

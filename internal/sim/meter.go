@@ -197,6 +197,41 @@ func (mt *Meter) CategoryCycles() map[Category]float64 {
 	return out
 }
 
+// CategoryVec is a dense per-category cycle vector indexed by Category.
+// Being a value type, it snapshots cheaply (no map allocation), which is
+// what the observability layer's per-request spans diff around a render.
+type CategoryVec [NumCategories]float64
+
+// Sub returns v - o element-wise: the cycles charged between two
+// snapshots of the same meter.
+func (v CategoryVec) Sub(o CategoryVec) CategoryVec {
+	for i := range v {
+		v[i] -= o[i]
+	}
+	return v
+}
+
+// Total sums the vector across categories.
+func (v CategoryVec) Total() float64 {
+	var t float64
+	for _, c := range v {
+		t += c
+	}
+	return t
+}
+
+// CategoryCyclesVec returns the per-category cycle totals as a dense
+// vector. Unlike CategoryCycles it does not allocate per call beyond the
+// returned value, so it is cheap enough to snapshot around a single
+// request (obs.Span).
+func (mt *Meter) CategoryCyclesVec() CategoryVec {
+	var out CategoryVec
+	for _, f := range mt.fns {
+		out[f.Category] += f.Cycles(&mt.Model)
+	}
+	return out
+}
+
 // AccelCycles returns the datapath cycles spent in the given accelerator.
 func (mt *Meter) AccelCycles(kind AccelKind) float64 { return mt.accelCycles[kind] }
 

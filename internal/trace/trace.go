@@ -3,6 +3,14 @@
 // VM records one event per runtime activity (hash map access, heap
 // operation, string function, regexp scan); the experiments replay or
 // aggregate these traces, and cmd/tracedump decodes them for inspection.
+//
+// A Recorder is single-writer: each simulated core (vm.Runtime) owns one
+// and records into it without locking. Fleet-level views are produced
+// after the fact with Merge, which appends another recorder's retained
+// events (grouped by worker, not interleaved by time) while preserving
+// the total and per-kind counts past ring eviction — so KindTotals stays
+// exact even when the bounded ring has dropped old events. The serving
+// stack's /metrics endpoint exports those totals as event counters.
 package trace
 
 import (
@@ -29,6 +37,10 @@ const (
 
 	numKinds
 )
+
+// NumKinds is the number of event kinds, for dense per-kind count
+// vectors indexed by Kind.
+const NumKinds = int(numKinds)
 
 // String names the event kind.
 func (k Kind) String() string {
@@ -77,6 +89,7 @@ type Recorder struct {
 	cap    int
 	events []Event
 	total  int64
+	byKind [NumKinds]int64
 	start  int
 }
 
@@ -89,6 +102,9 @@ func NewRecorder(capacity int) *Recorder {
 // Record appends an event.
 func (r *Recorder) Record(e Event) {
 	r.total++
+	if int(e.Kind) < NumKinds {
+		r.byKind[e.Kind]++
+	}
 	if r.cap <= 0 {
 		r.events = append(r.events, e)
 		return
@@ -103,6 +119,11 @@ func (r *Recorder) Record(e Event) {
 
 // Total returns the number of events ever recorded.
 func (r *Recorder) Total() int64 { return r.total }
+
+// KindTotals returns how many events of each kind were ever recorded,
+// including events a bounded ring has since evicted. Merge folds the
+// source recorder's full history in, so fleet-level totals stay exact.
+func (r *Recorder) KindTotals() [NumKinds]int64 { return r.byKind }
 
 // Events returns the retained events in record order.
 func (r *Recorder) Events() []Event {
@@ -122,10 +143,19 @@ func (r *Recorder) Events() []Event {
 // interleaved by time.
 func (r *Recorder) Merge(o *Recorder) {
 	dropped := o.total - int64(len(o.events))
+	var retained [NumKinds]int64
 	for _, e := range o.Events() {
 		r.Record(e)
+		if int(e.Kind) < NumKinds {
+			retained[e.Kind]++
+		}
 	}
 	r.total += dropped // events o's ring already evicted still count
+	for i := range r.byKind {
+		// Record counted the retained events; top up with o's evicted ones
+		// so per-kind totals reflect o's full history.
+		r.byKind[i] += o.byKind[i] - retained[i]
+	}
 }
 
 // Reset clears the recorder.
@@ -133,6 +163,7 @@ func (r *Recorder) Reset() {
 	r.events = r.events[:0]
 	r.start = 0
 	r.total = 0
+	r.byKind = [NumKinds]int64{}
 }
 
 const magic = "PHPT1\n"

@@ -188,3 +188,45 @@ func TestRecorderMergeBounded(t *testing.T) {
 		t.Errorf("merged total %d, want 5", a.Total())
 	}
 }
+
+func TestKindTotals(t *testing.T) {
+	r := NewRecorder(2) // ring evicts, totals must not
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: KindHashGet})
+	}
+	r.Record(Event{Kind: KindRegexScan})
+	kt := r.KindTotals()
+	if kt[KindHashGet] != 5 || kt[KindRegexScan] != 1 {
+		t.Errorf("kind totals = %v", kt)
+	}
+	var sum int64
+	for _, n := range kt {
+		sum += n
+	}
+	if sum != r.Total() {
+		t.Errorf("kind totals sum %d != Total %d", sum, r.Total())
+	}
+
+	// Merge folds in the other recorder's full per-kind history, including
+	// events its ring already evicted.
+	o := NewRecorder(1)
+	for i := 0; i < 3; i++ {
+		o.Record(Event{Kind: KindAlloc}) // ring keeps 1 of 3
+	}
+	r.Merge(o)
+	kt = r.KindTotals()
+	if kt[KindAlloc] != 3 {
+		t.Errorf("merged alloc total = %d, want 3", kt[KindAlloc])
+	}
+	if kt[KindHashGet] != 5 {
+		t.Errorf("merge disturbed hash-get total: %d", kt[KindHashGet])
+	}
+
+	r.Reset()
+	for _, n := range r.KindTotals() {
+		if n != 0 {
+			t.Errorf("Reset left kind totals %v", r.KindTotals())
+			break
+		}
+	}
+}

@@ -44,6 +44,9 @@ type Runtime struct {
 
 	regexMgr   *hashmap.Map // the regexp manager's pattern -> FSM hash map
 	requestSeq uint64
+
+	regexLookups int64 // regexp manager cache probes
+	regexHits    int64 // probes that found a compiled FSM
 }
 
 // New builds a Runtime.
@@ -226,7 +229,9 @@ func (r *Runtime) Regex(fn, pattern string) (*regex.Regex, error) {
 	k := hashmap.StrKey(pattern)
 	v, ok := r.cpu.HashGet(mgrFn, r.regexMgr, k, true)
 	r.record(trace.Event{Kind: trace.KindHashGet, Fn: mgrFn, A: r.regexMgr.ID(), B: uint64(k.Len()), C: 1})
+	r.regexLookups++
 	if ok {
+		r.regexHits++
 		return v.(*regex.Regex), nil
 	}
 	re, err := r.cpu.RegexCompile(fn, pattern)
@@ -236,6 +241,14 @@ func (r *Runtime) Regex(fn, pattern string) (*regex.Regex, error) {
 	r.cpu.HashSet(mgrFn, r.regexMgr, k, re, true)
 	r.record(trace.Event{Kind: trace.KindHashSet, Fn: mgrFn, A: r.regexMgr.ID(), B: uint64(k.Len()), C: 1})
 	return re, nil
+}
+
+// RegexCacheStats returns how many regexp manager cache probes this
+// runtime has made and how many found an already-compiled FSM. The hit
+// ratio is an observability signal: a cold or thrashing pattern cache
+// shows up as repeated pcre_compile charges in the regex category.
+func (r *Runtime) RegexCacheStats() (lookups, hits int64) {
+	return r.regexLookups, r.regexHits
 }
 
 // MustRegex is Regex for statically known patterns.

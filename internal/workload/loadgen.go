@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -118,9 +119,12 @@ type Result struct {
 	Cycles        float64
 	Uops          float64
 	EnergyPJ      float64
-	Keys          KeyStats
-	Wall          time.Duration
-	Latency       LatencyStats
+	// Categories breaks Cycles down by activity category (exact, from
+	// the merged meter — not derived from sampled spans).
+	Categories sim.CategoryVec
+	Keys       KeyStats
+	Wall       time.Duration
+	Latency    LatencyStats
 }
 
 // CyclesPerRequest returns the mean request cost.
@@ -129,6 +133,15 @@ func (r Result) CyclesPerRequest() float64 {
 		return 0
 	}
 	return r.Cycles / float64(r.Requests)
+}
+
+// CategoryShare returns the fraction of total cycles attributed to c
+// (0 when the run recorded no cycles, never NaN).
+func (r Result) CategoryShare(c sim.Category) float64 {
+	if r.Cycles <= 0 {
+		return 0
+	}
+	return r.Categories[c] / r.Cycles
 }
 
 // Throughput returns measured requests per wall-clock second (0 when the
@@ -173,6 +186,7 @@ func (lg LoadGenerator) Run(rt *vm.Runtime, app App) Result {
 	res.Cycles = rt.Meter().TotalCycles()
 	res.Uops = rt.Meter().TotalUops()
 	res.EnergyPJ = rt.Meter().TotalEnergy()
+	res.Categories = rt.Meter().CategoryCyclesVec()
 	res.Keys = keyStatsFromTrace(rt.Trace())
 	return res
 }

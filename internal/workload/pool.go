@@ -1,9 +1,11 @@
-// Multi-worker serving layer: the Go analogue of the paper's evaluation
-// stack, which drives oss-performance load at a pool of HHVM request
-// workers (§5.1). Each Worker owns a private vm.Runtime — its own
-// accelerators, meter, and trace — so workers share no mutable state and
-// run freely on separate goroutines; the fleet-level Result is produced
-// by merging the per-worker meters and traces after the goroutines join.
+// This file is the multi-worker serving layer: the Go analogue of the
+// paper's evaluation stack, which drives oss-performance load at a pool
+// of HHVM request workers (§5.1). Each Worker owns a private vm.Runtime
+// — its own accelerators, meter, and trace — so workers share no mutable
+// state and run freely on separate goroutines; the fleet-level Result is
+// produced by merging the per-worker meters and traces after the
+// goroutines join.
+
 package workload
 
 import (
@@ -11,6 +13,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core/hashtable"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -43,12 +47,38 @@ func (w *Worker) Served() int { return w.served }
 // ServeOne renders one request on the worker's runtime, recording its
 // wall-clock latency and response size.
 func (w *Worker) ServeOne() []byte {
+	page, _ := w.serveSpan(false)
+	return page
+}
+
+// ServeOneProfiled renders one request like ServeOne and additionally
+// returns a sampled obs.Span attributing the request's simulated cycles
+// to the paper's activity categories, computed by diffing the worker's
+// meter around the render. It costs two CategoryCyclesVec snapshots on
+// top of ServeOne, which is why callers sample rather than profile every
+// request.
+func (w *Worker) ServeOneProfiled() ([]byte, obs.Span) {
+	return w.serveSpan(true)
+}
+
+func (w *Worker) serveSpan(profile bool) ([]byte, obs.Span) {
+	var before sim.CategoryVec
+	if profile {
+		before = w.rt.Meter().CategoryCyclesVec()
+	}
 	start := time.Now()
 	page := w.app.ServeRequest(w.rt)
-	w.latencies = append(w.latencies, time.Since(start))
+	wall := time.Since(start)
+	sp := obs.Span{Worker: w.id, Wall: wall}
+	if profile {
+		sp.Sampled = true
+		sp.Categories = w.rt.Meter().CategoryCyclesVec().Sub(before)
+		sp.Cycles = sp.Categories.Total()
+	}
+	w.latencies = append(w.latencies, wall)
 	w.served++
 	w.respBytes += int64(len(page))
-	return page
+	return page, sp
 }
 
 // reset discards accumulated measurements but keeps runtime state warm.
@@ -69,6 +99,7 @@ func (w *Worker) reset() {
 type Pool struct {
 	workers []*Worker
 	free    chan *Worker
+	col     *obs.Collector // optional observability sink for Run
 }
 
 // NewPool builds n workers, each with a fresh runtime from cfg and its
@@ -92,6 +123,19 @@ func NewPool(n int, cfg vm.Config, appName string, seed int64) (*Pool, error) {
 
 // Size returns the number of workers.
 func (p *Pool) Size() int { return len(p.workers) }
+
+// Idle returns how many workers are currently on the free list. Size() -
+// Idle() is the busy-worker gauge the /metrics endpoint exports; the
+// value is a racy instantaneous reading, which is all a utilization
+// gauge needs.
+func (p *Pool) Idle() int { return len(p.free) }
+
+// SetCollector attaches an observability collector: measured requests
+// served by Run flow through it (every request feeds its counters and
+// latency histogram; sampled ones carry category-attribution spans).
+// Pass nil to detach. Serving frontends that call Acquire/ServeOne
+// directly (cmd/phpserve) drive their collector themselves.
+func (p *Pool) SetCollector(c *obs.Collector) { p.col = c }
 
 // Acquire blocks until a worker is free and transfers its ownership to
 // the caller. Pair with Release.
@@ -199,7 +243,12 @@ func (p *Pool) Run(lg LoadGenerator, concurrency int) Result {
 	start := time.Now()
 	runPhase(func(w *Worker, count int) {
 		for i := 0; i < count; i++ {
-			w.ServeOne()
+			if p.col == nil {
+				w.ServeOne()
+			} else {
+				page, sp := w.serveSpan(p.col.ShouldSample())
+				p.col.Observe(sp, len(page))
+			}
 			if lg.ContextSwitchEvery > 0 && (i+1)%lg.ContextSwitchEvery == 0 {
 				w.rt.ContextSwitch()
 			}
@@ -219,6 +268,63 @@ func (p *Pool) Run(lg LoadGenerator, concurrency int) Result {
 	res.Cycles = mt.TotalCycles()
 	res.Uops = mt.TotalUops()
 	res.EnergyPJ = mt.TotalEnergy()
+	res.Categories = mt.CategoryCyclesVec()
 	res.Keys = keyStatsFromTrace(p.mergedTraceOwned())
 	return res
+}
+
+// AccelStats aggregates the fleet's hardware-structure and runtime-cache
+// counters — the observability signals that are per-worker state rather
+// than meter charges.
+type AccelStats struct {
+	// HashTable sums every worker's hardware hash table counters
+	// (zero-valued when the config has no hash table).
+	HashTable hashtable.Stats
+	// MapRebuilds counts stale-index rebuilds across all workers' maps
+	// (§4.2 coherence events; the paper expects these to be rare).
+	MapRebuilds int64
+	// RegexLookups and RegexHits are the regexp manager pattern-cache
+	// probes and hits across the fleet.
+	RegexLookups int64
+	RegexHits    int64
+}
+
+// accelStatsOwned requires the caller to hold every worker.
+func (p *Pool) accelStatsOwned() AccelStats {
+	var s AccelStats
+	for _, w := range p.workers {
+		cpu := w.rt.CPU()
+		if cpu.HT != nil {
+			s.HashTable.Add(cpu.HT.Stats())
+		}
+		s.MapRebuilds += cpu.MapRebuilds()
+		lk, hit := w.rt.RegexCacheStats()
+		s.RegexLookups += lk
+		s.RegexHits += hit
+	}
+	return s
+}
+
+// PoolSnapshot is one consistent fleet-level view: merged meter, merged
+// trace (nil when tracing is disabled), and accelerator statistics, all
+// taken under the same quiescence barrier so a /metrics scrape reads one
+// coherent moment.
+type PoolSnapshot struct {
+	Meter *sim.Meter
+	Trace *trace.Recorder
+	Accel AccelStats
+}
+
+// Snapshot drains the free list (waiting for in-flight requests) and
+// returns the merged meter, merged trace, and accelerator statistics in
+// one barrier, instead of the three separate drains MergedMeter +
+// MergedTrace + per-worker reads would cost.
+func (p *Pool) Snapshot() PoolSnapshot {
+	p.acquireAll()
+	defer p.releaseAll()
+	return PoolSnapshot{
+		Meter: p.mergedMeterOwned(),
+		Trace: p.mergedTraceOwned(),
+		Accel: p.accelStatsOwned(),
+	}
 }

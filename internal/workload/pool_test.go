@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -214,5 +216,168 @@ func TestThroughputGuardsZeroWall(t *testing.T) {
 	}
 	if r := (Result{}); r.CyclesPerRequest() != 0 {
 		t.Errorf("zero requests must not divide")
+	}
+}
+
+// TestServeOneProfiledSpan: the profiled path must attribute the
+// request's cycles to the paper's categories, and the breakdown must sum
+// to the request's total cycle delta.
+func TestServeOneProfiledSpan(t *testing.T) {
+	p, err := NewPool(1, swConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Acquire()
+	defer p.Release(w)
+	w.ServeOne() // warm metadata caches so the span sees steady state
+
+	before := w.Runtime().Meter().TotalCycles()
+	page, sp := w.ServeOneProfiled()
+	after := w.Runtime().Meter().TotalCycles()
+	if len(page) == 0 {
+		t.Fatal("empty page")
+	}
+	if !sp.Sampled || sp.Worker != 0 || sp.Wall <= 0 {
+		t.Errorf("span header wrong: %+v", sp)
+	}
+	delta := after - before
+	if math.Abs(sp.Cycles-delta) > 1e-6*delta {
+		t.Errorf("span cycles %v != meter delta %v", sp.Cycles, delta)
+	}
+	if math.Abs(sp.Categories.Total()-sp.Cycles) > 1e-9*sp.Cycles {
+		t.Errorf("breakdown sum %v != total %v", sp.Categories.Total(), sp.Cycles)
+	}
+	for _, c := range []sim.Category{sim.CatHash, sim.CatHeap, sim.CatString, sim.CatRegex} {
+		if sp.Categories[c] <= 0 {
+			t.Errorf("category %v has no cycles in span: %+v", c, sp.Categories)
+		}
+	}
+}
+
+// TestPoolRunWithCollector: with a collector attached, Run feeds every
+// measured request through it and samples spans at the configured rate.
+func TestPoolRunWithCollector(t *testing.T) {
+	p, err := NewPool(2, swConfig(), "drupal", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector(0.25, nil, nil)
+	p.SetCollector(col)
+	res := p.Run(LoadGenerator{Warmup: 2, Requests: 40}, 0)
+	snap := col.Snapshot()
+	if snap.Requests != 40 {
+		t.Errorf("collector saw %d requests, want 40", snap.Requests)
+	}
+	if snap.SampledSpans != 10 {
+		t.Errorf("sampled %d spans at rate 0.25 over 40, want 10", snap.SampledSpans)
+	}
+	if snap.Latency.Count != 40 {
+		t.Errorf("histogram count = %d", snap.Latency.Count)
+	}
+	if res.Requests != 40 {
+		t.Errorf("result requests = %d", res.Requests)
+	}
+	// The collector must not perturb the simulated metrics: a run without
+	// one yields identical cycles.
+	p2, err := NewPool(2, swConfig(), "drupal", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := p2.Run(LoadGenerator{Warmup: 2, Requests: 40}, 0)
+	if math.Abs(res.Cycles-res2.Cycles) > 1e-9*res.Cycles {
+		t.Errorf("collector changed simulated cycles: %v vs %v", res.Cycles, res2.Cycles)
+	}
+}
+
+// TestResultCategories: Run's category breakdown sums to the total and
+// never divides by zero.
+func TestResultCategories(t *testing.T) {
+	p, err := NewPool(2, swConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Run(LoadGenerator{Warmup: 2, Requests: 8}, 0)
+	if math.Abs(res.Categories.Total()-res.Cycles) > 1e-9*res.Cycles {
+		t.Errorf("categories sum %v != cycles %v", res.Categories.Total(), res.Cycles)
+	}
+	var shares float64
+	for _, c := range sim.Categories() {
+		shares += res.CategoryShare(c)
+	}
+	if math.Abs(shares-1) > 1e-9 {
+		t.Errorf("shares sum to %v", shares)
+	}
+	if (Result{}).CategoryShare(sim.CatHash) != 0 {
+		t.Errorf("zero-cycle result must not divide")
+	}
+}
+
+// TestPoolSnapshot: one barrier yields a consistent meter + trace +
+// accel view, including the regex cache and hardware hash table
+// counters.
+func TestPoolSnapshot(t *testing.T) {
+	p, err := NewPool(2, hwConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(LoadGenerator{Warmup: 2, Requests: 12}, 0)
+	ps := p.Snapshot()
+	if ps.Meter.TotalCycles() <= 0 {
+		t.Errorf("snapshot meter empty")
+	}
+	if ps.Trace == nil || ps.Trace.Total() == 0 {
+		t.Errorf("snapshot trace empty")
+	}
+	if ps.Accel.HashTable.Gets == 0 {
+		t.Errorf("no hardware hash table activity: %+v", ps.Accel.HashTable)
+	}
+	if ps.Accel.RegexLookups == 0 || ps.Accel.RegexHits == 0 {
+		t.Errorf("no regex cache activity: %+v", ps.Accel)
+	}
+	if ps.Accel.RegexHits > ps.Accel.RegexLookups {
+		t.Errorf("hits exceed lookups: %+v", ps.Accel)
+	}
+	kt := ps.Trace.KindTotals()
+	if kt[trace.KindHashGet] == 0 || kt[trace.KindRequest] == 0 {
+		t.Errorf("trace kind totals empty: %v", kt)
+	}
+}
+
+// BenchmarkPoolServe measures the serving path without observability, the
+// baseline for the sampling-overhead bound.
+func BenchmarkPoolServe(b *testing.B) {
+	benchmarkPoolServe(b, nil)
+}
+
+// BenchmarkPoolServeSampled001 is the acceptance benchmark: with spans
+// sampled at rate 0.01 the wall-time overhead versus BenchmarkPoolServe
+// must stay under 5%.
+func BenchmarkPoolServeSampled001(b *testing.B) {
+	benchmarkPoolServe(b, obs.NewCollector(0.01, nil, nil))
+}
+
+// BenchmarkPoolServeSampledAll profiles every request — the worst case,
+// for quantifying the span cost itself.
+func BenchmarkPoolServeSampledAll(b *testing.B) {
+	benchmarkPoolServe(b, obs.NewCollector(1, nil, nil))
+}
+
+func benchmarkPoolServe(b *testing.B, col *obs.Collector) {
+	p, err := NewPool(1, hwConfig(), "wordpress", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.SetCollector(col)
+	p.Run(LoadGenerator{Warmup: 50}, 0) // steady state
+	w := p.Acquire()
+	defer p.Release(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if col == nil {
+			w.ServeOne()
+		} else {
+			page, sp := w.serveSpan(col.ShouldSample())
+			col.Observe(sp, len(page))
+		}
 	}
 }

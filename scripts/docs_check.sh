@@ -1,0 +1,36 @@
+#!/bin/sh
+# docs_check.sh PKGDIR... — fail if an exported top-level identifier in
+# any of the given package directories has no doc comment. Exported
+# means a func/type/const/var declaration at column 0 whose name starts
+# with an upper-case letter; documented means the preceding line is a
+# comment (the line directly above, per godoc convention). Grouped
+# `const (`/`var (` blocks are covered by the block's own doc comment
+# and are not inspected per name.
+#
+# Used by `make docs-check`, which runs it over internal/obs so the
+# observability package's public surface stays documented.
+set -u
+
+status=0
+for dir in "$@"; do
+	for f in "$dir"/*.go; do
+		case "$f" in
+		*_test.go) continue ;;
+		esac
+		out=$(awk '
+			/^func \([^)]*\) [A-Z]/ || /^(func|type|const|var) [A-Z]/ {
+				if (!prev_comment)
+					printf "%s:%d: undocumented exported declaration: %s\n", FILENAME, FNR, $0
+			}
+			{ prev_comment = ($0 ~ /^\/\//) }
+		' "$f")
+		if [ -n "$out" ]; then
+			printf '%s\n' "$out"
+			status=1
+		fi
+	done
+done
+if [ "$status" -ne 0 ]; then
+	echo "docs-check: exported identifiers above need doc comments" >&2
+fi
+exit $status
