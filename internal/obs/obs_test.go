@@ -22,7 +22,9 @@ func TestSamplerRates(t *testing.T) {
 		{-0.5, 100, 0},   // negative clamps to disabled
 		{0.01, 1000, 10}, // deterministic: every 100th
 		{0.25, 100, 25},
-		{2, 10, 10}, // >=1 clamps to every request
+		{2, 10, 10},    // >=1 clamps to every request
+		{0.7, 100, 50}, // ceil(1/0.7) = 2: realized rate never exceeds requested
+		{0.4, 99, 33},  // ceil(1/0.4) = 3
 	}
 	for _, tt := range tests {
 		s := NewSampler(tt.rate)
@@ -63,6 +65,18 @@ func TestSamplerConcurrent(t *testing.T) {
 	wg.Wait()
 	if total != 100 {
 		t.Errorf("sampled %d of 1000 at rate 0.1, want exactly 100", total)
+	}
+}
+
+func TestSamplerTinyRateNoOverflow(t *testing.T) {
+	// 1/rate overflows uint64 here; the interval must clamp to a huge
+	// finite value instead of hitting undefined float→uint conversion.
+	s := NewSampler(1e-300)
+	if s.Interval() == 0 {
+		t.Fatal("tiny positive rate must not disable sampling")
+	}
+	if s.Sample() {
+		t.Error("sampled a request at an astronomically small rate")
 	}
 }
 

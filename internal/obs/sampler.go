@@ -1,6 +1,9 @@
 package obs
 
-import "sync/atomic"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Sampler decides which requests carry a full attribution span. It is
 // deterministic (every nth request) rather than randomized, so a given
@@ -12,8 +15,9 @@ type Sampler struct {
 }
 
 // NewSampler builds a sampler from a rate in [0, 1]: rate 1 samples
-// every request, 0.01 roughly every hundredth, and rates <= 0 disable
-// sampling entirely.
+// every request, 0.01 every hundredth, and rates <= 0 disable sampling
+// entirely. The interval is ceil(1/rate), so the realized rate never
+// exceeds the requested one.
 func NewSampler(rate float64) *Sampler {
 	s := &Sampler{}
 	switch {
@@ -22,7 +26,13 @@ func NewSampler(rate float64) *Sampler {
 	case rate >= 1:
 		s.every = 1
 	default:
-		s.every = uint64(1/rate + 0.5)
+		// Clamp before converting: for tiny rates 1/rate can exceed the
+		// range where float64→uint64 conversion is defined.
+		f := math.Ceil(1 / rate)
+		if f >= math.MaxUint64/2 {
+			f = math.MaxUint64 / 2
+		}
+		s.every = uint64(f)
 	}
 	return s
 }

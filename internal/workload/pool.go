@@ -20,6 +20,12 @@ import (
 	"repro/internal/vm"
 )
 
+// maxWorkerLatencies bounds each worker's latency slice; beyond it the
+// oldest half is discarded, same policy as the obs.Collector reservoir,
+// so a long-running serving frontend (which never resets its workers)
+// does not grow memory without bound.
+const maxWorkerLatencies = 1 << 14
+
 // Worker is one serving slot: a private runtime plus the app instance
 // bound to it. A worker must be owned by exactly one goroutine at a time;
 // ownership is transferred through Pool.Acquire/Release.
@@ -75,6 +81,9 @@ func (w *Worker) serveSpan(profile bool) ([]byte, obs.Span) {
 		sp.Categories = w.rt.Meter().CategoryCyclesVec().Sub(before)
 		sp.Cycles = sp.Categories.Total()
 	}
+	if len(w.latencies) >= maxWorkerLatencies {
+		w.latencies = append(w.latencies[:0], w.latencies[len(w.latencies)/2:]...)
+	}
 	w.latencies = append(w.latencies, wall)
 	w.served++
 	w.respBytes += int64(len(page))
@@ -100,6 +109,13 @@ type Pool struct {
 	workers []*Worker
 	free    chan *Worker
 	col     *obs.Collector // optional observability sink for Run
+
+	// snapMu serializes whole-pool drains (Run, Snapshot, MergedMeter,
+	// MergedTrace). Without it, two overlapping drains — e.g. a /metrics
+	// scrape racing a /stats scrape — can each pull a subset of workers
+	// off the free list and block forever holding them, wedging the
+	// server. At most one goroutine may drain the free list at a time.
+	snapMu sync.Mutex
 }
 
 // NewPool builds n workers, each with a fresh runtime from cfg and its
@@ -145,8 +161,11 @@ func (p *Pool) Acquire() *Worker { return <-p.free }
 func (p *Pool) Release(w *Worker) { p.free <- w }
 
 // acquireAll takes exclusive ownership of every worker, blocking until
-// in-flight requests drain.
+// in-flight requests drain. It holds snapMu until the matching
+// releaseAll so concurrent drains queue up instead of deadlocking on
+// partial free-list ownership.
 func (p *Pool) acquireAll() {
+	p.snapMu.Lock()
 	for range p.workers {
 		<-p.free
 	}
@@ -156,6 +175,7 @@ func (p *Pool) releaseAll() {
 	for _, w := range p.workers {
 		p.free <- w
 	}
+	p.snapMu.Unlock()
 }
 
 // MergedMeter returns a fresh meter aggregating every worker's cost

@@ -343,6 +343,74 @@ func TestPoolSnapshot(t *testing.T) {
 	}
 }
 
+// TestPoolSnapshotConcurrent is the regression test for the scrape
+// deadlock: two overlapping whole-pool drains (a /metrics scrape racing
+// /stats, or duplicate scraper replicas) used to each pull a subset of
+// workers off the free list and block forever holding them. With snapMu
+// serializing drains, concurrent snapshots during live serving must all
+// complete.
+func TestPoolSnapshotConcurrent(t *testing.T) {
+	p, err := NewPool(3, swConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ { // serving clients
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 6; i++ {
+					w := p.Acquire()
+					w.ServeOne()
+					p.Release(w)
+				}
+			}()
+		}
+		for s := 0; s < 4; s++ { // overlapping scrapers
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 3; i++ {
+					if ps := p.Snapshot(); ps.Meter == nil {
+						t.Error("nil snapshot meter")
+					}
+					p.MergedMeter()
+				}
+			}()
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("concurrent snapshots deadlocked")
+	}
+}
+
+// TestWorkerLatenciesBounded: serving frontends never reset their
+// workers, so the per-worker latency slice must compact at the cap
+// instead of growing for the life of the process.
+func TestWorkerLatenciesBounded(t *testing.T) {
+	p, err := NewPool(1, swConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Acquire()
+	defer p.Release(w)
+	// Pre-fill to the cap rather than rendering 16k pages.
+	w.latencies = make([]time.Duration, maxWorkerLatencies)
+	w.ServeOne()
+	if got, want := len(w.latencies), maxWorkerLatencies/2+1; got != want {
+		t.Errorf("after compaction len = %d, want %d", got, want)
+	}
+	if w.latencies[len(w.latencies)-1] <= 0 {
+		t.Errorf("newest latency not recorded after compaction")
+	}
+}
+
 // BenchmarkPoolServe measures the serving path without observability, the
 // baseline for the sampling-overhead bound.
 func BenchmarkPoolServe(b *testing.B) {
