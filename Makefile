@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench docs-check check
+.PHONY: all build vet test race bench docs-check check ci
 
 all: check
 
@@ -14,10 +14,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Fail if exported identifiers in the observability package lack doc
-# comments — its API is the operator-facing surface (docs/OPERATIONS.md).
+# Fail if exported identifiers in the observability packages lack doc
+# comments — their API is the operator-facing surface (docs/OPERATIONS.md)
+# — and if any phpserve HTTP endpoint is missing from OPERATIONS.md.
 docs-check:
-	sh scripts/docs_check.sh internal/obs
+	sh scripts/docs_check.sh internal/obs internal/profile
 
 test:
 	$(GO) test ./...
@@ -29,3 +30,9 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 check: build vet docs-check race
+
+# Full CI gate: everything `check` runs, plus the sampled-tracing
+# overhead guard. The guard compares wall clocks, which is too noisy for
+# the default test run, so it is env-gated and only armed here.
+ci: check
+	SPAN_OVERHEAD_GUARD=1 $(GO) test -run TestSpanOverheadGuard -count=1 .

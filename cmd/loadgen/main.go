@@ -9,11 +9,18 @@
 //
 //	loadgen [-apps wordpress,drupal,mediawiki] [-requests 200] [-warmup 300]
 //	        [-workers 1] [-concurrency 0] [-breakdown]
+//	        [-traceout file] [-tracesample 0.05]
 //
 // With -breakdown (the default) each row is followed by the per-category
 // cycle attribution — the paper's four accelerated activities plus the
 // abstraction/kernel/other remainder — so a run shows *where* the cycles
-// went, not just how many there were (the Fig. 5 view of the run).
+// went, not just how many there were (the Fig. 5 view of the run), plus
+// the Fig. 1 flat-profile headline (hottest function share, functions
+// needed for 65% of cycles).
+//
+// With -traceout the run additionally samples request span trees at
+// -tracesample and writes the last runs' trees as Chrome trace_event
+// JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"time"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -36,7 +45,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed (worker i uses seed+i)")
 	workers := flag.Int("workers", 1, "request workers (independent runtimes)")
 	concurrency := flag.Int("concurrency", 0, "workers executing at once (0 = all)")
-	breakdown := flag.Bool("breakdown", true, "print the per-category cycle breakdown under each row")
+	breakdown := flag.Bool("breakdown", true, "print the per-category cycle breakdown and Fig. 1 profile line under each row")
+	traceOut := flag.String("traceout", "", "write sampled request span trees as Chrome trace_event JSON to this file")
+	traceSample := flag.Float64("tracesample", 0.05, "request sampling rate for -traceout trees")
 	flag.Parse()
 
 	if *requests <= 0 {
@@ -61,6 +72,13 @@ func main() {
 		{"accelerated", true, true},
 	}
 
+	// With -traceout, a collector + tree ring samples span trees across
+	// every run; the retained trees are exported once at the end.
+	var treeRing *obs.TreeRing
+	if *traceOut != "" {
+		treeRing = obs.NewTreeRing(256)
+	}
+
 	fmt.Printf("%-12s %-12s %16s %14s %14s %10s %10s %9s %9s %9s\n",
 		"workload", "config", "cycles/request", "uops/request", "energy uJ/req",
 		"norm.time", "req/s", "p50", "p95", "p99")
@@ -80,6 +98,11 @@ func main() {
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
+			}
+			if treeRing != nil {
+				col := obs.NewCollector(*traceSample, nil, nil)
+				col.SetTreeRing(treeRing)
+				pool.SetCollector(col)
 			}
 			res := pool.Run(lg, *concurrency)
 			if c.name == "baseline" {
@@ -101,9 +124,45 @@ func main() {
 				fmtLatency(res.Latency.P99))
 			if *breakdown {
 				fmt.Printf("  %-10s %s\n", "", breakdownLine(res))
+				fmt.Printf("  %-10s %s\n", "", fig1Line(pool))
 			}
 		}
 	}
+
+	if treeRing != nil {
+		if err := writeTraceFile(*traceOut, treeRing); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d span trees to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+			len(treeRing.Last(0)), *traceOut)
+	}
+}
+
+// fig1Line renders the run's flat-profile headline — the paper's Fig. 1
+// numbers (hottest-function share, functions covering 65% of cycles) —
+// from the pool's merged meter.
+func fig1Line(pool *workload.Pool) string {
+	p := profile.FromMeter(pool.MergedMeter())
+	hottest := "-"
+	if p.NumFunctions() > 0 {
+		hottest = p.Entries[0].Name
+	}
+	return fmt.Sprintf("fig1: hottest %s %.1f%%, %d functions for 65%% of cycles (%d total)",
+		hottest, 100*p.HottestFrac(), p.FuncsForFrac(0.65), p.NumFunctions())
+}
+
+// writeTraceFile exports the retained span trees as trace_event JSON.
+func writeTraceFile(path string, ring *obs.TreeRing) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTraceEvents(f, ring.Last(0)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // breakdownLine renders the per-category cycle shares of one run,

@@ -5,20 +5,25 @@
 // carries the full observability stack: /stats for a human-readable
 // JSON snapshot, /metrics in Prometheus text format (per-category cycle
 // counters, latency histogram, accelerator and cache counters), sampled
-// per-request attribution spans written to a JSON-lines access log, and
-// optional net/http/pprof endpoints.
+// per-request attribution spans written to a JSON-lines access log,
+// request-scoped span trees exported on /tracez (Chrome trace_event
+// JSON or folded flamegraph stacks), a live windowed flat profile on
+// /profilez, and optional net/http/pprof endpoints.
 //
 // Usage:
 //
 //	phpserve [-addr :8080] [-app wordpress] [-config accelerated]
 //	         [-workers 4] [-seed 1] [-warmup 300] [-ctxswitch 64]
 //	         [-sample 0.01] [-accesslog path|-] [-pprof] [-tracebuf 4096]
+//	         [-treering 64] [-profepochs 16]
 //
 // Endpoints:
 //
 //	GET /             render one page on a free worker
 //	GET /stats        JSON fleet statistics
 //	GET /metrics      Prometheus text-format metrics
+//	GET /tracez       last sampled span trees (trace_event JSON, folded, text)
+//	GET /profilez     live windowed flat profile (table, folded, JSON)
 //	GET /healthz      liveness probe
 //	GET /debug/pprof/ Go profiling (only with -pprof)
 package main
@@ -32,10 +37,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -52,6 +61,13 @@ type server struct {
 	ctxSwitchEvery int
 	pprofEnabled   bool
 	start          time.Time
+
+	// live is the windowed flat profile behind /profilez and the
+	// phpserve_profile_* gauges. Every scrape rotates a new epoch from a
+	// coherent pool snapshot; liveMu serializes rotations (profile.Live
+	// itself is not safe for concurrent use).
+	liveMu sync.Mutex
+	live   *profile.Live
 }
 
 func newServer(pool *workload.Pool, col *obs.Collector, app, config string, ctxSwitchEvery int) *server {
@@ -62,6 +78,7 @@ func newServer(pool *workload.Pool, col *obs.Collector, app, config string, ctxS
 		config:         config,
 		ctxSwitchEvery: ctxSwitchEvery,
 		start:          time.Now(),
+		live:           profile.NewLive(0, time.Now()),
 	}
 }
 
@@ -70,6 +87,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/", s.handleRender)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/tracez", s.handleTracez)
+	mux.HandleFunc("/profilez", s.handleProfilez)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -105,7 +124,10 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	// Report latency as the client saw it: queueing for a free worker
 	// included, not just the render.
 	sp.Wall = time.Since(start)
-	s.col.Observe(sp, len(page))
+	s.col.ObserveHTTP(sp, len(page), obs.RequestMeta{
+		Path:      r.URL.RequestURI(),
+		UserAgent: r.UserAgent(),
+	})
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.Write(page)
@@ -321,6 +343,202 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		e.Counter("phpserve_trace_events_total",
 			"Operation trace events recorded, by kind, since warmup.", kinds...)
 	}
+
+	// The paper's Fig. 1 headline numbers as live gauges, computed over
+	// the same windowed profile /profilez reports.
+	lp, _ := s.observeLive(ps.Meter)
+	e.Gauge("phpserve_profile_hottest_frac",
+		"Hottest leaf function's share of windowed cycles (Fig. 1 headline).",
+		obs.Sample{Labels: base, Value: finite(lp.HottestFrac())})
+	e.Gauge("phpserve_profile_funcs_for_65",
+		"Hottest functions needed to cover 65% of windowed cycles (Fig. 1 headline).",
+		obs.Sample{Labels: base, Value: float64(lp.FuncsForFrac(0.65))})
+	e.Gauge("phpserve_profile_functions",
+		"Distinct leaf functions with cycles in the profile window.",
+		obs.Sample{Labels: base, Value: float64(lp.NumFunctions())})
+	if s.col.TreeRing() != nil {
+		e.Counter("phpserve_trace_trees_total",
+			"Sampled request span trees ever retained in the /tracez ring.",
+			obs.Sample{Labels: base, Value: float64(s.col.TreeRing().Total())})
+	}
+}
+
+// observeLive rotates a fresh epoch into the live profile from an
+// already-taken coherent pool snapshot's meter and returns the current
+// window. Both /profilez and /metrics route through here, so either
+// scrape advances the window.
+func (s *server) observeLive(mt *sim.Meter) (profile.Profile, profile.WindowInfo) {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	s.live.Observe(mt, time.Now())
+	return s.live.Window()
+}
+
+// queryInt parses an integer query parameter, falling back to def when
+// absent or malformed.
+func queryInt(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// handleTracez exports the last sampled span trees from the bounded
+// ring. Parameters: n (last K trees, default 16, <=0 for all retained),
+// format=json (Chrome trace_event, default) | folded (flamegraph
+// stacks) | text (indented human-readable tree).
+func (s *server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	ring := s.col.TreeRing()
+	if ring == nil {
+		http.Error(w, "tracez: span-tree retention disabled (-treering 0)", http.StatusNotFound)
+		return
+	}
+	trees := ring.Last(queryInt(r, "n", 16))
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteTraceEvents(w, trees)
+	case "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		obs.WriteFolded(w, trees)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeTreeText(w, trees)
+	default:
+		http.Error(w, fmt.Sprintf("tracez: unknown format %q (want json, folded, or text)", format), http.StatusBadRequest)
+	}
+}
+
+// writeTreeText renders trees as indented span listings for quick
+// terminal inspection (curl /tracez?format=text).
+func writeTreeText(w io.Writer, trees []*obs.Tree) {
+	for _, t := range trees {
+		fmt.Fprintf(w, "request %d  worker %d  start %s  spans %d",
+			t.Request, t.Worker, t.Start.UTC().Format(time.RFC3339Nano), t.Root.NumSpans())
+		if t.Dropped > 0 {
+			fmt.Fprintf(w, "  dropped %d", t.Dropped)
+		}
+		fmt.Fprintln(w)
+		t.Root.Walk(func(sp *obs.TreeSpan, depth int) {
+			fmt.Fprintf(w, "%s%-24s %10s  %12.0f cycles  (self %.0f)\n",
+				strings.Repeat("  ", depth+1), sp.Name, sp.Dur.Round(time.Microsecond),
+				sp.Cycles, sp.SelfCycles())
+		})
+	}
+}
+
+// profilezResponse is the /profilez?format=json shape.
+type profilezResponse struct {
+	App           string             `json:"app"`
+	Config        string             `json:"config"`
+	WindowSince   string             `json:"window_since"`
+	WindowUntil   string             `json:"window_until"`
+	WindowEpochs  int                `json:"window_epochs"`
+	SinceBoot     bool               `json:"since_boot"`
+	TotalCycles   float64            `json:"total_cycles"`
+	Functions     int                `json:"functions"`
+	HottestFrac   float64            `json:"hottest_frac"`
+	FuncsFor65    int                `json:"funcs_for_65"`
+	CDF           map[string]float64 `json:"cdf"`
+	CategoryShare map[string]float64 `json:"category_share"`
+	Top           []profilezEntry    `json:"top"`
+}
+
+type profilezEntry struct {
+	Name     string  `json:"name"`
+	Category string  `json:"category"`
+	Cycles   float64 `json:"cycles"`
+	Frac     float64 `json:"frac"`
+	Cum      float64 `json:"cum"`
+}
+
+// cdfPoints are the function counts the table and JSON forms report the
+// cumulative distribution at (the Fig. 1 x-axis landmarks).
+var cdfPoints = []int{1, 10, 50, 100}
+
+// handleProfilez serves the live windowed flat profile — the paper's
+// Fig. 1/Fig. 4 analysis over current traffic. Parameters: n (top-N
+// rows, default 30), format=table (default) | folded (flamegraph
+// stacks) | json.
+func (s *server) handleProfilez(w http.ResponseWriter, r *http.Request) {
+	ps := s.pool.Snapshot()
+	p, info := s.observeLive(ps.Meter)
+	n := queryInt(r, "n", 30)
+
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "table":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		window := "since boot"
+		if !info.SinceBoot {
+			window = fmt.Sprintf("last %s (%d epochs)", info.Until.Sub(info.Since).Round(time.Millisecond), info.Epochs)
+		}
+		fmt.Fprintf(w, "live flat profile: %s (%s), window %s\n", s.app, s.config, window)
+		fmt.Fprintf(w, "functions: %d   total cycles: %.0f\n", p.NumFunctions(), p.Total)
+		hottest := "-"
+		if p.NumFunctions() > 0 {
+			hottest = p.Entries[0].Name
+		}
+		fmt.Fprintf(w, "hottest: %s %.2f%%   functions for 65%%: %d\n",
+			hottest, 100*finite(p.HottestFrac()), p.FuncsForFrac(0.65))
+		cdf := p.CDF(cdfPoints)
+		fmt.Fprint(w, "cdf:")
+		for i, np := range cdfPoints {
+			fmt.Fprintf(w, " top%d=%.1f%%", np, 100*cdf[i])
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, "categories:")
+		shares := p.CategoryShares()
+		for _, c := range sim.Categories() {
+			if shares[c] > 0 {
+				fmt.Fprintf(w, " %s=%.1f%%", c, 100*shares[c])
+			}
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w)
+		fmt.Fprint(w, p.Render(n))
+	case "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, p.Folded())
+	case "json":
+		resp := profilezResponse{
+			App:           s.app,
+			Config:        s.config,
+			WindowSince:   info.Since.UTC().Format(time.RFC3339Nano),
+			WindowUntil:   info.Until.UTC().Format(time.RFC3339Nano),
+			WindowEpochs:  info.Epochs,
+			SinceBoot:     info.SinceBoot,
+			TotalCycles:   p.Total,
+			Functions:     p.NumFunctions(),
+			HottestFrac:   finite(p.HottestFrac()),
+			FuncsFor65:    p.FuncsForFrac(0.65),
+			CDF:           map[string]float64{},
+			CategoryShare: map[string]float64{},
+		}
+		cdf := p.CDF(cdfPoints)
+		for i, np := range cdfPoints {
+			resp.CDF[strconv.Itoa(np)] = finite(cdf[i])
+		}
+		for c, share := range p.CategoryShares() {
+			resp.CategoryShare[c.String()] = finite(share)
+		}
+		for _, e := range p.TopN(n) {
+			resp.Top = append(resp.Top, profilezEntry{
+				Name: e.Name, Category: e.Category.String(),
+				Cycles: e.Cycles, Frac: e.Frac, Cum: e.Cum,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	default:
+		http.Error(w, fmt.Sprintf("profilez: unknown format %q (want table, folded, or json)", format), http.StatusBadRequest)
+	}
 }
 
 // configByName maps the CLI -config choice to a vm.Config.
@@ -369,6 +587,8 @@ func main() {
 	accessLog := flag.String("accesslog", "", "JSON-lines access log for sampled spans (path, - for stdout, empty disables)")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceBuf := flag.Int("tracebuf", 4096, "per-worker operation trace ring size (0 unbounded — leaks on a long-running server; -1 disables tracing)")
+	treeRing := flag.Int("treering", 64, "sampled span trees retained for /tracez (0 disables)")
+	profEpochs := flag.Int("profepochs", profile.DefaultLiveEpochs, "cumulative profile epochs retained; the /profilez window spans up to profepochs-1 scrapes")
 	flag.Parse()
 
 	if *workers <= 0 {
@@ -399,7 +619,11 @@ func main() {
 	warmPool(pool, *warmup, *ctxSwitch)
 
 	col := obs.NewCollector(*sample, logW, nil)
+	if *treeRing > 0 {
+		col.SetTreeRing(obs.NewTreeRing(*treeRing))
+	}
 	srv := newServer(pool, col, *app, *config, *ctxSwitch)
+	srv.live = profile.NewLive(*profEpochs, time.Now())
 	srv.pprofEnabled = *pprofFlag
 	fmt.Printf("phpserve: listening on %s (sample rate %g", *addr, *sample)
 	if *pprofFlag {

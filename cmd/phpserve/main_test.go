@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/workload"
 )
 
@@ -32,7 +33,9 @@ func testServer(t *testing.T, workers, warmup int, sampleRate float64, logW io.W
 		t.Fatal(err)
 	}
 	warmPool(pool, warmup, 0)
-	return newServer(pool, obs.NewCollector(sampleRate, logW, nil), "wordpress", "accelerated", 8)
+	col := obs.NewCollector(sampleRate, logW, nil)
+	col.SetTreeRing(obs.NewTreeRing(64))
+	return newServer(pool, col, "wordpress", "accelerated", 8)
 }
 
 func TestServeConcurrentRequests(t *testing.T) {
@@ -331,6 +334,256 @@ func TestNotFoundAndHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
 		t.Errorf("healthz = %d %q", resp.StatusCode, string(body))
+	}
+}
+
+// drive serves n requests against a running test server.
+func drive(t *testing.T, url string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		resp, err := http.Get(url + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// TestTracezEndpoint covers the /tracez acceptance criterion: the export
+// is valid trace_event JSON and each request's per-span self-cycles sum
+// to its root total.
+func TestTracezEndpoint(t *testing.T) {
+	s := testServer(t, 2, 2, 1, nil) // sample every request
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	drive(t, ts.URL, 5)
+
+	resp, err := http.Get(ts.URL + "/tracez?n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string             `json:"name"`
+			Ph   string             `json:"ph"`
+			Dur  float64            `json:"dur"`
+			Tid  int                `json:"tid"`
+			Args map[string]float64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		t.Fatalf("/tracez is not valid trace_event JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("no events exported")
+	}
+	// Group by request root: self-cycles across each request's events must
+	// sum to that request's inclusive total.
+	roots := 0
+	var selfSum, rootSum float64
+	names := map[string]bool{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("phase %q", ev.Ph)
+		}
+		names[ev.Name] = true
+		selfSum += ev.Args["self_cycles"]
+		if ev.Name == "request" {
+			roots++
+			rootSum += ev.Args["cycles"]
+			if ev.Args["request"] == 0 {
+				t.Error("root span missing request number")
+			}
+		}
+	}
+	if roots != 3 {
+		t.Errorf("exported %d trees, want 3 (n=3)", roots)
+	}
+	if math.Abs(selfSum-rootSum) > 1e-6*rootSum {
+		t.Errorf("Σ self-cycles %v != Σ root cycles %v", selfSum, rootSum)
+	}
+	for _, want := range []string{"request", "render", "render_item"} {
+		if !names[want] {
+			t.Errorf("export missing %q spans; have %v", want, names)
+		}
+	}
+
+	// Folded and text forms render without error.
+	for _, q := range []string{"/tracez?format=folded", "/tracez?format=text&n=1"} {
+		resp, err := http.Get(ts.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Errorf("%s: status %d, %d bytes", q, resp.StatusCode, len(body))
+		}
+		if q == "/tracez?format=folded" && !strings.Contains(string(body), "request;") {
+			t.Errorf("folded output has no stacks:\n%s", body)
+		}
+	}
+
+	resp2, err := http.Get(ts.URL + "/tracez?format=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestProfilezMatchesOffline is the /profilez acceptance criterion: on a
+// warm server the live profile's headline numbers match the offline
+// internal/profile result for the same fleet meter within 1% absolute.
+func TestProfilezMatchesOffline(t *testing.T) {
+	s := testServer(t, 2, 2, 0.25, nil)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	drive(t, ts.URL, 20)
+
+	// Offline reference: batch profile over the merged fleet meter.
+	off := profile.FromMeter(s.pool.Snapshot().Meter)
+
+	resp, err := http.Get(ts.URL + "/profilez?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr profilezResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatalf("/profilez json: %v", err)
+	}
+	if !pr.SinceBoot {
+		t.Errorf("first scrape should cover everything since boot: %+v", pr)
+	}
+	if math.Abs(pr.HottestFrac-off.HottestFrac()) > 0.01 {
+		t.Errorf("hottest frac: live %v, offline %v", pr.HottestFrac, off.HottestFrac())
+	}
+	offCount, liveCount := off.FuncsForFrac(0.65), pr.FuncsFor65
+	if offCount != liveCount {
+		// Allow the counts to differ only if the cumulative shares at
+		// those counts are within 1% absolute (tie-adjacent functions).
+		cd := off.CDF([]int{offCount, liveCount})
+		if math.Abs(cd[0]-cd[1]) > 0.01 {
+			t.Errorf("funcs for 65%%: live %d, offline %d", liveCount, offCount)
+		}
+	}
+	if pr.Functions != off.NumFunctions() {
+		t.Errorf("functions: live %d, offline %d", pr.Functions, off.NumFunctions())
+	}
+	if pr.TotalCycles <= 0 || len(pr.Top) == 0 {
+		t.Errorf("empty live profile: %+v", pr)
+	}
+	var shareSum float64
+	for _, v := range pr.CategoryShare {
+		shareSum += v
+	}
+	if math.Abs(shareSum-1) > 1e-6 {
+		t.Errorf("category shares sum to %v", shareSum)
+	}
+
+	// Table and folded forms render and carry the headline content.
+	resp2, err := http.Get(ts.URL + "/profilez?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	for _, want := range []string{"live flat profile", "hottest:", "functions for 65%", "cdf:", "function"} {
+		if !strings.Contains(string(table), want) {
+			t.Errorf("table output missing %q:\n%s", want, table)
+		}
+	}
+	resp3, err := http.Get(ts.URL + "/profilez?format=folded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if !strings.Contains(string(folded), ";") {
+		t.Errorf("folded output has no stacks:\n%s", folded)
+	}
+
+	resp4, err := http.Get(ts.URL + "/profilez?format=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format: status %d, want 400", resp4.StatusCode)
+	}
+}
+
+// TestProfileGaugesOnMetrics: the Fig. 1 headline numbers are exported
+// as gauges, consistent with the same scrape's windowed profile.
+func TestProfileGaugesOnMetrics(t *testing.T) {
+	s := testServer(t, 1, 2, 1, nil)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	drive(t, ts.URL, 4)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"phpserve_profile_hottest_frac{",
+		"phpserve_profile_funcs_for_65{",
+		"phpserve_profile_functions{",
+		"phpserve_trace_trees_total{",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The gauges carry plausible Fig. 1 values on a warm profile.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "phpserve_profile_hottest_frac{") {
+			v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+			if err != nil || v <= 0 || v >= 1 {
+				t.Errorf("hottest frac gauge = %q (%v)", line, err)
+			}
+		}
+		if strings.HasPrefix(line, "phpserve_profile_funcs_for_65{") {
+			v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+			if err != nil || v < 1 {
+				t.Errorf("funcs-for-65 gauge = %q (%v)", line, err)
+			}
+		}
+	}
+}
+
+// TestTracezDisabled: without a tree ring the endpoint reports 404
+// rather than an empty export.
+func TestTracezDisabled(t *testing.T) {
+	cfg, err := configByName("accelerated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := workload.NewPool(1, cfg, "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(pool, obs.NewCollector(0, nil, nil), "wordpress", "accelerated", 0)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
 	}
 }
 

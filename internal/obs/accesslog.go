@@ -23,13 +23,35 @@ func NewAccessLog(w io.Writer) *AccessLog {
 	return &AccessLog{enc: json.NewEncoder(w)}
 }
 
+// maxLogFieldLen bounds request-controlled string fields (path, user
+// agent) in a log line. A hostile request with a megabyte URL or UA
+// header otherwise turns every sampled line into a megabyte of JSON;
+// beyond the cap the field is cut and marked with a trailing "…".
+const maxLogFieldLen = 256
+
+// truncateField caps a request-controlled string for logging, marking
+// cut fields with a trailing ellipsis. Truncation counts bytes, backing
+// up over a split UTF-8 rune so the output stays valid JSON text.
+func truncateField(s string) string {
+	if len(s) <= maxLogFieldLen {
+		return s
+	}
+	cut := maxLogFieldLen
+	for cut > 0 && s[cut]&0xC0 == 0x80 { // don't split a rune
+		cut--
+	}
+	return s[:cut] + "…"
+}
+
 // LogEntry is the JSON shape of one access-log line. Cycle fields are
 // present only on sampled spans; latency is reported in microseconds to
-// match /stats.
+// match /stats. Path and UserAgent are truncated to maxLogFieldLen.
 type LogEntry struct {
 	Time      string             `json:"ts"`
 	Request   uint64             `json:"request"`
 	Worker    int                `json:"worker"`
+	Path      string             `json:"path,omitempty"`
+	UserAgent string             `json:"user_agent,omitempty"`
 	LatencyUS int64              `json:"latency_us"`
 	Bytes     int                `json:"bytes"`
 	Sampled   bool               `json:"sampled"`
@@ -40,10 +62,18 @@ type LogEntry struct {
 // Write emits one line for the span. Unsampled spans log only identity
 // and latency; sampled spans add the per-category cycle breakdown.
 func (l *AccessLog) Write(sp Span, respBytes int) error {
+	return l.WriteMeta(sp, respBytes, RequestMeta{})
+}
+
+// WriteMeta is Write plus HTTP request metadata. Request-controlled
+// fields are truncated so one request cannot bloat the log.
+func (l *AccessLog) WriteMeta(sp Span, respBytes int, meta RequestMeta) error {
 	e := LogEntry{
 		Time:      time.Now().UTC().Format(time.RFC3339Nano),
 		Request:   sp.Request,
 		Worker:    sp.Worker,
+		Path:      truncateField(meta.Path),
+		UserAgent: truncateField(meta.UserAgent),
 		LatencyUS: sp.Wall.Microseconds(),
 		Bytes:     respBytes,
 		Sampled:   sp.Sampled,

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+func TestAccessLogTruncatesHostileFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(&buf)
+
+	hostilePath := "/posts?q=" + strings.Repeat("A", 1<<20)
+	hostileUA := strings.Repeat("Mozilla/5.0 ", 1<<16)
+	err := l.WriteMeta(Span{Request: 1, Wall: time.Millisecond, Sampled: true}, 64,
+		RequestMeta{Path: hostilePath, UserAgent: hostileUA})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	line := buf.Bytes()
+	if len(line) > 2048 {
+		t.Errorf("log line is %d bytes; hostile fields were not bounded", len(line))
+	}
+	var e LogEntry
+	if err := json.Unmarshal(line, &e); err != nil {
+		t.Fatalf("truncated line is not valid JSON: %v", err)
+	}
+	if !strings.HasSuffix(e.Path, "…") || !strings.HasSuffix(e.UserAgent, "…") {
+		t.Errorf("truncated fields should be marked: path=%q ua=%q", e.Path, e.UserAgent)
+	}
+	if !strings.HasPrefix(e.Path, "/posts?q=AAA") {
+		t.Errorf("path prefix lost: %q", e.Path)
+	}
+	if len(e.Path) > maxLogFieldLen+len("…") {
+		t.Errorf("path still %d bytes", len(e.Path))
+	}
+}
+
+func TestAccessLogShortFieldsUntouched(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(&buf)
+	if err := l.WriteMeta(Span{Request: 2}, 0, RequestMeta{Path: "/", UserAgent: "curl/8.0"}); err != nil {
+		t.Fatal(err)
+	}
+	var e LogEntry
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Path != "/" || e.UserAgent != "curl/8.0" {
+		t.Errorf("fields altered: %+v", e)
+	}
+}
+
+func TestTruncateFieldRuneBoundary(t *testing.T) {
+	// Fill to just under the cap, then place a multi-byte rune straddling
+	// it: truncation must back up to the rune start, not emit a torn rune.
+	s := strings.Repeat("x", maxLogFieldLen-1) + "日本語"
+	got := truncateField(s)
+	if !utf8.ValidString(got) {
+		t.Errorf("truncation split a rune: %q", got[len(got)-8:])
+	}
+	if !strings.HasSuffix(got, "…") {
+		t.Errorf("missing ellipsis: %q", got)
+	}
+	if len(got) > maxLogFieldLen+len("…") {
+		t.Errorf("len = %d", len(got))
+	}
+}

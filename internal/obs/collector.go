@@ -18,6 +18,7 @@ const maxRetainedLatencies = 1 << 16
 type Collector struct {
 	sampler *Sampler
 	log     *AccessLog // nil when access logging is disabled
+	trees   *TreeRing  // nil when span-tree retention is disabled
 
 	mu        sync.Mutex
 	requests  int64
@@ -50,11 +51,34 @@ func NewCollector(rate float64, logW io.Writer, buckets []float64) *Collector {
 // counter.
 func (c *Collector) ShouldSample() bool { return c.sampler.Sample() }
 
+// SetTreeRing attaches a ring retaining sampled requests' span trees
+// (the /tracez backing store). Must be called before serving starts; a
+// nil ring disables retention.
+func (c *Collector) SetTreeRing(r *TreeRing) { c.trees = r }
+
+// TreeRing returns the attached span-tree ring, or nil.
+func (c *Collector) TreeRing() *TreeRing { return c.trees }
+
+// RequestMeta carries per-request identity an HTTP front end knows but
+// the worker pool does not. Fields are truncated for the access log, so
+// callers can pass them straight from the request.
+type RequestMeta struct {
+	Path      string
+	UserAgent string
+}
+
 // Observe records one served request: it assigns the span's request
 // sequence number, bumps the fleet counters, feeds the latency histogram
 // and reservoir, and writes sampled spans to the access log. The
 // completed span is returned.
 func (c *Collector) Observe(sp Span, respBytes int) Span {
+	return c.ObserveHTTP(sp, respBytes, RequestMeta{})
+}
+
+// ObserveHTTP is Observe plus HTTP request metadata for the access log.
+// It also stamps the span's tree (if any) with the assigned request
+// number and retains it in the tree ring.
+func (c *Collector) ObserveHTTP(sp Span, respBytes int, meta RequestMeta) Span {
 	c.mu.Lock()
 	c.requests++
 	sp.Request = uint64(c.requests)
@@ -69,8 +93,14 @@ func (c *Collector) Observe(sp Span, respBytes int) Span {
 	c.latencies = append(c.latencies, sp.Wall)
 	c.mu.Unlock()
 
+	if sp.Tree != nil {
+		sp.Tree.Request = sp.Request
+		if c.trees != nil {
+			c.trees.Add(sp.Tree)
+		}
+	}
 	if c.log != nil && sp.Sampled {
-		c.log.Write(sp, respBytes)
+		c.log.WriteMeta(sp, respBytes, meta)
 	}
 	return sp
 }

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// traceEvent is one Chrome trace_event record. Only "X" (complete)
+// events are emitted: each span becomes one event with ts/dur in
+// microseconds, which both chrome://tracing and Perfetto load directly.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the trace_event JSON object format (the array format is
+// also valid, but the object form lets viewers know the time unit).
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents renders the trees as Chrome trace_event JSON, one "X"
+// (complete) event per span. Timestamps are absolute wall-clock
+// microseconds so trees from different requests land on a shared
+// timeline; tid is the serving worker, so each worker's requests stack
+// on their own track. Each event's args carry the span's inclusive and
+// exclusive simulated cycles plus the non-zero per-category breakdown.
+func WriteTraceEvents(w io.Writer, trees []*Tree) error {
+	f := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for _, t := range trees {
+		if t == nil || t.Root == nil {
+			continue
+		}
+		base := float64(t.Start.UnixNano()) / 1e3
+		t.Root.Walk(func(sp *TreeSpan, depth int) {
+			args := map[string]any{
+				"cycles":      sp.Cycles,
+				"self_cycles": sp.SelfCycles(),
+			}
+			for _, c := range sim.Categories() {
+				if v := sp.Categories[c]; v != 0 {
+					args["cycles_"+c.String()] = v
+				}
+			}
+			if depth == 0 {
+				args["request"] = t.Request
+				if t.Dropped > 0 {
+					args["dropped_spans"] = t.Dropped
+				}
+			}
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				Ts:   base + float64(sp.Start.Microseconds()),
+				Dur:  durUS(sp),
+				Pid:  1,
+				Tid:  t.Worker,
+				Cat:  "phpserve",
+				Args: args,
+			})
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// durUS returns the span duration in microseconds, floored at a sliver
+// so zero-length spans stay visible (and clickable) in trace viewers.
+func durUS(sp *TreeSpan) float64 {
+	us := float64(sp.Dur.Nanoseconds()) / 1e3
+	if us < 0.001 {
+		us = 0.001
+	}
+	return us
+}
+
+// WriteFolded renders the trees as folded stacks — one "a;b;c value"
+// line per unique span path, weighted by the path's exclusive simulated
+// cycles — the input format of flamegraph.pl and speedscope. Identical
+// paths across trees merge, so the output is the aggregate flame shape
+// of the exported sample. Lines are sorted for deterministic output.
+func WriteFolded(w io.Writer, trees []*Tree) error {
+	agg := make(map[string]float64)
+	var stack []string
+	var walk func(sp *TreeSpan)
+	walk = func(sp *TreeSpan) {
+		stack = append(stack, foldedFrame(sp.Name))
+		if self := sp.SelfCycles(); self > 0 {
+			agg[strings.Join(stack, ";")] += self
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+		stack = stack[:len(stack)-1]
+	}
+	for _, t := range trees {
+		if t == nil || t.Root == nil {
+			continue
+		}
+		walk(t.Root)
+	}
+	paths := make([]string, 0, len(agg))
+	for p := range agg {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := fmt.Fprintf(w, "%s %.0f\n", p, agg[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldedFrame sanitizes a span name for the folded-stack format, whose
+// frame separator is ';' and whose count separator is ' '.
+func foldedFrame(name string) string {
+	name = strings.ReplaceAll(name, ";", ":")
+	return strings.ReplaceAll(name, " ", "_")
+}

@@ -48,4 +48,8 @@ type Span struct {
 	Cycles float64
 	// Categories breaks Cycles down by sim.Category (sampled only).
 	Categories sim.CategoryVec
+	// Tree is the request's span tree (sampled only, nil otherwise): the
+	// same cycle total as Cycles, decomposed hierarchically into the
+	// phases and calls that accumulated it.
+	Tree *Tree
 }

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DefaultMaxTreeSpans bounds how many spans one request's tree may hold
+// before further Begin calls are counted but not recorded. A hostile or
+// pathological request (a script looping over millions of builtin calls)
+// therefore costs bounded memory on the sampled path.
+const DefaultMaxTreeSpans = 512
+
+// TreeSpan is one timed node of a request's span tree: a named phase of
+// execution (render, a PHP function call, a texturize chain) carrying
+// its wall-clock interval and the simulated cycles charged while it was
+// open, broken down by activity category. Cycles and Categories are
+// inclusive of children; SelfCycles/SelfCategories subtract them.
+type TreeSpan struct {
+	// Name identifies the phase ("request", "render", "php:texturize").
+	Name string
+	// Start is the offset from the request's start.
+	Start time.Duration
+	// Dur is the span's wall-clock duration.
+	Dur time.Duration
+	// Cycles is the simulated cycle total charged while the span was
+	// open, children included.
+	Cycles float64
+	// Categories breaks Cycles down by sim.Category (inclusive).
+	Categories sim.CategoryVec
+	// Children are the spans opened (and closed) while this one was open.
+	Children []*TreeSpan
+}
+
+// SelfCategories returns the span's exclusive per-category cycles: the
+// inclusive vector minus every direct child's. Summed over a whole tree,
+// the self vectors telescope back to the root's inclusive total, which
+// is the invariant the flamegraph export relies on.
+func (s *TreeSpan) SelfCategories() sim.CategoryVec {
+	out := s.Categories
+	for _, c := range s.Children {
+		out = out.Sub(c.Categories)
+	}
+	return out
+}
+
+// SelfCycles returns the span's exclusive simulated cycle total.
+func (s *TreeSpan) SelfCycles() float64 {
+	t := s.Cycles
+	for _, c := range s.Children {
+		t -= c.Cycles
+	}
+	return t
+}
+
+// Walk visits the span and its descendants depth-first in start order,
+// passing each node's depth (0 for the receiver).
+func (s *TreeSpan) Walk(f func(sp *TreeSpan, depth int)) {
+	s.walk(f, 0)
+}
+
+func (s *TreeSpan) walk(f func(sp *TreeSpan, depth int), depth int) {
+	f(s, depth)
+	for _, c := range s.Children {
+		c.walk(f, depth+1)
+	}
+}
+
+// NumSpans returns the number of nodes in the subtree rooted at s.
+func (s *TreeSpan) NumSpans() int {
+	n := 1
+	for _, c := range s.Children {
+		n += c.NumSpans()
+	}
+	return n
+}
+
+// Tree is one sampled request's complete span tree. Root is always the
+// "request" span, so Root.Cycles is the request's total simulated cycle
+// cost and Root.Dur its render wall time.
+type Tree struct {
+	// Request is the server-assigned request sequence number (set by
+	// Collector.Observe, 0 until then).
+	Request uint64
+	// Worker is the pool worker that served the request.
+	Worker int
+	// Start is the wall-clock time the request began.
+	Start time.Time
+	// Root is the request span.
+	Root *TreeSpan
+	// Dropped counts Begin calls that exceeded the tree's span budget
+	// and were recorded only as this count.
+	Dropped int
+}
+
+// treeFrame is one open span plus the category snapshot taken when it
+// was opened.
+type treeFrame struct {
+	span     *TreeSpan
+	beginVec sim.CategoryVec
+}
+
+// TreeBuilder assembles one request's span tree. It is owned by a
+// single goroutine (the worker serving the request) and is attached to
+// the runtime only for sampled requests; every Begin/End snapshots the
+// meter's O(NumCategories) category vector, so a span costs two vector
+// reads and one small allocation. A nil *TreeBuilder is a valid no-op
+// receiver, which is what keeps the unsampled hook path to one branch.
+type TreeBuilder struct {
+	meter   *sim.Meter
+	t0      time.Time
+	stack   []treeFrame
+	spans   int
+	max     int
+	dropped int
+	skip    int
+}
+
+// NewTreeBuilder opens a builder whose root "request" span starts now,
+// charging against mt. maxSpans bounds the tree (<=0 selects
+// DefaultMaxTreeSpans).
+func NewTreeBuilder(mt *sim.Meter, maxSpans int) *TreeBuilder {
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxTreeSpans
+	}
+	b := &TreeBuilder{meter: mt, t0: time.Now(), max: maxSpans}
+	b.stack = append(b.stack, treeFrame{
+		span:     &TreeSpan{Name: "request"},
+		beginVec: mt.CategoryCyclesVec(),
+	})
+	b.spans = 1
+	return b
+}
+
+// Begin opens a child span of the innermost open span. Past the span
+// budget the call is counted as dropped and the matching End becomes a
+// no-op, so deep or runaway instrumentation degrades to a counter
+// instead of unbounded memory.
+func (b *TreeBuilder) Begin(name string) {
+	if b == nil {
+		return
+	}
+	if b.skip > 0 || b.spans >= b.max {
+		b.skip++
+		b.dropped++
+		return
+	}
+	b.spans++
+	b.stack = append(b.stack, treeFrame{
+		span:     &TreeSpan{Name: name, Start: time.Since(b.t0)},
+		beginVec: b.meter.CategoryCyclesVec(),
+	})
+}
+
+// End closes the innermost open span, computing its duration and its
+// inclusive category cycle delta. Ends without a matching Begin are
+// ignored, as is the root span (only Finish closes it).
+func (b *TreeBuilder) End() {
+	if b == nil {
+		return
+	}
+	if b.skip > 0 {
+		b.skip--
+		return
+	}
+	if len(b.stack) <= 1 {
+		return // root closes in Finish; unbalanced End is a no-op
+	}
+	f := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	f.span.Dur = time.Since(b.t0) - f.span.Start
+	f.span.Categories = b.meter.CategoryCyclesVec().Sub(f.beginVec)
+	f.span.Cycles = f.span.Categories.Total()
+	parent := b.stack[len(b.stack)-1].span
+	parent.Children = append(parent.Children, f.span)
+}
+
+// Finish closes every span still open (innermost first), closes the
+// root, and returns the completed tree for worker. The builder must not
+// be used afterwards.
+func (b *TreeBuilder) Finish(worker int) *Tree {
+	if b == nil {
+		return nil
+	}
+	for len(b.stack) > 1 {
+		b.End()
+	}
+	root := b.stack[0]
+	root.span.Dur = time.Since(b.t0)
+	root.span.Categories = b.meter.CategoryCyclesVec().Sub(root.beginVec)
+	root.span.Cycles = root.span.Categories.Total()
+	b.stack = nil
+	return &Tree{Worker: worker, Start: b.t0, Root: root.span, Dropped: b.dropped}
+}
+
+// TreeRing retains the most recent sampled span trees in a bounded ring
+// for the /tracez endpoint. Safe for concurrent use.
+type TreeRing struct {
+	mu    sync.Mutex
+	cap   int
+	trees []*Tree
+	start int
+	total int64
+}
+
+// NewTreeRing builds a ring keeping at most capacity trees (<=0 selects
+// a capacity of 1).
+func NewTreeRing(capacity int) *TreeRing {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &TreeRing{cap: capacity}
+}
+
+// Add retains t, evicting the oldest tree when the ring is full. A nil
+// tree is ignored.
+func (r *TreeRing) Add(t *Tree) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.trees) < r.cap {
+		r.trees = append(r.trees, t)
+		return
+	}
+	r.trees[r.start] = t
+	r.start = (r.start + 1) % r.cap
+}
+
+// Total returns how many trees were ever added, including evicted ones.
+func (r *TreeRing) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Last returns up to n retained trees, oldest first, newest last. n <= 0
+// returns every retained tree.
+func (r *TreeRing) Last(n int) []*Tree {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ordered := make([]*Tree, 0, len(r.trees))
+	ordered = append(ordered, r.trees[r.start:]...)
+	ordered = append(ordered, r.trees[:r.start]...)
+	if n > 0 && n < len(ordered) {
+		ordered = ordered[len(ordered)-n:]
+	}
+	return ordered
+}

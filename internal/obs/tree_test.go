@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// chargedMeter builds a meter and a helper that charges a known number
+// of uops to a category, so tests can interleave charges with span
+// boundaries and check the attributed deltas exactly.
+func chargedMeter() (*sim.Meter, func(cat sim.Category, uops float64)) {
+	mt := sim.NewMeter(sim.DefaultCostModel())
+	return mt, func(cat sim.Category, uops float64) {
+		mt.AddUops("test_fn", cat, uops)
+	}
+}
+
+func TestTreeBuilderAttribution(t *testing.T) {
+	mt, charge := chargedMeter()
+	b := NewTreeBuilder(mt, 0)
+
+	charge(sim.CatOther, 100) // root-exclusive work
+	b.Begin("render")
+	charge(sim.CatHash, 155) // render-exclusive
+	b.Begin("php:foo")
+	charge(sim.CatString, 310) // leaf
+	b.End()
+	charge(sim.CatHash, 155) // more render-exclusive
+	b.End()
+	tree := b.Finish(7)
+
+	if tree.Worker != 7 {
+		t.Errorf("worker = %d", tree.Worker)
+	}
+	root := tree.Root
+	if root.Name != "request" || len(root.Children) != 1 {
+		t.Fatalf("root = %+v", root)
+	}
+	render := root.Children[0]
+	if render.Name != "render" || len(render.Children) != 1 {
+		t.Fatalf("render = %+v", render)
+	}
+	leaf := render.Children[0]
+	if leaf.Name != "php:foo" || len(leaf.Children) != 0 {
+		t.Fatalf("leaf = %+v", leaf)
+	}
+
+	// Inclusive totals must nest: root ⊇ render ⊇ leaf.
+	ipc := sim.DefaultCostModel().IPC
+	wantLeaf := 310 / ipc
+	wantRender := (155 + 310 + 155) / ipc
+	wantRoot := (100 + 155 + 310 + 155) / ipc
+	for _, tc := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"leaf", leaf.Cycles, wantLeaf},
+		{"render", render.Cycles, wantRender},
+		{"root", root.Cycles, wantRoot},
+	} {
+		if math.Abs(tc.got-tc.want) > 1e-9 {
+			t.Errorf("%s cycles = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+
+	// Self cycles telescope: the sum over all spans equals the root's
+	// inclusive total (the /tracez acceptance invariant).
+	var selfSum float64
+	root.Walk(func(sp *TreeSpan, _ int) { selfSum += sp.SelfCycles() })
+	if math.Abs(selfSum-root.Cycles) > 1e-9 {
+		t.Errorf("Σ self = %v, root inclusive = %v", selfSum, root.Cycles)
+	}
+
+	// Category attribution lands where the charge happened.
+	if got := leaf.SelfCategories()[sim.CatString]; math.Abs(got-310/ipc) > 1e-9 {
+		t.Errorf("leaf string self = %v", got)
+	}
+	if got := render.SelfCategories()[sim.CatHash]; math.Abs(got-310/ipc) > 1e-9 {
+		t.Errorf("render hash self = %v", got)
+	}
+	if got := root.SelfCategories()[sim.CatOther]; math.Abs(got-100/ipc) > 1e-9 {
+		t.Errorf("root other self = %v", got)
+	}
+	if root.NumSpans() != 3 {
+		t.Errorf("NumSpans = %d", root.NumSpans())
+	}
+}
+
+func TestTreeBuilderNilSafe(t *testing.T) {
+	var b *TreeBuilder
+	b.Begin("x") // must not panic
+	b.End()
+	if tree := b.Finish(0); tree != nil {
+		t.Errorf("nil builder produced tree %+v", tree)
+	}
+}
+
+func TestTreeBuilderUnbalanced(t *testing.T) {
+	mt, charge := chargedMeter()
+
+	// Extra Ends are ignored; open spans are closed by Finish.
+	b := NewTreeBuilder(mt, 0)
+	b.End()
+	b.End()
+	b.Begin("a")
+	b.Begin("b")
+	charge(sim.CatHeap, 31)
+	tree := b.Finish(0)
+	if got := tree.Root.NumSpans(); got != 3 {
+		t.Fatalf("spans = %d, want 3", got)
+	}
+	a := tree.Root.Children[0]
+	if a.Name != "a" || len(a.Children) != 1 || a.Children[0].Name != "b" {
+		t.Fatalf("tree shape: %+v", tree.Root)
+	}
+	// Work charged inside the open spans is still attributed to them.
+	if a.Children[0].Cycles <= 0 {
+		t.Errorf("open leaf lost its charge: %v", a.Children[0].Cycles)
+	}
+}
+
+func TestTreeBuilderSpanCap(t *testing.T) {
+	mt, charge := chargedMeter()
+	b := NewTreeBuilder(mt, 4)
+	// Two siblings fit (root + 2 + 1 = cap of 4)…
+	b.Begin("kept1")
+	b.End()
+	b.Begin("kept2")
+	b.Begin("kept3")
+	// …anything deeper or later is dropped, and nested Begin/End pairs
+	// inside a dropped span must stay balanced.
+	b.Begin("dropped1")
+	b.Begin("dropped2")
+	charge(sim.CatRegex, 62)
+	b.End()
+	b.End()
+	b.End() // closes kept3
+	b.Begin("dropped3")
+	b.End()
+	tree := b.Finish(0)
+
+	if tree.Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", tree.Dropped)
+	}
+	if got := tree.Root.NumSpans(); got != 4 {
+		t.Errorf("retained spans = %d, want 4", got)
+	}
+	// The dropped spans' work still lands in the innermost kept span, so
+	// no cycles vanish from the tree.
+	kept2 := tree.Root.Children[1]
+	if kept2.Name != "kept2" || len(kept2.Children) != 1 {
+		t.Fatalf("kept2 = %+v", kept2)
+	}
+	if kept2.Children[0].Cycles <= 0 {
+		t.Errorf("dropped-span work vanished")
+	}
+	var selfSum float64
+	tree.Root.Walk(func(sp *TreeSpan, _ int) { selfSum += sp.SelfCycles() })
+	if math.Abs(selfSum-tree.Root.Cycles) > 1e-9 {
+		t.Errorf("Σ self = %v, root = %v", selfSum, tree.Root.Cycles)
+	}
+}
+
+func TestTreeRingBounded(t *testing.T) {
+	r := NewTreeRing(3)
+	for i := 0; i < 5; i++ {
+		mt, _ := chargedMeter()
+		b := NewTreeBuilder(mt, 0)
+		tree := b.Finish(i)
+		tree.Request = uint64(i)
+		r.Add(tree)
+	}
+	r.Add(nil) // ignored
+
+	if r.Total() != 5 {
+		t.Errorf("total = %d", r.Total())
+	}
+	got := r.Last(0)
+	if len(got) != 3 {
+		t.Fatalf("retained = %d", len(got))
+	}
+	// Oldest-first: requests 2, 3, 4 survive.
+	for i, want := range []uint64{2, 3, 4} {
+		if got[i].Request != want {
+			t.Errorf("Last[%d].Request = %d, want %d", i, got[i].Request, want)
+		}
+	}
+	if last1 := r.Last(1); len(last1) != 1 || last1[0].Request != 4 {
+		t.Errorf("Last(1) = %+v", last1)
+	}
+	if lastBig := r.Last(10); len(lastBig) != 3 {
+		t.Errorf("Last(10) = %d trees", len(lastBig))
+	}
+}
+
+// buildSampleTree makes a small two-level tree with known cycle charges
+// for the exporter tests.
+func buildSampleTree(req uint64, worker int) *Tree {
+	mt, charge := chargedMeter()
+	b := NewTreeBuilder(mt, 0)
+	charge(sim.CatOther, 50)
+	b.Begin("render")
+	b.Begin("php:the content") // space + nothing exotic
+	charge(sim.CatString, 100)
+	b.End()
+	charge(sim.CatHash, 25)
+	b.End()
+	tree := b.Finish(worker)
+	tree.Request = req
+	return tree
+}
+
+func TestWriteTraceEventsValid(t *testing.T) {
+	trees := []*Tree{buildSampleTree(1, 0), buildSampleTree(2, 1), nil}
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, trees); err != nil {
+		t.Fatal(err)
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name string             `json:"name"`
+			Ph   string             `json:"ph"`
+			Ts   float64            `json:"ts"`
+			Dur  float64            `json:"dur"`
+			Pid  int                `json:"pid"`
+			Tid  int                `json:"tid"`
+			Args map[string]float64 `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) != 6 { // 3 spans per tree × 2 trees
+		t.Fatalf("events = %d, want 6", len(f.TraceEvents))
+	}
+	// Per tree: self cycles across events sum to the root's inclusive
+	// total (the acceptance criterion).
+	selfByTid := map[int]float64{}
+	rootByTid := map[int]float64{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event phase %q, want X", ev.Ph)
+		}
+		if ev.Dur <= 0 {
+			t.Errorf("event %q has non-positive dur %v", ev.Name, ev.Dur)
+		}
+		selfByTid[ev.Tid] += ev.Args["self_cycles"]
+		if ev.Name == "request" {
+			rootByTid[ev.Tid] = ev.Args["cycles"]
+		}
+	}
+	for tid, root := range rootByTid {
+		if math.Abs(selfByTid[tid]-root) > 1e-6 {
+			t.Errorf("tid %d: Σ self = %v, root total = %v", tid, selfByTid[tid], root)
+		}
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	trees := []*Tree{buildSampleTree(1, 0), buildSampleTree(2, 0)}
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, trees); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("folded lines:\n%s", out)
+	}
+	// Frame names are sanitized and identical paths across trees merge.
+	if !strings.Contains(out, "request;render;php:the_content ") {
+		t.Errorf("missing merged leaf path:\n%s", out)
+	}
+	var total float64
+	for _, ln := range lines {
+		parts := strings.Split(ln, " ")
+		if len(parts) != 2 {
+			t.Fatalf("malformed line %q", ln)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(parts[1], "%f", &v); err != nil {
+			t.Fatalf("bad weight in %q: %v", ln, err)
+		}
+		total += v
+	}
+	wantTotal := trees[0].Root.Cycles + trees[1].Root.Cycles
+	// Weights are rounded to integers per line; tolerance accounts for it.
+	if math.Abs(total-wantTotal) > float64(len(lines)) {
+		t.Errorf("folded total = %v, trees total = %v", total, wantTotal)
+	}
+}
+
+func TestCollectorTreeRing(t *testing.T) {
+	c := NewCollector(1, nil, nil)
+	ring := NewTreeRing(8)
+	c.SetTreeRing(ring)
+
+	tree := buildSampleTree(0, 2)
+	sp := Span{Worker: 2, Sampled: true, Tree: tree}
+	out := c.ObserveHTTP(sp, 10, RequestMeta{Path: "/"})
+	if out.Request != 1 {
+		t.Fatalf("request = %d", out.Request)
+	}
+	got := ring.Last(0)
+	if len(got) != 1 || got[0].Request != 1 {
+		t.Fatalf("ring = %+v", got)
+	}
+	if c.TreeRing() != ring {
+		t.Error("TreeRing accessor mismatch")
+	}
+}

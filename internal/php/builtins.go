@@ -22,6 +22,10 @@ func (in *Interp) evalCall(n *callExpr, f *frame) (interface{}, error) {
 		}
 		return in.callUser(fd, args)
 	}
+	if in.rt.Tracing() { // skip the name concat on the unsampled path
+		in.rt.BeginSpan("php:" + n.name)
+		defer in.rt.EndSpan()
+	}
 
 	// Special forms that inspect their argument expressions.
 	switch n.name {

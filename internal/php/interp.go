@@ -95,7 +95,9 @@ func (in *Interp) Run() ([]byte, error) {
 		}
 		in.owned = in.owned[:0]
 	}()
+	in.rt.BeginSpan("php:exec")
 	ctl, err := in.execBlock(in.prog.stmts, &in.globals)
+	in.rt.EndSpan()
 	if err != nil {
 		return nil, err
 	}
@@ -593,6 +595,10 @@ func (in *Interp) callUser(fd *funcDecl, args []interface{}) (interface{}, error
 	}
 	in.depth++
 	defer func() { in.depth-- }()
+	if in.rt.Tracing() { // skip the name concat on the unsampled path
+		in.rt.BeginSpan("php:" + fd.name)
+		defer in.rt.EndSpan()
+	}
 
 	local := frame{vars: map[string]interface{}{}, fn: fd.name}
 	for i, p := range fd.params {

@@ -123,6 +123,21 @@ func (p Profile) Render(n int) string {
 	return b.String()
 }
 
+// Folded renders the flat profile as folded stacks — one
+// "category;function cycles" line per entry, hottest first — so a live
+// /profilez scrape feeds flamegraph.pl / speedscope directly. The
+// category is the root frame, which makes the flame's first tier the
+// paper's Fig. 4 breakdown.
+func (p Profile) Folded() string {
+	var b strings.Builder
+	for _, e := range p.Entries {
+		name := strings.ReplaceAll(e.Name, ";", ":")
+		name = strings.ReplaceAll(name, " ", "_")
+		fmt.Fprintf(&b, "%s;%s %.0f\n", e.Category, name, e.Cycles)
+	}
+	return b.String()
+}
+
 // Diff compares two profiles by function name (Fig. 3's before/after
 // mitigation bars). Functions absent from one side report zero.
 type DiffEntry struct {

@@ -136,3 +136,91 @@ func TestFlatVsHotspotShape(t *testing.T) {
 		t.Errorf("hotspot profile should need few functions: %d", hp.FuncsForFrac(0.65))
 	}
 }
+
+func TestDiffEdgeCases(t *testing.T) {
+	some := FromMeter(meterWith(map[string]float64{"a": 0.6, "b": 0.4}))
+	empty := FromMeter(sim.NewMeter(sim.DefaultCostModel()))
+
+	// Both sides empty: nothing to report.
+	if d := Diff(empty, empty); len(d) != 0 {
+		t.Errorf("empty/empty diff = %+v", d)
+	}
+
+	// Empty before: every function is new, BeforeFrac zero.
+	d := Diff(empty, some)
+	if len(d) != 2 {
+		t.Fatalf("diff = %+v", d)
+	}
+	for _, e := range d {
+		if e.BeforeFrac != 0 || e.AfterFrac <= 0 {
+			t.Errorf("new function entry = %+v", e)
+		}
+	}
+
+	// Empty after: every function vanished, AfterFrac zero, sorted by
+	// before-share.
+	d = Diff(some, empty)
+	if len(d) != 2 || d[0].Name != "a" || d[0].AfterFrac != 0 || d[1].AfterFrac != 0 {
+		t.Errorf("vanished diff = %+v", d)
+	}
+
+	// Single-function profile diffed against itself: shares unchanged.
+	one := FromMeter(meterWith(map[string]float64{"solo": 1}))
+	d = Diff(one, one)
+	if len(d) != 1 || d[0].BeforeFrac != 1 || d[0].AfterFrac != 1 {
+		t.Errorf("identity diff = %+v", d)
+	}
+
+	// Disjoint function sets: both sides' functions appear, each with a
+	// zero on the side it is absent from.
+	other := FromMeter(meterWith(map[string]float64{"x": 0.5, "y": 0.5}))
+	d = Diff(some, other)
+	if len(d) != 4 {
+		t.Fatalf("disjoint diff = %+v", d)
+	}
+	byName := map[string]DiffEntry{}
+	for _, e := range d {
+		byName[e.Name] = e
+	}
+	if byName["a"].AfterFrac != 0 || byName["x"].BeforeFrac != 0 {
+		t.Errorf("disjoint shares wrong: %+v", byName)
+	}
+	// Before-side functions sort ahead of after-only ones (before-share
+	// descending, zero last).
+	if d[0].Name != "a" || d[1].Name != "b" {
+		t.Errorf("diff order = %+v", d)
+	}
+}
+
+func TestCDFEdgeCases(t *testing.T) {
+	empty := FromMeter(sim.NewMeter(sim.DefaultCostModel()))
+	// Empty profile: every requested n covers nothing.
+	got := empty.CDF([]int{0, 1, 100})
+	for i, v := range got {
+		if v != 0 {
+			t.Errorf("empty CDF[%d] = %v", i, v)
+		}
+	}
+
+	// Single-function profile: any positive n covers everything, zero and
+	// negative n cover nothing.
+	one := FromMeter(meterWith(map[string]float64{"solo": 1}))
+	got = one.CDF([]int{-1, 0, 1, 2, 1000})
+	want := []float64{0, 0, 1, 1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("single CDF = %v, want %v", got, want)
+		}
+	}
+	if one.FuncsForFrac(0.65) != 1 || one.HottestFrac() != 1 {
+		t.Errorf("single-function headline numbers: %d, %v",
+			one.FuncsForFrac(0.65), one.HottestFrac())
+	}
+
+	// n beyond the profile clamps to the full set (cum = 1).
+	three := FromMeter(meterWith(map[string]float64{"a": 0.5, "b": 0.3, "c": 0.2}))
+	got = three.CDF([]int{2, 3, 50})
+	if math.Abs(got[0]-0.8) > 1e-12 || math.Abs(got[1]-1) > 1e-12 || math.Abs(got[2]-1) > 1e-12 {
+		t.Errorf("CDF = %v", got)
+	}
+}

@@ -63,6 +63,15 @@ type Meter struct {
 
 	fns map[fnKey]*FnStats
 
+	// catUops and catAccelCyc are running per-category totals maintained
+	// on every charge, so CategoryCyclesVec is O(NumCategories) instead
+	// of a walk over every leaf function. The cycle conversion is linear
+	// in uops (CostModel.Cycles), so the incremental totals are exact.
+	// Span hooks snapshot this vector twice per span, which is why it
+	// must not cost a map iteration.
+	catUops     [numCategories]float64
+	catAccelCyc [numCategories]float64
+
 	accelCycles [numAccelKinds]float64
 	accelEnergy [numAccelKinds]float64
 	accelCalls  [numAccelKinds]int64
@@ -86,6 +95,8 @@ func NewMeter(model CostModel) *Meter {
 // mitigation configuration.
 func (mt *Meter) Reset() {
 	mt.fns = make(map[fnKey]*FnStats)
+	mt.catUops = [numCategories]float64{}
+	mt.catAccelCyc = [numCategories]float64{}
 	mt.accelCycles = [numAccelKinds]float64{}
 	mt.accelEnergy = [numAccelKinds]float64{}
 	mt.accelCalls = [numAccelKinds]int64{}
@@ -116,6 +127,10 @@ func (mt *Meter) Merge(o *Meter) {
 		dst.AccelEng += f.AccelEng
 		dst.Calls += f.Calls
 	}
+	for i := 0; i < int(numCategories); i++ {
+		mt.catUops[i] += o.catUops[i]
+		mt.catAccelCyc[i] += o.catAccelCyc[i]
+	}
 	for i := 0; i < int(numAccelKinds); i++ {
 		mt.accelCycles[i] += o.accelCycles[i]
 		mt.accelEnergy[i] += o.accelEnergy[i]
@@ -128,6 +143,7 @@ func (mt *Meter) AddUops(name string, cat Category, uops float64) {
 	f := mt.fn(name, cat)
 	f.Uops += uops
 	f.Calls++
+	mt.catUops[cat] += uops
 }
 
 // AddAccel charges cycles of accelerator datapath time (and the matching
@@ -138,6 +154,7 @@ func (mt *Meter) AddAccel(name string, cat Category, kind AccelKind, cycles floa
 	f.AccelCyc += cycles
 	f.AccelEng += eng
 	f.Calls++
+	mt.catAccelCyc[cat] += cycles
 	mt.accelCycles[kind] += cycles
 	mt.accelEnergy[kind] += eng
 	mt.accelCalls[kind]++
@@ -221,13 +238,14 @@ func (v CategoryVec) Total() float64 {
 }
 
 // CategoryCyclesVec returns the per-category cycle totals as a dense
-// vector. Unlike CategoryCycles it does not allocate per call beyond the
-// returned value, so it is cheap enough to snapshot around a single
-// request (obs.Span).
+// vector. It reads the incrementally maintained per-category totals —
+// O(NumCategories), no allocation, no function-map walk — so it is
+// cheap enough to snapshot not just per request (obs.Span) but per
+// span-tree node (obs.TreeBuilder), which diffs it twice per span.
 func (mt *Meter) CategoryCyclesVec() CategoryVec {
 	var out CategoryVec
-	for _, f := range mt.fns {
-		out[f.Category] += f.Cycles(&mt.Model)
+	for i := 0; i < int(numCategories); i++ {
+		out[i] = mt.Model.Cycles(mt.catUops[i]) + mt.catAccelCyc[i]
 	}
 	return out
 }

@@ -227,9 +227,11 @@ func Read(r io.Reader) ([]Event, error) {
 		if err != nil {
 			return nil, err
 		}
-		if Kind(kb) >= numKinds {
-			return nil, fmt.Errorf("trace: bad kind %d", kb)
-		}
+		// Unknown kinds decode without error: every event has the same
+		// wire shape regardless of kind, so a trace written by a newer
+		// producer (with kinds this reader predates) still reads back —
+		// the unknown events stringify as "unknown" and aggregate outside
+		// the known per-kind counters.
 		e.Kind = Kind(kb)
 		fl, err := binary.ReadUvarint(br)
 		if err != nil {

@@ -126,6 +126,8 @@ func (o *OutputBuffer) Len() int { return len(o.buf) }
 // in string objects, concatenate" pattern behind the heap manager's
 // strong memory reuse observation (§4.3).
 func (r *Runtime) BuildTag(fn string, name string, attrs *Array, body []byte) []byte {
+	r.spans.Begin("vm:build_tag")
+	defer r.spans.End()
 	out := r.Concat(fn, []byte("<"), []byte(name))
 	r.AForeach(fn, attrs, func(k hashmap.Key, v interface{}) bool {
 		vb, _ := v.([]byte)
@@ -191,6 +193,8 @@ func (c *Chain) Apply(fn string, content []byte) ([]byte, int) {
 	if len(c.res) == 0 {
 		return content, 0
 	}
+	c.r.spans.Begin("vm:chain_apply")
+	defer c.r.spans.End()
 	c.r.record(trace.Event{Kind: trace.KindRegexScan, Fn: fn, B: uint64(len(content))})
 	total := 0
 	_, hv := c.r.cpu.RegexSieve(fn, c.res[0], content)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/hashmap"
 	"repro/internal/heap"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/phpval"
 	"repro/internal/regex"
 	"repro/internal/sim"
@@ -41,6 +42,12 @@ type Config struct {
 type Runtime struct {
 	cpu *isa.CPU
 	rec *trace.Recorder
+
+	// spans is the current request's span-tree builder. It is non-nil
+	// only while a sampled request is being served (the worker attaches
+	// it before the render and detaches it after), so on the unsampled
+	// path every hook costs a single nil check.
+	spans *obs.TreeBuilder
 
 	regexMgr   *hashmap.Map // the regexp manager's pattern -> FSM hash map
 	requestSeq uint64
@@ -73,6 +80,24 @@ func (r *Runtime) Meter() *sim.Meter { return r.cpu.Meter }
 
 // Trace returns the recorded operation trace (nil if disabled).
 func (r *Runtime) Trace() *trace.Recorder { return r.rec }
+
+// SetSpans attaches (or, with nil, detaches) the span-tree builder for
+// the request about to be served. Only the worker that owns this runtime
+// may call it, and only between requests.
+func (r *Runtime) SetSpans(b *obs.TreeBuilder) { r.spans = b }
+
+// Tracing reports whether a span-tree builder is attached. Callers use
+// it to skip building dynamic span names (string concatenation) on the
+// unsampled path.
+func (r *Runtime) Tracing() bool { return r.spans != nil }
+
+// BeginSpan opens a named span in the current request's tree. It is safe
+// to call unconditionally: with no builder attached (every unsampled
+// request) it is a single nil check.
+func (r *Runtime) BeginSpan(name string) { r.spans.Begin(name) }
+
+// EndSpan closes the innermost open span. A nil builder makes it a no-op.
+func (r *Runtime) EndSpan() { r.spans.End() }
 
 func (r *Runtime) record(e trace.Event) {
 	if r.rec != nil {
@@ -234,7 +259,9 @@ func (r *Runtime) Regex(fn, pattern string) (*regex.Regex, error) {
 		r.regexHits++
 		return v.(*regex.Regex), nil
 	}
+	r.spans.Begin("regex:compile")
 	re, err := r.cpu.RegexCompile(fn, pattern)
+	r.spans.End()
 	if err != nil {
 		return nil, err
 	}

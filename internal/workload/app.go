@@ -74,17 +74,27 @@ func (a *appBase) ServeRequest(rt *vm.Runtime) []byte {
 	ob := rt.NewOutputBuffer(a.p.prefix + "render_page")
 
 	a.ensureDBCache(rt)
+	rt.BeginSpan("load_config")
 	a.loadConfiguration(rt)
+	rt.EndSpan()
+	rt.BeginSpan("route_request")
 	a.routeRequest(rt)
+	rt.EndSpan()
 
+	rt.BeginSpan("render_items")
 	for i := 0; i < a.p.items; i++ {
 		a.renderItem(rt, ob, a.reqSeq*a.p.items+i)
 	}
+	rt.EndSpan()
+	rt.BeginSpan("render_comments")
 	for i := 0; i < a.p.comments; i++ {
 		a.renderComment(rt, ob, a.reqSeq*a.p.comments+i)
 	}
+	rt.EndSpan()
 
+	rt.BeginSpan("other_charges")
 	a.chargeOther(rt)
+	rt.EndSpan()
 	return ob.Bytes()
 }
 
@@ -148,6 +158,8 @@ func (a *appBase) routeRequest(rt *vm.Runtime) {
 // (heap reuse), the texturize regexp chain (content sifting), and HTML
 // escaping.
 func (a *appBase) renderItem(rt *vm.Runtime, ob *vm.OutputBuffer, idx int) {
+	rt.BeginSpan("render_item")
+	defer rt.EndSpan()
 	strFn := pick(a.cat.str, idx)
 	heapFn := pick(a.cat.heap, idx)
 
@@ -213,6 +225,8 @@ func (a *appBase) renderItem(rt *vm.Runtime, ob *vm.OutputBuffer, idx int) {
 
 // renderComment renders one comment: nl2br, escaping, small allocations.
 func (a *appBase) renderComment(rt *vm.Runtime, ob *vm.OutputBuffer, idx int) {
+	rt.BeginSpan("render_comment")
+	defer rt.EndSpan()
 	strFn := pick(a.cat.str, idx+4)
 	c := a.corpus.Comment(idx)
 	c = rt.NL2BR(strFn, c)

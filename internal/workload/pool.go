@@ -68,18 +68,27 @@ func (w *Worker) ServeOneProfiled() ([]byte, obs.Span) {
 }
 
 func (w *Worker) serveSpan(profile bool) ([]byte, obs.Span) {
-	var before sim.CategoryVec
+	var tb *obs.TreeBuilder
 	if profile {
-		before = w.rt.Meter().CategoryCyclesVec()
+		// The builder's root "request" span doubles as the meter diff:
+		// its category delta is exactly what the before/after snapshot
+		// used to compute, so the tree costs no extra vector reads at
+		// the request level.
+		tb = obs.NewTreeBuilder(w.rt.Meter(), 0)
+		w.rt.SetSpans(tb)
+		w.rt.BeginSpan("render")
 	}
 	start := time.Now()
 	page := w.app.ServeRequest(w.rt)
 	wall := time.Since(start)
 	sp := obs.Span{Worker: w.id, Wall: wall}
 	if profile {
+		w.rt.SetSpans(nil)
+		tree := tb.Finish(w.id)
 		sp.Sampled = true
-		sp.Categories = w.rt.Meter().CategoryCyclesVec().Sub(before)
-		sp.Cycles = sp.Categories.Total()
+		sp.Tree = tree
+		sp.Categories = tree.Root.Categories
+		sp.Cycles = tree.Root.Cycles
 	}
 	if len(w.latencies) >= maxWorkerLatencies {
 		w.latencies = append(w.latencies[:0], w.latencies[len(w.latencies)/2:]...)

@@ -254,6 +254,53 @@ func TestServeOneProfiledSpan(t *testing.T) {
 	}
 }
 
+// TestServeOneProfiledTree: a sampled request carries a span tree whose
+// root matches the span totals and whose self-cycles telescope back to
+// the root — the /tracez export invariant.
+func TestServeOneProfiledTree(t *testing.T) {
+	p, err := NewPool(1, swConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Acquire()
+	defer p.Release(w)
+	w.ServeOne()
+
+	_, sp := w.ServeOneProfiled()
+	tree := sp.Tree
+	if tree == nil {
+		t.Fatal("sampled span has no tree")
+	}
+	if tree.Worker != 0 || tree.Root == nil || tree.Root.Name != "request" {
+		t.Fatalf("tree header: %+v", tree)
+	}
+	if tree.Root.Cycles != sp.Cycles || tree.Root.Categories != sp.Categories {
+		t.Errorf("tree root (%v) disagrees with span (%v)", tree.Root.Cycles, sp.Cycles)
+	}
+	var selfSum float64
+	names := map[string]bool{}
+	tree.Root.Walk(func(s *obs.TreeSpan, _ int) {
+		selfSum += s.SelfCycles()
+		names[s.Name] = true
+	})
+	if math.Abs(selfSum-tree.Root.Cycles) > 1e-6*tree.Root.Cycles {
+		t.Errorf("Σ self-cycles %v != root inclusive %v", selfSum, tree.Root.Cycles)
+	}
+	for _, want := range []string{"render", "load_config", "route_request", "render_item", "vm:build_tag", "vm:chain_apply"} {
+		if !names[want] {
+			t.Errorf("tree is missing a %q span; have %v", want, names)
+		}
+	}
+	// The unsampled path must not leave a builder attached.
+	if w.Runtime().Tracing() {
+		t.Error("runtime still tracing after profiled request")
+	}
+	_, sp2 := w.serveSpan(false)
+	if sp2.Tree != nil {
+		t.Error("unsampled request grew a tree")
+	}
+}
+
 // TestPoolRunWithCollector: with a collector attached, Run feeds every
 // measured request through it and samples spans at the configured rate.
 func TestPoolRunWithCollector(t *testing.T) {

@@ -7,8 +7,15 @@
 # `const (`/`var (` blocks are covered by the block's own doc comment
 # and are not inspected per name.
 #
-# Used by `make docs-check`, which runs it over internal/obs so the
-# observability package's public surface stays documented.
+# After the doc-comment pass, the script also checks endpoint coverage:
+# every HTTP route phpserve registers (mux.HandleFunc in
+# cmd/phpserve/main.go, with /debug/pprof/* collapsed to its index
+# entry) must be mentioned in docs/OPERATIONS.md, so a new endpoint
+# cannot land without operator documentation.
+#
+# Used by `make docs-check`, which runs it over internal/obs and
+# internal/profile so the observability packages' public surface stays
+# documented.
 set -u
 
 status=0
@@ -32,5 +39,21 @@ for dir in "$@"; do
 done
 if [ "$status" -ne 0 ]; then
 	echo "docs-check: exported identifiers above need doc comments" >&2
+fi
+
+# Endpoint coverage: each route phpserve serves must appear in the
+# operations guide. pprof sub-routes are collapsed to /debug/pprof/,
+# which the guide documents as one surface.
+server=cmd/phpserve/main.go
+opsdoc=docs/OPERATIONS.md
+if [ -f "$server" ] && [ -f "$opsdoc" ]; then
+	routes=$(sed -n 's/.*mux\.HandleFunc("\([^"]*\)".*/\1/p' "$server" |
+		sed 's|^/debug/pprof/.*|/debug/pprof/|' | sort -u)
+	for route in $routes; do
+		if ! grep -qF "$route" "$opsdoc"; then
+			echo "docs-check: endpoint $route (from $server) is not documented in $opsdoc" >&2
+			status=1
+		fi
+	done
 fi
 exit $status
