@@ -31,8 +31,13 @@ bench:
 
 check: build vet docs-check race
 
-# Full CI gate: everything `check` runs, plus the sampled-tracing
-# overhead guard. The guard compares wall clocks, which is too noisy for
-# the default test run, so it is env-gated and only armed here.
+# Full CI gate: everything `check` runs, plus the request-lifecycle
+# suite under -race on its own (the drain/shed interleavings deserve an
+# explicit gate even though `race` already covers the package) and the
+# wall-clock overhead guards. The guards compare wall clocks, which is
+# too noisy for the default test run, so they are env-gated and only
+# armed here.
 ci: check
+	$(GO) test -race -count=1 ./internal/serve/
 	SPAN_OVERHEAD_GUARD=1 $(GO) test -run TestSpanOverheadGuard -count=1 .
+	SCHED_OVERHEAD_GUARD=1 $(GO) test -run TestSchedulerOverheadGuard -count=1 .

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -346,6 +348,79 @@ func TestSpanOverheadGuard(t *testing.T) {
 	t.Logf("span overhead: base %v, sampled@0.01 %v, ratio %.4f", base, sampled, ratio)
 	if ratio > 1.05 {
 		t.Errorf("sampled tracing at rate 0.01 costs %.1f%% (ratio %.4f), want <5%%",
+			100*(ratio-1), ratio)
+	}
+}
+
+// --- CI guard: request-scheduler overhead ---
+
+// schedOverheadPool builds the warmed single-worker pool both sides of
+// the scheduler guard serve from.
+func schedOverheadPool() (*workload.Pool, error) {
+	cfg := vm.Config{Features: isa.AllAccelerators(), Mitigations: sim.AllMitigations(), TraceCapacity: -1}
+	pool, err := workload.NewPool(1, cfg, "wordpress", 1)
+	if err != nil {
+		return nil, err
+	}
+	pool.Run(workload.LoadGenerator{Warmup: 40, ContextSwitchEvery: 64}, 0)
+	return pool, nil
+}
+
+// schedOverheadRun serves one measured load either directly through
+// Pool.Run (sched=false) or through the serve.Scheduler lifecycle with
+// a single closed-loop client (sched=true) — the same requests, worker
+// and sampling, differing only in the admission layer under test.
+func schedOverheadRun(sched bool) (time.Duration, error) {
+	pool, err := schedOverheadPool()
+	if err != nil {
+		return 0, err
+	}
+	const requests = 400
+	if !sched {
+		start := time.Now()
+		pool.Run(workload.LoadGenerator{Requests: requests, ContextSwitchEvery: 64}, 0)
+		return time.Since(start), nil
+	}
+	s := serve.NewScheduler(pool, serve.Config{QueueDepth: 64})
+	ls := serve.RunLoad(context.Background(), s, serve.LoadOptions{Requests: requests, Clients: 1, CtxSwitchEvery: 64})
+	if ls.Served != requests {
+		return 0, fmt.Errorf("scheduler run served %d/%d", ls.Served, requests)
+	}
+	return ls.Wall, nil
+}
+
+// TestSchedulerOverheadGuard asserts that routing requests through the
+// lifecycle layer (admission slot, deadline bookkeeping, AcquireCtx,
+// queue-wait histogram) costs under 5% wall time versus the direct pool
+// loop. Env-gated like TestSpanOverheadGuard (`make ci` sets
+// SCHED_OVERHEAD_GUARD=1) and measured the same way: alternating trials,
+// best of each side.
+func TestSchedulerOverheadGuard(t *testing.T) {
+	if os.Getenv("SCHED_OVERHEAD_GUARD") != "1" {
+		t.Skip("set SCHED_OVERHEAD_GUARD=1 to run the scheduler-overhead guard (make ci does)")
+	}
+	const trials = 5
+	var direct, scheduled time.Duration
+	for i := 0; i < trials; i++ {
+		d, err := schedOverheadRun(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := schedOverheadRun(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 || d < direct {
+			direct = d
+		}
+		if i == 0 || s < scheduled {
+			scheduled = s
+		}
+	}
+	ratio := float64(scheduled) / float64(direct)
+	t.Logf("scheduler overhead: direct %v, scheduled %v, ratio %.4f", direct, scheduled, ratio)
+	if ratio > 1.05 {
+		t.Errorf("request lifecycle layer costs %.1f%% (ratio %.4f), want <5%%",
 			100*(ratio-1), ratio)
 	}
 }

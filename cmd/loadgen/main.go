@@ -8,7 +8,7 @@
 // Usage:
 //
 //	loadgen [-apps wordpress,drupal,mediawiki] [-requests 200] [-warmup 300]
-//	        [-workers 1] [-concurrency 0] [-breakdown]
+//	        [-workers 1] [-concurrency 0] [-queue -1] [-timeout 0] [-breakdown]
 //	        [-traceout file] [-tracesample 0.05]
 //
 // With -breakdown (the default) each row is followed by the per-category
@@ -18,25 +18,67 @@
 // the Fig. 1 flat-profile headline (hottest function share, functions
 // needed for 65% of cycles).
 //
+// With -queue >= 0 the measured phase runs through the serve.Scheduler
+// request lifecycle instead of the direct pool loop: -concurrency
+// closed-loop clients (default: one per worker) submit through a
+// bounded admission queue with an optional per-request -timeout, and
+// each row gains a "sched:" line reporting shed/timeout counts and
+// queue-wait percentiles — overload is measured, not silent. Set
+// -concurrency above workers+queue to force shedding on purpose.
+//
+// Ctrl-C (SIGINT) stops admission, waits for in-flight requests, and
+// prints the partial result for whatever completed instead of
+// discarding the run.
+//
 // With -traceout the run additionally samples request span trees at
 // -tracesample and writes the last runs' trees as Chrome trace_event
 // JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
+
+// validateFlags fails fast on out-of-range flag values instead of
+// silently clamping or panicking mid-run.
+func validateFlags(requests, warmup, workers, concurrency, queue int, tracesample float64, timeout time.Duration) error {
+	if requests <= 0 {
+		return fmt.Errorf("loadgen: -requests must be positive, got %d", requests)
+	}
+	if warmup < 0 {
+		return fmt.Errorf("loadgen: -warmup must be >= 0, got %d", warmup)
+	}
+	if workers <= 0 {
+		return fmt.Errorf("loadgen: -workers must be positive, got %d", workers)
+	}
+	if concurrency < 0 {
+		return fmt.Errorf("loadgen: -concurrency must be >= 0, got %d", concurrency)
+	}
+	if queue < -1 {
+		return fmt.Errorf("loadgen: -queue must be >= -1, got %d", queue)
+	}
+	if tracesample < 0 || tracesample > 1 {
+		return fmt.Errorf("loadgen: -tracesample must be in [0,1], got %g", tracesample)
+	}
+	if timeout < 0 {
+		return fmt.Errorf("loadgen: -timeout must be >= 0, got %v", timeout)
+	}
+	return nil
+}
 
 func main() {
 	apps := flag.String("apps", "wordpress,drupal,mediawiki", "comma-separated workloads")
@@ -44,22 +86,25 @@ func main() {
 	warmup := flag.Int("warmup", 300, "warmup requests per worker (oss-performance default)")
 	seed := flag.Int64("seed", 1, "workload seed (worker i uses seed+i)")
 	workers := flag.Int("workers", 1, "request workers (independent runtimes)")
-	concurrency := flag.Int("concurrency", 0, "workers executing at once (0 = all)")
+	concurrency := flag.Int("concurrency", 0, "direct mode: workers executing at once; scheduler mode: closed-loop clients (0 = one per worker)")
+	queue := flag.Int("queue", -1, "run the measured phase through the request scheduler with this admission queue depth (-1 = direct pool loop)")
+	timeout := flag.Duration("timeout", 0, "scheduler mode: per-request deadline from admission (0 disables)")
 	breakdown := flag.Bool("breakdown", true, "print the per-category cycle breakdown and Fig. 1 profile line under each row")
 	traceOut := flag.String("traceout", "", "write sampled request span trees as Chrome trace_event JSON to this file")
 	traceSample := flag.Float64("tracesample", 0.05, "request sampling rate for -traceout trees")
 	flag.Parse()
 
-	if *requests <= 0 {
-		fmt.Fprintf(os.Stderr, "loadgen: -requests must be positive, got %d\n", *requests)
+	if err := validateFlags(*requests, *warmup, *workers, *concurrency, *queue, *traceSample, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *workers <= 0 {
-		fmt.Fprintf(os.Stderr, "loadgen: -workers must be positive, got %d\n", *workers)
-		flag.Usage()
-		os.Exit(2)
-	}
+
+	// SIGINT stops admission: the running phase finishes its in-flight
+	// requests, the partial result is printed, and no further
+	// workload/config rows start.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	type config struct {
 		name string
@@ -82,10 +127,16 @@ func main() {
 	fmt.Printf("%-12s %-12s %16s %14s %14s %10s %10s %9s %9s %9s\n",
 		"workload", "config", "cycles/request", "uops/request", "energy uJ/req",
 		"norm.time", "req/s", "p50", "p95", "p99")
+	interrupted := false
+loop:
 	for _, appName := range strings.Split(*apps, ",") {
 		appName = strings.TrimSpace(appName)
 		var baseCycles float64
 		for _, c := range configs {
+			if ctx.Err() != nil {
+				interrupted = true
+				break loop
+			}
 			cfg := vm.Config{TraceCapacity: -1}
 			if c.mit {
 				cfg.Mitigations = sim.AllMitigations()
@@ -99,18 +150,42 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
+			var col *obs.Collector
 			if treeRing != nil {
-				col := obs.NewCollector(*traceSample, nil, nil)
+				col = obs.NewCollector(*traceSample, nil, nil)
 				col.SetTreeRing(treeRing)
 				pool.SetCollector(col)
 			}
-			res := pool.Run(lg, *concurrency)
+			var res workload.Result
+			var ls serve.LoadStats
+			if *queue >= 0 {
+				// Scheduler mode: warm directly, then drive the measured
+				// phase through the full request lifecycle.
+				pool.RunCtx(ctx, workload.LoadGenerator{Warmup: lg.Warmup, ContextSwitchEvery: lg.ContextSwitchEvery}, 0)
+				sched := serve.NewScheduler(pool, serve.Config{QueueDepth: *queue, Timeout: *timeout})
+				ls = serve.RunLoad(ctx, sched, serve.LoadOptions{
+					Requests:       *requests,
+					Clients:        *concurrency,
+					CtxSwitchEvery: lg.ContextSwitchEvery,
+					Collector:      col,
+				})
+				res = pool.GatherResult(ls.Wall)
+			} else {
+				res = pool.RunCtx(ctx, lg, *concurrency)
+			}
+			if ctx.Err() != nil {
+				interrupted = true
+			}
 			if c.name == "baseline" {
 				baseCycles = res.Cycles
 			}
 			norm := "n/a"
-			if baseCycles > 0 {
+			if baseCycles > 0 && res.Cycles > 0 {
 				norm = fmt.Sprintf("%.2f%%", 100*res.Cycles/baseCycles)
+			}
+			if res.Requests == 0 {
+				fmt.Printf("%-12s %-12s  (no requests completed)\n", appName, c.name)
+				continue
 			}
 			fmt.Printf("%-12s %-12s %16.0f %14.0f %14.2f %10s %10.0f %9s %9s %9s\n",
 				appName, c.name,
@@ -122,11 +197,17 @@ func main() {
 				fmtLatency(res.Latency.P50),
 				fmtLatency(res.Latency.P95),
 				fmtLatency(res.Latency.P99))
+			if *queue >= 0 {
+				fmt.Printf("  %-10s %s\n", "", schedLine(ls))
+			}
 			if *breakdown {
 				fmt.Printf("  %-10s %s\n", "", breakdownLine(res))
 				fmt.Printf("  %-10s %s\n", "", fig1Line(pool))
 			}
 		}
+	}
+	if interrupted {
+		fmt.Println("loadgen: interrupted — partial results above cover requests that completed before Ctrl-C")
 	}
 
 	if treeRing != nil {
@@ -137,6 +218,15 @@ func main() {
 		fmt.Printf("wrote %d span trees to %s (open in chrome://tracing or ui.perfetto.dev)\n",
 			len(treeRing.Last(0)), *traceOut)
 	}
+}
+
+// schedLine renders one scheduler-mode run's lifecycle outcomes: how
+// much was shed and why, and what the admission queue cost the requests
+// that made it through.
+func schedLine(ls serve.LoadStats) string {
+	return fmt.Sprintf("sched: served %d/%d, shed %d (overload %d, timeout %d, draining %d), queue-wait p50 %s p95 %s p99 %s",
+		ls.Served, ls.Submitted, ls.Shed(), ls.ShedOverload, ls.ShedDeadline, ls.ShedDraining,
+		fmtLatency(ls.QueueWait.P50), fmtLatency(ls.QueueWait.P95), fmtLatency(ls.QueueWait.P99))
 }
 
 // fig1Line renders the run's flat-profile headline — the paper's Fig. 1

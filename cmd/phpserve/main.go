@@ -1,35 +1,44 @@
 // Command phpserve exposes a simulated PHP workload over HTTP, the way
 // the paper's evaluation serves WordPress/Drupal/MediaWiki from a pool
 // of HHVM request workers behind a web frontend (§5.1). Each incoming
-// request is routed to a free worker (its own vm.Runtime). The server
+// request goes through the serve.Scheduler request lifecycle — bounded
+// admission queue, per-request deadline, overload shedding (503 +
+// Retry-After when the queue is full or the server is draining, 504
+// when the deadline expires first), graceful drain on SIGTERM/SIGINT —
+// before rendering on a free worker (its own vm.Runtime). The server
 // carries the full observability stack: /stats for a human-readable
 // JSON snapshot, /metrics in Prometheus text format (per-category cycle
-// counters, latency histogram, accelerator and cache counters), sampled
-// per-request attribution spans written to a JSON-lines access log,
-// request-scoped span trees exported on /tracez (Chrome trace_event
-// JSON or folded flamegraph stacks), a live windowed flat profile on
-// /profilez, and optional net/http/pprof endpoints.
+// counters, latency + queue-wait histograms, shed counters, accelerator
+// and cache counters), sampled per-request attribution spans written to
+// a JSON-lines access log (sheds always logged), request-scoped span
+// trees exported on /tracez (Chrome trace_event JSON or folded
+// flamegraph stacks) with queue time as a "queued" span, a live
+// windowed flat profile on /profilez, and optional net/http/pprof
+// endpoints.
 //
 // Usage:
 //
 //	phpserve [-addr :8080] [-app wordpress] [-config accelerated]
 //	         [-workers 4] [-seed 1] [-warmup 300] [-ctxswitch 64]
+//	         [-queue 64] [-timeout 0] [-drain 30s]
 //	         [-sample 0.01] [-accesslog path|-] [-pprof] [-tracebuf 4096]
 //	         [-treering 64] [-profepochs 16]
 //
 // Endpoints:
 //
-//	GET /             render one page on a free worker
+//	GET /             render one page on a free worker (503/504 under overload)
 //	GET /stats        JSON fleet statistics
 //	GET /metrics      Prometheus text-format metrics
 //	GET /tracez       last sampled span trees (trace_event JSON, folded, text)
 //	GET /profilez     live windowed flat profile (table, folded, JSON)
-//	GET /healthz      liveness probe
+//	GET /healthz      readiness: queue depth and drain state (503 while draining)
 //	GET /debug/pprof/ Go profiling (only with -pprof)
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,23 +46,28 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
-// server routes requests to free pool workers and aggregates
-// serving-side statistics across all of them through an obs.Collector.
+// server routes requests through the scheduler's lifecycle to pool
+// workers and aggregates serving-side statistics across all of them
+// through an obs.Collector.
 type server struct {
+	sched          *serve.Scheduler
 	pool           *workload.Pool
 	col            *obs.Collector
 	app            string
@@ -70,9 +84,10 @@ type server struct {
 	live   *profile.Live
 }
 
-func newServer(pool *workload.Pool, col *obs.Collector, app, config string, ctxSwitchEvery int) *server {
+func newServer(sched *serve.Scheduler, col *obs.Collector, app, config string, ctxSwitchEvery int) *server {
 	return &server{
-		pool:           pool,
+		sched:          sched,
+		pool:           sched.Pool(),
 		col:            col,
 		app:            app,
 		config:         config,
@@ -89,9 +104,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/tracez", s.handleTracez)
 	mux.HandleFunc("/profilez", s.handleProfilez)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	if s.pprofEnabled {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -108,29 +121,112 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	wk := s.pool.Acquire()
 	var page []byte
 	var sp obs.Span
-	if s.col.ShouldSample() {
-		page, sp = wk.ServeOneProfiled()
-	} else {
-		page = wk.ServeOne()
-	}
-	if s.ctxSwitchEvery > 0 && wk.Served()%s.ctxSwitchEvery == 0 {
-		wk.Runtime().ContextSwitch()
-	}
-	s.pool.Release(wk)
-	sp.Worker = wk.ID()
-	// Report latency as the client saw it: queueing for a free worker
-	// included, not just the render.
-	sp.Wall = time.Since(start)
-	s.col.ObserveHTTP(sp, len(page), obs.RequestMeta{
+	wait, err := s.sched.Do(r.Context(), func(wk *workload.Worker) error {
+		var err error
+		if s.col.ShouldSample() {
+			page, sp, err = wk.ServeOneProfiledCtx(r.Context())
+		} else {
+			page, err = wk.ServeOneCtx(r.Context())
+		}
+		if err != nil {
+			return err
+		}
+		if s.ctxSwitchEvery > 0 && wk.Served()%s.ctxSwitchEvery == 0 {
+			wk.Runtime().ContextSwitch()
+		}
+		sp.Worker = wk.ID()
+		return nil
+	})
+	meta := obs.RequestMeta{
 		Path:      r.URL.RequestURI(),
 		UserAgent: r.UserAgent(),
-	})
+		QueueWait: wait,
+	}
+	if err != nil {
+		s.shedResponse(w, err, meta)
+		return
+	}
+	// Report latency as the client saw it: queueing for a free worker
+	// included, not just the render; the tree gets the queue time as an
+	// explicit "queued" span before the collector retains it.
+	sp.Wall = time.Since(start)
+	sp.Tree.AddQueueSpan(wait)
+	meta.Status = http.StatusOK
+	s.col.ObserveHTTP(sp, len(page), meta)
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.Write(page)
+}
+
+// retryAfterSeconds is the Retry-After hint on 503 sheds: long enough
+// for a queue-full burst to clear, short enough that clients come back
+// while a drain is still the likelier cause of free capacity elsewhere.
+const retryAfterSeconds = 1
+
+// shedResponse maps a lifecycle error to its HTTP answer — 503 +
+// Retry-After for overload and drain (retryable), 504 for an expired
+// deadline — and records the shed in the collector (counter + access
+// log line).
+func (s *server) shedResponse(w http.ResponseWriter, err error, meta obs.RequestMeta) {
+	var status int
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		meta.Outcome = "shed_overload"
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrDraining):
+		meta.Outcome = "draining"
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrDeadline):
+		meta.Outcome = "timeout"
+		status = http.StatusGatewayTimeout
+	default:
+		meta.Outcome = "error"
+		status = http.StatusInternalServerError
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	meta.Status = status
+	s.col.ObserveShed(meta)
+	http.Error(w, err.Error(), status)
+}
+
+// healthzResponse is the /healthz JSON shape: readiness plus the queue
+// signals a load balancer or operator needs to interpret it.
+type healthzResponse struct {
+	Status      string `json:"status"` // ready | draining | drained
+	Ready       bool   `json:"ready"`
+	Workers     int    `json:"workers"`
+	WorkersBusy int    `json:"workers_busy"`
+	QueueDepth  int    `json:"queue_depth"`
+	QueueLimit  int    `json:"queue_limit"`
+	ShedTotal   int64  `json:"shed_total"`
+}
+
+// handleHealthz reports readiness: 200 with status "ready" while
+// admitting, 503 once draining starts so load balancers stop routing
+// here while in-flight requests finish.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	state := s.sched.State()
+	st := s.sched.Stats()
+	resp := healthzResponse{
+		Status:      state.String(),
+		Ready:       state == serve.StateRunning,
+		Workers:     s.pool.Size(),
+		WorkersBusy: s.pool.Size() - s.pool.Idle(),
+		QueueDepth:  s.sched.QueueDepth(),
+		QueueLimit:  s.sched.QueueLimit(),
+		ShedTotal:   st.Shed(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
 }
 
 // finite clamps NaN and ±Inf to 0 so a zero-request or zero-cycle
@@ -155,6 +251,13 @@ type statsResponse struct {
 	ResponseBytes  int64   `json:"response_bytes"`
 	UptimeSec      float64 `json:"uptime_sec"`
 	RequestsPerSec float64 `json:"requests_per_sec"`
+
+	State        string `json:"state"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueLimit   int    `json:"queue_limit"`
+	ShedOverload int64  `json:"shed_overload"`
+	ShedTimeout  int64  `json:"shed_timeout"`
+	ShedDraining int64  `json:"shed_draining"`
 
 	LatencyP50Us  int64 `json:"latency_p50_us"`
 	LatencyP95Us  int64 `json:"latency_p95_us"`
@@ -185,10 +288,17 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	total := cats.Total()
 
 	up := time.Since(s.start).Seconds()
+	sched := s.sched.Stats()
 	resp := statsResponse{
 		App:               s.app,
 		Config:            s.config,
 		Workers:           s.pool.Size(),
+		State:             s.sched.State().String(),
+		QueueDepth:        s.sched.QueueDepth(),
+		QueueLimit:        s.sched.QueueLimit(),
+		ShedOverload:      sched.ShedOverload,
+		ShedTimeout:       sched.ShedDeadline,
+		ShedDraining:      sched.ShedDraining,
 		Requests:          snap.Requests,
 		SampledSpans:      snap.SampledSpans,
 		ResponseBytes:     snap.ResponseBytes,
@@ -259,6 +369,28 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	e.Gauge("phpserve_workers_busy",
 		"Workers currently serving a request (instantaneous).",
 		obs.Sample{Value: float64(s.pool.Size() - s.pool.Idle())})
+
+	sched := s.sched.Stats()
+	e.Gauge("phpserve_queue_depth",
+		"Admitted requests waiting for a worker (instantaneous).",
+		obs.Sample{Value: float64(s.sched.QueueDepth())})
+	e.Gauge("phpserve_queue_limit",
+		"Admission queue capacity beyond the worker count (-queue).",
+		obs.Sample{Value: float64(s.sched.QueueLimit())})
+	draining := 0.0
+	if s.sched.State() != serve.StateRunning {
+		draining = 1
+	}
+	e.Gauge("phpserve_draining",
+		"1 once the server stopped admitting (draining or drained), else 0.",
+		obs.Sample{Value: draining})
+	e.Counter("phpserve_shed_total",
+		"Requests rejected by the lifecycle layer, by reason.",
+		obs.Sample{Labels: []obs.Label{{Name: "reason", Value: "overload"}}, Value: float64(sched.ShedOverload)},
+		obs.Sample{Labels: []obs.Label{{Name: "reason", Value: "timeout"}}, Value: float64(sched.ShedDeadline)},
+		obs.Sample{Labels: []obs.Label{{Name: "reason", Value: "draining"}}, Value: float64(sched.ShedDraining)})
+	e.Histogram("phpserve_queue_wait_seconds",
+		"Time admitted requests spent waiting for a worker.", nil, sched.QueueWait)
 
 	e.Histogram("phpserve_request_latency_seconds",
 		"Request wall latency, queueing included.", nil, snap.Latency)
@@ -564,15 +696,44 @@ func warmPool(p *workload.Pool, warmup, ctxSwitchEvery int) {
 }
 
 // accessLogWriter resolves the -accesslog flag: "" disables, "-" is
-// stdout, anything else is appended to as a file.
-func accessLogWriter(path string) (io.Writer, error) {
+// stdout, anything else is appended to as a file. The returned closer
+// flushes the file on drain (nil-safe, nil for stdout/disabled).
+func accessLogWriter(path string) (io.Writer, io.Closer, error) {
 	switch path {
 	case "":
-		return nil, nil
+		return nil, nil, nil
 	case "-":
-		return os.Stdout, nil
+		return os.Stdout, nil, nil
 	}
-	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f, nil
+}
+
+// validateFlags fails fast on out-of-range flag values instead of
+// silently clamping or panicking after warmup has already run.
+func validateFlags(workers, warmup, queue int, sample float64, timeout, drain time.Duration) error {
+	if workers <= 0 {
+		return fmt.Errorf("phpserve: -workers must be positive, got %d", workers)
+	}
+	if warmup < 0 {
+		return fmt.Errorf("phpserve: -warmup must be >= 0, got %d", warmup)
+	}
+	if queue < 0 {
+		return fmt.Errorf("phpserve: -queue must be >= 0, got %d", queue)
+	}
+	if sample < 0 || sample > 1 {
+		return fmt.Errorf("phpserve: -sample must be in [0,1], got %g", sample)
+	}
+	if timeout < 0 {
+		return fmt.Errorf("phpserve: -timeout must be >= 0, got %v", timeout)
+	}
+	if drain < 0 {
+		return fmt.Errorf("phpserve: -drain must be >= 0, got %v", drain)
+	}
+	return nil
 }
 
 func main() {
@@ -583,16 +744,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed (worker i uses seed+i)")
 	warmup := flag.Int("warmup", 300, "warmup requests per worker before listening")
 	ctxSwitch := flag.Int("ctxswitch", 64, "context switch every n requests per worker (0 disables)")
+	queue := flag.Int("queue", 64, "admission queue depth beyond the worker count (0 sheds whenever all workers are busy)")
+	timeout := flag.Duration("timeout", 0, "per-request deadline from admission (0 disables; expired requests get 504)")
+	drainTO := flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight requests on SIGTERM/SIGINT")
 	sample := flag.Float64("sample", 0.01, "per-request span sampling rate in [0,1]")
-	accessLog := flag.String("accesslog", "", "JSON-lines access log for sampled spans (path, - for stdout, empty disables)")
+	accessLog := flag.String("accesslog", "", "JSON-lines access log for sampled spans and sheds (path, - for stdout, empty disables)")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceBuf := flag.Int("tracebuf", 4096, "per-worker operation trace ring size (0 unbounded — leaks on a long-running server; -1 disables tracing)")
 	treeRing := flag.Int("treering", 64, "sampled span trees retained for /tracez (0 disables)")
 	profEpochs := flag.Int("profepochs", profile.DefaultLiveEpochs, "cumulative profile epochs retained; the /profilez window spans up to profepochs-1 scrapes")
 	flag.Parse()
 
-	if *workers <= 0 {
-		fmt.Fprintf(os.Stderr, "phpserve: -workers must be positive, got %d\n", *workers)
+	if err := validateFlags(*workers, *warmup, *queue, *sample, *timeout, *drainTO); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -608,7 +772,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	logW, err := accessLogWriter(*accessLog)
+	logW, logC, err := accessLogWriter(*accessLog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -622,16 +786,47 @@ func main() {
 	if *treeRing > 0 {
 		col.SetTreeRing(obs.NewTreeRing(*treeRing))
 	}
-	srv := newServer(pool, col, *app, *config, *ctxSwitch)
+	sched := serve.NewScheduler(pool, serve.Config{QueueDepth: *queue, Timeout: *timeout})
+	srv := newServer(sched, col, *app, *config, *ctxSwitch)
 	srv.live = profile.NewLive(*profEpochs, time.Now())
 	srv.pprofEnabled = *pprofFlag
-	fmt.Printf("phpserve: listening on %s (sample rate %g", *addr, *sample)
+	fmt.Printf("phpserve: listening on %s (queue %d, timeout %v, sample rate %g", *addr, *queue, *timeout, *sample)
 	if *pprofFlag {
 		fmt.Print(", pprof on")
 	}
 	fmt.Println(")")
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-sigCtx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Graceful drain: stop admitting (new requests shed 503), let
+	// in-flight requests finish within the grace period, stop the
+	// listener, then flush what the run accumulated.
+	fmt.Printf("phpserve: draining (grace %v)\n", *drainTO)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	drainErr := sched.Drain(dctx)
+	httpSrv.Shutdown(dctx)
+	snap := col.Snapshot()
+	st := sched.Stats()
+	fmt.Printf("phpserve: drained: served %d requests (%d sampled), shed %d (overload %d, timeout %d, draining %d)\n",
+		snap.Requests, snap.SampledSpans, st.Shed(), st.ShedOverload, st.ShedDeadline, st.ShedDraining)
+	if logC != nil {
+		logC.Close()
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "phpserve: drain incomplete after %v: %v\n", *drainTO, drainErr)
 		os.Exit(1)
 	}
 }

@@ -3,25 +3,36 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
-// testServer builds a warmed server. sampleRate 1 profiles every
-// request; logW may be nil.
+// testServer builds a warmed server with a roomy admission queue and no
+// deadline. sampleRate 1 profiles every request; logW may be nil.
 func testServer(t *testing.T, workers, warmup int, sampleRate float64, logW io.Writer) *server {
+	t.Helper()
+	return testServerSched(t, workers, warmup, sampleRate, logW, serve.Config{QueueDepth: 64})
+}
+
+// testServerSched is testServer with an explicit lifecycle config, for
+// the overload/deadline/drain tests.
+func testServerSched(t *testing.T, workers, warmup int, sampleRate float64, logW io.Writer, sc serve.Config) *server {
 	t.Helper()
 	cfg, err := configByName("accelerated")
 	if err != nil {
@@ -35,7 +46,7 @@ func testServer(t *testing.T, workers, warmup int, sampleRate float64, logW io.W
 	warmPool(pool, warmup, 0)
 	col := obs.NewCollector(sampleRate, logW, nil)
 	col.SetTreeRing(obs.NewTreeRing(64))
-	return newServer(pool, col, "wordpress", "accelerated", 8)
+	return newServer(serve.NewScheduler(pool, sc), col, "wordpress", "accelerated", 8)
 }
 
 func TestServeConcurrentRequests(t *testing.T) {
@@ -330,10 +341,241 @@ func TestNotFoundAndHealthz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var hz healthzResponse
+	err = json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("healthz is not JSON: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || hz.Status != "ready" || !hz.Ready {
+		t.Errorf("healthz = %d %+v", resp.StatusCode, hz)
+	}
+	if hz.Workers != 1 || hz.QueueLimit != 64 || hz.QueueDepth != 0 {
+		t.Errorf("healthz queue fields wrong: %+v", hz)
+	}
+}
+
+// TestOverloadShed503 is the overload acceptance criterion: with the
+// only worker held and no queue, requests are shed immediately with 503
+// + Retry-After instead of piling up, and capacity coming back makes
+// the server serve again.
+func TestOverloadShed503(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := testServerSched(t, 1, 1, 0, &logBuf, serve.Config{QueueDepth: 0})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// Saturate through the scheduler itself: one in-flight request holds
+	// both the single admission slot and the only worker.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := s.sched.Do(context.Background(), func(*workload.Worker) error {
+			close(entered)
+			<-release
+			return nil
+		})
+		blocked <- err
+	}()
+	<-entered
+	before := runtime.NumGoroutine()
+	const burst = 20
+	for i := 0; i < burst; i++ {
+		resp, err := http.Get(ts.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("saturated server: status %d, want 503", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("503 without Retry-After")
+		}
+	}
+	// Sheds are immediate, so the burst must not have parked goroutines.
+	if after := runtime.NumGoroutine(); after > before+burst/2 {
+		t.Errorf("goroutines grew %d -> %d during shed burst", before, after)
+	}
+	st := s.sched.Stats()
+	if st.ShedOverload != burst {
+		t.Errorf("shed_overload = %d, want %d", st.ShedOverload, burst)
+	}
+
+	close(release)
+	if err := <-blocked; err != nil {
+		t.Fatalf("in-flight request during shed burst: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("after release: status %d, want 200", resp.StatusCode)
+	}
+
+	// Every shed produced an access-log line with outcome and status.
+	sheds := 0
+	sc := bufio.NewScanner(&logBuf)
+	for sc.Scan() {
+		var e obs.LogEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("access log: %v", err)
+		}
+		if e.Outcome == "shed_overload" {
+			sheds++
+			if e.Status != http.StatusServiceUnavailable || e.Worker != -1 {
+				t.Errorf("shed log entry wrong: %+v", e)
+			}
+		}
+	}
+	if sheds != burst {
+		t.Errorf("access log has %d shed lines, want %d", sheds, burst)
+	}
+}
+
+// TestDeadline504: a request whose deadline expires before a worker
+// frees up answers 504, and the shed is counted as a timeout.
+func TestDeadline504(t *testing.T) {
+	s := testServerSched(t, 1, 1, 0, nil, serve.Config{QueueDepth: 4, Timeout: 5 * time.Millisecond})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	wk := s.pool.Acquire() // saturate: the request must queue, then expire
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.pool.Release(wk)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: status %d, want 504", resp.StatusCode)
+	}
+	if st := s.sched.Stats(); st.ShedDeadline != 1 {
+		t.Errorf("shed_deadline = %d, want 1", st.ShedDeadline)
+	}
+}
+
+// TestDrainLifecycle covers the SIGTERM path's state machine through
+// the HTTP surface: under load, Drain lets in-flight requests finish
+// (200), sheds new ones (503), flips /healthz to 503/draining, and
+// leaves every worker back on the free list.
+func TestDrainLifecycle(t *testing.T) {
+	s := testServerSched(t, 2, 1, 0, nil, serve.Config{QueueDepth: 8})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// In-flight load while the drain starts.
+	var wg sync.WaitGroup
+	codes := make(chan int, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.sched.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK && code != http.StatusServiceUnavailable {
+			t.Errorf("during drain: status %d, want 200 or 503", code)
+		}
+	}
+
+	if st := s.sched.State(); st != serve.StateDrained {
+		t.Errorf("state after drain = %v, want drained", st)
+	}
+	if idle := s.pool.Idle(); idle != s.pool.Size() {
+		t.Errorf("drained pool has %d/%d workers free", idle, s.pool.Size())
+	}
+
+	// New requests and /healthz both answer 503 now.
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("drained render: status %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz healthzResponse
+	json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || hz.Ready || hz.Status != "drained" {
+		t.Errorf("drained healthz = %d %+v", resp.StatusCode, hz)
+	}
+}
+
+// TestQueueMetricsExported: the queue series land on /metrics with the
+// documented names.
+func TestQueueMetricsExported(t *testing.T) {
+	s := testServer(t, 1, 1, 0, nil)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	drive(t, ts.URL, 3)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
-		t.Errorf("healthz = %d %q", resp.StatusCode, string(body))
+	text := string(body)
+	for _, want := range []string{
+		"phpserve_queue_depth 0",
+		"phpserve_queue_limit 64",
+		"phpserve_draining 0",
+		`phpserve_shed_total{reason="overload"} 0`,
+		`phpserve_shed_total{reason="timeout"} 0`,
+		`phpserve_shed_total{reason="draining"} 0`,
+		"phpserve_queue_wait_seconds_count 3",
+		"# TYPE phpserve_queue_wait_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestValidateFlags exercises the fail-fast flag validation.
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(4, 300, 64, 0.01, 0, 30*time.Second); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+	for name, err := range map[string]error{
+		"workers": validateFlags(0, 300, 64, 0.01, 0, 0),
+		"warmup":  validateFlags(4, -1, 64, 0.01, 0, 0),
+		"queue":   validateFlags(4, 300, -1, 0.01, 0, 0),
+		"sample":  validateFlags(4, 300, 64, 1.5, 0, 0),
+		"timeout": validateFlags(4, 300, 64, 0.01, -time.Second, 0),
+		"drain":   validateFlags(4, 300, 64, 0.01, 0, -time.Second),
+	} {
+		if err == nil {
+			t.Errorf("bad -%s accepted", name)
+		}
 	}
 }
 
@@ -574,7 +816,7 @@ func TestTracezDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(pool, obs.NewCollector(0, nil, nil), "wordpress", "accelerated", 0)
+	s := newServer(serve.NewScheduler(pool, serve.Config{QueueDepth: 8}), obs.NewCollector(0, nil, nil), "wordpress", "accelerated", 0)
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/tracez")

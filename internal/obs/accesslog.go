@@ -9,10 +9,10 @@ import (
 	"repro/internal/sim"
 )
 
-// AccessLog writes one JSON object per sampled request to an injectable
-// io.Writer (a file in production, a bytes.Buffer in tests). Writes are
-// serialized by an internal mutex so concurrent workers never interleave
-// lines.
+// AccessLog writes one JSON object per logged request — sampled renders
+// plus every shed — to an injectable io.Writer (a file in production, a
+// bytes.Buffer in tests). Writes are serialized by an internal mutex so
+// concurrent workers never interleave lines.
 type AccessLog struct {
 	mu  sync.Mutex
 	enc *json.Encoder
@@ -53,6 +53,9 @@ type LogEntry struct {
 	Path      string             `json:"path,omitempty"`
 	UserAgent string             `json:"user_agent,omitempty"`
 	LatencyUS int64              `json:"latency_us"`
+	QueueUS   int64              `json:"queue_us,omitempty"`
+	Status    int                `json:"status,omitempty"`
+	Outcome   string             `json:"outcome,omitempty"`
 	Bytes     int                `json:"bytes"`
 	Sampled   bool               `json:"sampled"`
 	Cycles    float64            `json:"cycles,omitempty"`
@@ -75,6 +78,9 @@ func (l *AccessLog) WriteMeta(sp Span, respBytes int, meta RequestMeta) error {
 		Path:      truncateField(meta.Path),
 		UserAgent: truncateField(meta.UserAgent),
 		LatencyUS: sp.Wall.Microseconds(),
+		QueueUS:   meta.QueueWait.Microseconds(),
+		Status:    meta.Status,
+		Outcome:   meta.Outcome,
 		Bytes:     respBytes,
 		Sampled:   sp.Sampled,
 	}

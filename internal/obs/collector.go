@@ -24,6 +24,7 @@ type Collector struct {
 	requests  int64
 	respBytes int64
 	sampled   int64
+	shed      int64
 	hist      *Histogram
 	latencies []time.Duration
 }
@@ -59,12 +60,22 @@ func (c *Collector) SetTreeRing(r *TreeRing) { c.trees = r }
 // TreeRing returns the attached span-tree ring, or nil.
 func (c *Collector) TreeRing() *TreeRing { return c.trees }
 
-// RequestMeta carries per-request identity an HTTP front end knows but
-// the worker pool does not. Fields are truncated for the access log, so
-// callers can pass them straight from the request.
+// RequestMeta carries per-request context an HTTP front end knows but
+// the worker pool does not: identity (truncated for the access log, so
+// callers can pass it straight from the request) plus the lifecycle
+// outcome the serve layer decided.
 type RequestMeta struct {
 	Path      string
 	UserAgent string
+	// Status is the HTTP status the frontend answered with (0 is
+	// logged as omitted, for entries that predate status reporting).
+	Status int
+	// Outcome names a non-served lifecycle result ("shed_overload",
+	// "timeout", "draining"); empty for served requests.
+	Outcome string
+	// QueueWait is the time the request spent waiting for a worker
+	// before rendering (or before being shed).
+	QueueWait time.Duration
 }
 
 // Observe records one served request: it assigns the span's request
@@ -105,13 +116,30 @@ func (c *Collector) ObserveHTTP(sp Span, respBytes int, meta RequestMeta) Span {
 	return sp
 }
 
+// ObserveShed records a request the lifecycle layer rejected before it
+// reached a worker. Sheds bypass the latency histogram (there was no
+// render) but bump the shed counter, and — unlike served requests,
+// which are sampled — every shed is written to the access log: sheds
+// are rare, and each one is an operator-relevant event.
+func (c *Collector) ObserveShed(meta RequestMeta) {
+	c.mu.Lock()
+	c.shed++
+	c.mu.Unlock()
+	if c.log != nil {
+		c.log.WriteMeta(Span{Worker: -1, Wall: meta.QueueWait}, 0, meta)
+	}
+}
+
 // Snapshot is a consistent copy of the collector's state for a /stats or
 // /metrics render.
 type Snapshot struct {
 	Requests      int64
 	ResponseBytes int64
 	SampledSpans  int64
-	Latency       HistogramSnapshot
+	// Shed counts requests rejected by the lifecycle layer (recorded
+	// via ObserveShed; not included in Requests).
+	Shed    int64
+	Latency HistogramSnapshot
 	// Latencies is a copy of the bounded recent-latency reservoir, for
 	// quantile computation (workload.LatencyStatsFrom).
 	Latencies []time.Duration
@@ -126,6 +154,7 @@ func (c *Collector) Snapshot() Snapshot {
 		Requests:      c.requests,
 		ResponseBytes: c.respBytes,
 		SampledSpans:  c.sampled,
+		Shed:          c.shed,
 		Latency:       c.hist.Snapshot(),
 		Latencies:     append([]time.Duration(nil), c.latencies...),
 	}

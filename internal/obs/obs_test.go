@@ -191,3 +191,40 @@ func TestAccessLogConcurrent(t *testing.T) {
 		t.Errorf("log lines = %d, want 160", lines)
 	}
 }
+
+// TestCollectorObserveShed: sheds are counted separately from served
+// requests and always produce an access-log line (no sampling — they
+// are rare and operator-relevant) carrying the lifecycle fields.
+func TestCollectorObserveShed(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCollector(0, &buf, nil) // sample rate 0: served requests unlogged
+	c.Observe(Span{Wall: time.Millisecond}, 100)
+	c.ObserveShed(RequestMeta{
+		Path:      "/overloaded",
+		Status:    503,
+		Outcome:   "shed_overload",
+		QueueWait: 3 * time.Millisecond,
+	})
+
+	snap := c.Snapshot()
+	if snap.Requests != 1 || snap.Shed != 1 {
+		t.Errorf("snapshot requests/shed = %d/%d, want 1/1", snap.Requests, snap.Shed)
+	}
+
+	var e LogEntry
+	if err := json.Unmarshal(bytes.Split(buf.Bytes(), []byte("\n"))[0], &e); err != nil {
+		t.Fatalf("shed line not logged or invalid: %v", err)
+	}
+	if e.Outcome != "shed_overload" || e.Status != 503 || e.Worker != -1 {
+		t.Errorf("shed entry = %+v", e)
+	}
+	if e.QueueUS != 3000 {
+		t.Errorf("queue_us = %d, want 3000", e.QueueUS)
+	}
+	if e.Path != "/overloaded" {
+		t.Errorf("path = %q", e.Path)
+	}
+
+	// A collector without a log writer must not panic on sheds.
+	NewCollector(0, nil, nil).ObserveShed(RequestMeta{Outcome: "timeout"})
+}

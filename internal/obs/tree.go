@@ -95,6 +95,37 @@ type Tree struct {
 	Dropped int
 }
 
+// AddQueueSpan extends the tree backwards in time with a synthetic
+// "queued" first child covering the wait seconds the request spent in
+// the admission queue before its render began. The queued span carries
+// zero cycles (no simulated work happens while waiting), so the
+// self-cycles telescoping invariant is untouched; the root's wall
+// duration grows by wait and its start moves back, so exported
+// timelines show request = queued + render with absolute times intact.
+// No-op on a nil tree or non-positive wait, which keeps the unqueued
+// path branch-free for callers.
+func (t *Tree) AddQueueSpan(wait time.Duration) {
+	if t == nil || t.Root == nil || wait <= 0 {
+		return
+	}
+	for _, c := range t.Root.Children {
+		c.shiftStart(wait)
+	}
+	q := &TreeSpan{Name: "queued", Start: 0, Dur: wait}
+	t.Root.Children = append([]*TreeSpan{q}, t.Root.Children...)
+	t.Root.Dur += wait
+	t.Start = t.Start.Add(-wait)
+}
+
+// shiftStart moves a span and its descendants later by d (offsets are
+// all relative to the request start).
+func (s *TreeSpan) shiftStart(d time.Duration) {
+	s.Start += d
+	for _, c := range s.Children {
+		c.shiftStart(d)
+	}
+}
+
 // treeFrame is one open span plus the category snapshot taken when it
 // was opened.
 type treeFrame struct {

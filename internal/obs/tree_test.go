@@ -7,6 +7,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -319,5 +320,54 @@ func TestCollectorTreeRing(t *testing.T) {
 	}
 	if c.TreeRing() != ring {
 		t.Error("TreeRing accessor mismatch")
+	}
+}
+
+// TestAddQueueSpan: the synthetic queued span extends the request
+// backwards in time without disturbing cycle attribution — the
+// telescoping self-cycles invariant and the absolute start of the
+// render work must both survive.
+func TestAddQueueSpan(t *testing.T) {
+	mt, charge := chargedMeter()
+	b := NewTreeBuilder(mt, 0)
+	charge(sim.CatOther, 100)
+	b.Begin("render")
+	charge(sim.CatHash, 200)
+	b.End()
+	tree := b.Finish(0)
+
+	renderAbs := tree.Start.Add(tree.Root.Children[0].Start)
+	total := tree.Root.Cycles
+	const wait = 40 * time.Millisecond
+	tree.AddQueueSpan(wait)
+
+	if got := tree.Root.Children[0]; got.Name != "queued" || got.Start != 0 || got.Dur != wait || got.Cycles != 0 {
+		t.Fatalf("queued span = %+v", got)
+	}
+	render := tree.Root.Children[1]
+	if render.Name != "render" || render.Start < wait {
+		t.Errorf("render not shifted past the queue: %+v", render)
+	}
+	if gotAbs := tree.Start.Add(render.Start); !gotAbs.Equal(renderAbs) {
+		t.Errorf("render absolute start moved: %v -> %v", renderAbs, gotAbs)
+	}
+	if tree.Root.Dur < wait {
+		t.Errorf("root duration %v does not cover the wait", tree.Root.Dur)
+	}
+	// Cycle attribution is untouched: zero-cycle queued span, same
+	// telescoped total.
+	var selfSum float64
+	tree.Root.Walk(func(sp *TreeSpan, _ int) { selfSum += sp.SelfCycles() })
+	if math.Abs(selfSum-total) > 1e-9 {
+		t.Errorf("self-cycles sum %v != root total %v after queue span", selfSum, total)
+	}
+
+	// Nil and zero-wait forms are no-ops.
+	var nilTree *Tree
+	nilTree.AddQueueSpan(time.Second)
+	before := len(tree.Root.Children)
+	tree.AddQueueSpan(0)
+	if len(tree.Root.Children) != before {
+		t.Errorf("zero wait added a span")
 	}
 }

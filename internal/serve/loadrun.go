@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// LoadOptions drives RunLoad: a closed-loop client fleet submitting
+// requests through the scheduler, the way cmd/loadgen exercises the
+// lifecycle layer.
+type LoadOptions struct {
+	// Requests is the total number of submissions across all clients.
+	Requests int
+	// Clients is how many closed-loop submitters run concurrently
+	// (<= 0 means one per pool worker). More clients than
+	// workers+queue forces shedding, which is how overload is made
+	// measurable on purpose.
+	Clients int
+	// CtxSwitchEvery injects a context switch on a worker every n
+	// requests it serves (0 disables), matching LoadGenerator.
+	CtxSwitchEvery int
+	// Collector, when non-nil, observes every served request and
+	// samples span trees the way Pool.Run's collector path does.
+	Collector *obs.Collector
+}
+
+// LoadStats is what a scheduler-driven load run observed: per-outcome
+// counts and the queue-wait distribution. Simulated costs for the same
+// run come from Pool.GatherResult afterwards.
+type LoadStats struct {
+	// Submitted is how many requests the clients actually issued
+	// (less than Requests when the run was cancelled mid-flight).
+	Submitted int
+	// Served, ShedOverload, ShedDeadline, ShedDraining partition
+	// Submitted by outcome.
+	Served       int
+	ShedOverload int
+	ShedDeadline int
+	ShedDraining int
+	// QueueWait summarizes the time admitted requests waited for a
+	// worker.
+	QueueWait workload.LatencyStats
+	// Wall is the run's wall-clock duration.
+	Wall time.Duration
+}
+
+// Shed returns the total requests rejected for any reason.
+func (ls LoadStats) Shed() int { return ls.ShedOverload + ls.ShedDeadline + ls.ShedDraining }
+
+// RunLoad submits opts.Requests requests through the scheduler from a
+// closed-loop client fleet and reports the admission outcomes. Clients
+// stop submitting when ctx is done (in-flight requests finish first),
+// so a SIGINT-cancelled run returns the partial stats for everything
+// that completed.
+func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
+	clients := opts.Clients
+	if clients <= 0 {
+		clients = s.pool.Size()
+	}
+	if clients > opts.Requests {
+		clients = opts.Requests
+	}
+
+	var next int64 // next request index to claim; claims beyond Requests stop the client
+	var mu sync.Mutex
+	var ls LoadStats
+	var waits []time.Duration
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				if atomic.AddInt64(&next, 1) > int64(opts.Requests) {
+					return
+				}
+				wait, err := s.Do(ctx, func(w *workload.Worker) error {
+					if opts.Collector != nil {
+						page, sp, err := w.ServeSpanCtx(ctx, opts.Collector.ShouldSample())
+						if err != nil {
+							return err
+						}
+						opts.Collector.Observe(sp, len(page))
+					} else if _, err := w.ServeOneCtx(ctx); err != nil {
+						return err
+					}
+					if opts.CtxSwitchEvery > 0 && w.Served()%opts.CtxSwitchEvery == 0 {
+						w.Runtime().ContextSwitch()
+					}
+					return nil
+				})
+				mu.Lock()
+				ls.Submitted++
+				switch err {
+				case nil:
+					ls.Served++
+					waits = append(waits, wait)
+				case ErrOverloaded:
+					ls.ShedOverload++
+				case ErrDeadline:
+					ls.ShedDeadline++
+				case ErrDraining:
+					ls.ShedDraining++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	ls.Wall = time.Since(start)
+	ls.QueueWait = workload.LatencyStatsFrom(waits)
+	return ls
+}

@@ -1,0 +1,284 @@
+// Package serve is the request-lifecycle layer between an ingress
+// frontend (cmd/phpserve) and the worker pool: bounded admission,
+// per-request deadlines, overload shedding, and graceful drain.
+//
+// The paper's evaluation stack (§5.1) is a real server — nginx in front
+// of a pool of HHVM request workers — and real servers do not let
+// overload turn into unbounded queueing: they bound the line at the
+// door, shed what will not fit with a retryable error, time out
+// requests that would be stale by the time they ran, and drain in-flight
+// work before exiting. Scheduler makes those behaviours explicit so the
+// frontend stays a thin HTTP mapping: admission (one token per request,
+// capacity workers+queue), queueing (context-aware worker acquisition),
+// execution (the caller's function on an owned worker), and completion
+// (token back, counters updated). Everything the layer decides is
+// observable: per-outcome shed counters, an instantaneous queue-depth
+// gauge, and a queue-wait histogram.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// Typed admission outcomes. Frontends map these to their protocol:
+// phpserve returns 503 + Retry-After for ErrOverloaded and ErrDraining
+// (the client should back off and retry) and 504 for ErrDeadline (the
+// request's own deadline passed before a worker could run it).
+var (
+	// ErrOverloaded reports that the admission queue was full: the
+	// request was shed immediately instead of joining an unbounded line.
+	ErrOverloaded = errors.New("serve: overloaded, admission queue full")
+	// ErrDeadline reports that the request's deadline expired before a
+	// worker picked it up (or it arrived already expired).
+	ErrDeadline = errors.New("serve: deadline exceeded before execution")
+	// ErrDraining reports that the scheduler has stopped admitting
+	// because the server is shutting down.
+	ErrDraining = errors.New("serve: draining, not admitting requests")
+)
+
+// State is the drain state machine's position: Running admits,
+// Draining refuses new work while in-flight requests finish, Drained
+// means the last in-flight request has completed.
+type State int32
+
+// Drain state machine positions, in lifecycle order.
+const (
+	StateRunning State = iota
+	StateDraining
+	StateDrained
+)
+
+// String returns the state name /healthz reports.
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "ready"
+	case StateDraining:
+		return "draining"
+	case StateDrained:
+		return "drained"
+	}
+	return "unknown"
+}
+
+// Config sizes the lifecycle layer.
+type Config struct {
+	// QueueDepth is how many admitted requests may wait for a worker
+	// beyond the worker count. 0 means no queue: a request is shed
+	// unless a worker slot is immediately grantable.
+	QueueDepth int
+	// Timeout is the per-request deadline applied at admission (0
+	// disables). If the caller's context already carries an earlier
+	// deadline, the earlier one wins.
+	Timeout time.Duration
+}
+
+// Stats is a consistent snapshot of the scheduler's lifetime counters.
+type Stats struct {
+	// Admitted counts requests that passed admission (they were served,
+	// or timed out while queued).
+	Admitted int64
+	// Served counts requests whose worker function ran to completion.
+	Served int64
+	// ShedOverload counts requests rejected because the queue was full.
+	ShedOverload int64
+	// ShedDeadline counts requests whose deadline expired before
+	// execution (at admission, while queued, or at worker pickup).
+	ShedDeadline int64
+	// ShedDraining counts requests rejected during shutdown.
+	ShedDraining int64
+	// QueueWait is the histogram of time admitted requests spent
+	// waiting for a worker.
+	QueueWait obs.HistogramSnapshot
+}
+
+// Shed returns the total requests rejected for any reason.
+func (s Stats) Shed() int64 { return s.ShedOverload + s.ShedDeadline + s.ShedDraining }
+
+// Scheduler owns the request lifecycle in front of a workload.Pool.
+// Safe for concurrent use by any number of request goroutines.
+type Scheduler struct {
+	pool *workload.Pool
+	cfg  Config
+	// slots is the admission semaphore: capacity pool.Size()+QueueDepth
+	// tokens, one held per request from admission to completion. A full
+	// channel is the "queue full" signal, so goroutine pile-up under
+	// overload is bounded by the token count.
+	slots chan struct{}
+
+	// mu guards state and the inflight Add/Wait handoff (an Add racing
+	// a Wait after the state flip would be a WaitGroup misuse).
+	mu       sync.Mutex
+	state    State
+	inflight sync.WaitGroup
+
+	statsMu      sync.Mutex
+	queued       int
+	admitted     int64
+	served       int64
+	shedOverload int64
+	shedDeadline int64
+	shedDraining int64
+	waitHist     *obs.Histogram
+}
+
+// NewScheduler builds the lifecycle layer over pool. The pool must not
+// be driven through Run while the scheduler is serving (offline
+// experiments use one or the other at a time).
+func NewScheduler(pool *workload.Pool, cfg Config) *Scheduler {
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	return &Scheduler{
+		pool:     pool,
+		cfg:      cfg,
+		slots:    make(chan struct{}, pool.Size()+cfg.QueueDepth),
+		waitHist: obs.NewHistogram(obs.DefLatencyBuckets()),
+	}
+}
+
+// Pool returns the worker pool the scheduler serves from.
+func (s *Scheduler) Pool() *workload.Pool { return s.pool }
+
+// QueueDepth returns the instantaneous number of admitted requests
+// waiting for a worker — the /metrics queue-depth gauge.
+func (s *Scheduler) QueueDepth() int {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.queued
+}
+
+// QueueLimit returns the configured waiting-line capacity beyond the
+// worker count.
+func (s *Scheduler) QueueLimit() int { return s.cfg.QueueDepth }
+
+// State returns the drain state machine's current position.
+func (s *Scheduler) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Stats returns a consistent snapshot of the lifetime counters and the
+// queue-wait histogram.
+func (s *Scheduler) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return Stats{
+		Admitted:     s.admitted,
+		Served:       s.served,
+		ShedOverload: s.shedOverload,
+		ShedDeadline: s.shedDeadline,
+		ShedDraining: s.shedDraining,
+		QueueWait:    s.waitHist.Snapshot(),
+	}
+}
+
+// Do runs one request through the full lifecycle: admission (shed with
+// ErrDraining or ErrOverloaded), queueing for a worker (bounded by the
+// request's deadline; shed with ErrDeadline), execution of fn on the
+// owned worker, and release. The returned duration is the time spent
+// waiting for a worker, valid whenever admission succeeded (including
+// ErrDeadline sheds — the wait is what expired the request). fn's error
+// is returned as-is, except context expiry, which maps to ErrDeadline
+// so frontends see one deadline outcome regardless of where the clock
+// ran out.
+func (s *Scheduler) Do(ctx context.Context, fn func(w *workload.Worker) error) (time.Duration, error) {
+	s.mu.Lock()
+	if s.state != StateRunning {
+		s.mu.Unlock()
+		s.count(&s.shedDraining)
+		return 0, ErrDraining
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	if ctx.Err() != nil {
+		s.count(&s.shedDeadline)
+		return 0, ErrDeadline
+	}
+
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.count(&s.shedOverload)
+		return 0, ErrOverloaded
+	}
+	defer func() { <-s.slots }()
+
+	s.statsMu.Lock()
+	s.admitted++
+	s.queued++
+	s.statsMu.Unlock()
+	t0 := time.Now()
+	w, err := s.pool.AcquireCtx(ctx)
+	wait := time.Since(t0)
+	s.statsMu.Lock()
+	s.queued--
+	s.waitHist.Observe(wait.Seconds())
+	s.statsMu.Unlock()
+	if err != nil {
+		s.count(&s.shedDeadline)
+		return wait, ErrDeadline
+	}
+	defer s.pool.Release(w)
+
+	if err := fn(w); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.count(&s.shedDeadline)
+			return wait, ErrDeadline
+		}
+		return wait, err
+	}
+	s.count(&s.served)
+	return wait, nil
+}
+
+// count bumps one lifetime counter under statsMu.
+func (s *Scheduler) count(c *int64) {
+	s.statsMu.Lock()
+	*c++
+	s.statsMu.Unlock()
+}
+
+// Drain runs the shutdown state machine: stop admitting (new requests
+// shed with ErrDraining), then wait — bounded by ctx — for every
+// in-flight request to complete. On success the state is Drained and
+// every worker is back on the free list; if ctx expires first the
+// state stays Draining and the context's error is returned. Drain is
+// idempotent: concurrent or repeated calls all wait for the same
+// quiescence.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.state == StateRunning {
+		s.state = StateDraining
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.mu.Lock()
+		s.state = StateDrained
+		s.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

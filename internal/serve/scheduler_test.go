@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// testPool builds a small software-config pool (no warmup — lifecycle
+// tests care about admission, not steady-state costs).
+func testPool(t *testing.T, workers int) *workload.Pool {
+	t.Helper()
+	p, err := workload.NewPool(workers, vm.Config{Mitigations: sim.AllMitigations(), TraceCapacity: -1}, "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// checkPoolIntact fails the test if any worker was lost or
+// double-released: exactly Size distinct workers must be on the free
+// list.
+func checkPoolIntact(t *testing.T, p *workload.Pool) {
+	t.Helper()
+	if idle := p.Idle(); idle != p.Size() {
+		t.Fatalf("pool has %d/%d workers free", idle, p.Size())
+	}
+	seen := map[int]bool{}
+	var held []*workload.Worker
+	for i := 0; i < p.Size(); i++ {
+		w := p.Acquire()
+		if seen[w.ID()] {
+			t.Fatalf("worker %d on the free list twice", w.ID())
+		}
+		seen[w.ID()] = true
+		held = append(held, w)
+	}
+	for _, w := range held {
+		p.Release(w)
+	}
+}
+
+// block parks the scheduler's in-flight function until released,
+// simulating a long render without burning CPU.
+type block struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newBlock() *block {
+	return &block{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (b *block) fn(*workload.Worker) error {
+	close(b.entered)
+	<-b.release
+	return nil
+}
+
+func TestShedWhenQueueFull(t *testing.T) {
+	s := NewScheduler(testPool(t, 1), Config{QueueDepth: 0})
+
+	b := newBlock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), b.fn)
+		done <- err
+	}()
+	<-b.entered // the single admission token is now held
+
+	if _, err := s.Do(context.Background(), func(*workload.Worker) error { return nil }); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full queue: err = %v, want ErrOverloaded", err)
+	}
+	close(b.release)
+	if err := <-done; err != nil {
+		t.Fatalf("blocked request: %v", err)
+	}
+
+	st := s.Stats()
+	if st.Served != 1 || st.ShedOverload != 1 || st.Admitted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	checkPoolIntact(t, s.Pool())
+}
+
+func TestDeadlineWhileQueued(t *testing.T) {
+	s := NewScheduler(testPool(t, 1), Config{QueueDepth: 2, Timeout: 10 * time.Millisecond})
+
+	b := newBlock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), b.fn)
+		done <- err
+	}()
+	<-b.entered
+
+	// Queued behind the blocked worker; the 10ms admission deadline
+	// expires first.
+	wait, err := s.Do(context.Background(), func(*workload.Worker) error { return nil })
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("queued past deadline: err = %v, want ErrDeadline", err)
+	}
+	if wait < 10*time.Millisecond {
+		t.Errorf("reported queue wait %v shorter than the deadline", wait)
+	}
+	close(b.release)
+	<-done
+
+	st := s.Stats()
+	if st.ShedDeadline != 1 {
+		t.Errorf("shed_deadline = %d, want 1", st.ShedDeadline)
+	}
+	// The timed-out request was admitted, so its wait is in the
+	// histogram alongside the served one's.
+	if st.QueueWait.Count != 2 {
+		t.Errorf("queue-wait observations = %d, want 2", st.QueueWait.Count)
+	}
+	checkPoolIntact(t, s.Pool())
+}
+
+func TestExpiredBeforeAdmission(t *testing.T) {
+	s := NewScheduler(testPool(t, 1), Config{QueueDepth: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Do(ctx, func(*workload.Worker) error { return nil }); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("cancelled ctx: err = %v, want ErrDeadline", err)
+	}
+	// The shed must not leak its admission token: a live request still
+	// gets through.
+	if _, err := s.Do(context.Background(), func(w *workload.Worker) error {
+		_, err := w.ServeOneCtx(context.Background())
+		return err
+	}); err != nil {
+		t.Fatalf("after expired shed: %v", err)
+	}
+	checkPoolIntact(t, s.Pool())
+}
+
+// TestFnContextErrorMapsToDeadline: a worker function reporting context
+// expiry (deadline spent queueing, checked at pickup) surfaces as
+// ErrDeadline, not a raw context error.
+func TestFnContextErrorMapsToDeadline(t *testing.T) {
+	s := NewScheduler(testPool(t, 1), Config{QueueDepth: 1})
+	if _, err := s.Do(context.Background(), func(*workload.Worker) error {
+		return context.DeadlineExceeded
+	}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("fn ctx error: %v, want ErrDeadline", err)
+	}
+	if st := s.Stats(); st.ShedDeadline != 1 || st.Served != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestDrainDuringLoad is the drain acceptance criterion under -race:
+// with a client fleet mid-flight, Drain finishes every admitted request
+// (no lost worker, no double release), sheds the rest with ErrDraining,
+// and repeated drains stay idempotent.
+func TestDrainDuringLoad(t *testing.T) {
+	s := NewScheduler(testPool(t, 4), Config{QueueDepth: 8})
+
+	const clients = 12
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	outcomes := map[error]int{}
+	stop := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := s.Do(context.Background(), func(w *workload.Worker) error {
+					_, err := w.ServeOneCtx(context.Background())
+					return err
+				})
+				mu.Lock()
+				outcomes[err]++
+				mu.Unlock()
+				if errors.Is(err, ErrDraining) {
+					return
+				}
+			}
+		}()
+	}
+
+	// Let some traffic through, then drain while clients are active.
+	for s.Stats().Served < 8 {
+		time.Sleep(time.Millisecond)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if st := s.State(); st != StateDrained {
+		t.Errorf("state = %v, want drained", st)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+	if outcomes[nil] == 0 {
+		t.Errorf("no requests served before drain: %v", outcomes)
+	}
+	st := s.Stats()
+	if got := int64(outcomes[nil]); st.Served != got {
+		t.Errorf("served counter %d != observed %d", st.Served, got)
+	}
+	if st.ShedDraining != int64(outcomes[ErrDraining]) {
+		t.Errorf("draining counter %d != observed %d", st.ShedDraining, outcomes[ErrDraining])
+	}
+	checkPoolIntact(t, s.Pool())
+
+	if _, err := s.Do(context.Background(), func(*workload.Worker) error { return nil }); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain Do: err = %v, want ErrDraining", err)
+	}
+}
+
+// TestDrainTimeout: a drain bounded by an already-short context returns
+// the context error and leaves the state Draining (not falsely
+// Drained) while a request is still in flight.
+func TestDrainTimeout(t *testing.T) {
+	s := NewScheduler(testPool(t, 1), Config{})
+
+	b := newBlock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), b.fn)
+		done <- err
+	}()
+	<-b.entered
+
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain with stuck request: err = %v", err)
+	}
+	if st := s.State(); st != StateDraining {
+		t.Errorf("state = %v, want draining", st)
+	}
+	close(b.release)
+	<-done
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after unblock: %v", err)
+	}
+	if st := s.State(); st != StateDrained {
+		t.Errorf("state = %v, want drained", st)
+	}
+}
+
+// TestRunLoadServesAll: an unsaturated closed loop serves everything,
+// measures queue waits, and GatherResult agrees with the stats.
+func TestRunLoadServesAll(t *testing.T) {
+	pool := testPool(t, 2)
+	s := NewScheduler(pool, Config{QueueDepth: 4})
+	col := obs.NewCollector(1, nil, nil)
+	ls := RunLoad(context.Background(), s, LoadOptions{Requests: 12, Clients: 2, CtxSwitchEvery: 4, Collector: col})
+	if ls.Submitted != 12 || ls.Served != 12 || ls.Shed() != 0 {
+		t.Fatalf("load stats = %+v", ls)
+	}
+	if ls.QueueWait.Count != 12 {
+		t.Errorf("queue-wait count = %d, want 12", ls.QueueWait.Count)
+	}
+	res := pool.GatherResult(ls.Wall)
+	if res.Requests != 12 || res.Cycles <= 0 {
+		t.Errorf("gathered result = %+v", res)
+	}
+	if snap := col.Snapshot(); snap.Requests != 12 || snap.SampledSpans != 12 {
+		t.Errorf("collector saw %d/%d", snap.Requests, snap.SampledSpans)
+	}
+	checkPoolIntact(t, pool)
+}
+
+// TestRunLoadOverload: more clients than workers+queue forces overload
+// sheds, and the partition of outcomes covers every submission.
+func TestRunLoadOverload(t *testing.T) {
+	s := NewScheduler(testPool(t, 1), Config{QueueDepth: 0})
+	ls := RunLoad(context.Background(), s, LoadOptions{Requests: 60, Clients: 8})
+	if ls.Submitted != 60 {
+		t.Fatalf("submitted %d, want 60", ls.Submitted)
+	}
+	if ls.Served+ls.Shed() != ls.Submitted {
+		t.Errorf("outcomes don't partition: %+v", ls)
+	}
+	if ls.ShedOverload == 0 {
+		t.Errorf("8 clients on capacity 1 shed nothing: %+v", ls)
+	}
+	if ls.Served == 0 {
+		t.Errorf("overload starved everything: %+v", ls)
+	}
+	checkPoolIntact(t, s.Pool())
+}
+
+// TestRunLoadCancelled: cancelling mid-run stops submissions and still
+// returns consistent partial stats.
+func TestRunLoadCancelled(t *testing.T) {
+	pool := testPool(t, 1)
+	s := NewScheduler(pool, Config{QueueDepth: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for s.Stats().Served < 3 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	ls := RunLoad(ctx, s, LoadOptions{Requests: 100000, Clients: 2})
+	if ls.Submitted >= 100000 {
+		t.Fatalf("cancellation did not stop the run: %+v", ls)
+	}
+	if ls.Served+ls.Shed() != ls.Submitted {
+		t.Errorf("outcomes don't partition: %+v", ls)
+	}
+	checkPoolIntact(t, pool)
+}

@@ -9,6 +9,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -65,6 +66,40 @@ func (w *Worker) ServeOne() []byte {
 // request.
 func (w *Worker) ServeOneProfiled() ([]byte, obs.Span) {
 	return w.serveSpan(true)
+}
+
+// ServeOneCtx is ServeOne with the request deadline propagated from
+// admission: if ctx is already done when the worker picks the request
+// up, the render is skipped and the context's error returned, so a
+// request that spent its whole deadline queueing is not rendered for a
+// client that stopped waiting. A render that has started always runs to
+// completion — like a PHP-FPM worker, the execution itself is not
+// preemptible.
+func (w *Worker) ServeOneCtx(ctx context.Context) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	page, _ := w.serveSpan(false)
+	return page, nil
+}
+
+// ServeOneProfiledCtx is ServeOneProfiled with the same
+// deadline-at-pickup check as ServeOneCtx.
+func (w *Worker) ServeOneProfiledCtx(ctx context.Context) ([]byte, obs.Span, error) {
+	return w.ServeSpanCtx(ctx, true)
+}
+
+// ServeSpanCtx is the deadline-aware serve underlying both ctx
+// variants: it checks the request's deadline at worker pickup, then
+// renders, profiling the request when profile is true. The returned
+// span always carries worker identity and render wall time, which is
+// what collector-driven serving paths (serve.RunLoad) observe.
+func (w *Worker) ServeSpanCtx(ctx context.Context, profile bool) ([]byte, obs.Span, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, obs.Span{}, err
+	}
+	page, sp := w.serveSpan(profile)
+	return page, sp, nil
 }
 
 func (w *Worker) serveSpan(profile bool) ([]byte, obs.Span) {
@@ -166,6 +201,26 @@ func (p *Pool) SetCollector(c *obs.Collector) { p.col = c }
 // the caller. Pair with Release.
 func (p *Pool) Acquire() *Worker { return <-p.free }
 
+// AcquireCtx blocks until a worker is free or ctx is done, whichever
+// comes first. A free worker wins over an already-expired context, so a
+// request never times out when capacity was available at the moment it
+// asked. On success ownership transfers to the caller (pair with
+// Release); otherwise the context's error is returned and no worker is
+// held.
+func (p *Pool) AcquireCtx(ctx context.Context) (*Worker, error) {
+	select {
+	case w := <-p.free:
+		return w, nil
+	default:
+	}
+	select {
+	case w := <-p.free:
+		return w, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // Release returns a worker to the free list.
 func (p *Pool) Release(w *Worker) { p.free <- w }
 
@@ -232,6 +287,15 @@ func (p *Pool) mergedTraceOwned() *trace.Recorder {
 // (<=0 means all). The static partition keeps the simulated metrics
 // deterministic for a given pool regardless of scheduling.
 func (p *Pool) Run(lg LoadGenerator, concurrency int) Result {
+	return p.RunCtx(context.Background(), lg, concurrency)
+}
+
+// RunCtx is Run with cancellation: once ctx is done, workers stop
+// issuing new requests (a request that has started always finishes),
+// the phases join, and the partial Result covering whatever was served
+// is returned. The pool is left in a consistent state, so a cancelled
+// run can still be followed by more serving.
+func (p *Pool) RunCtx(ctx context.Context, lg LoadGenerator, concurrency int) Result {
 	p.acquireAll()
 	defer p.releaseAll()
 
@@ -260,7 +324,7 @@ func (p *Pool) Run(lg LoadGenerator, concurrency int) Result {
 	}
 
 	runPhase(func(w *Worker, _ int) {
-		for i := 0; i < lg.Warmup; i++ {
+		for i := 0; i < lg.Warmup && ctx.Err() == nil; i++ {
 			w.app.ServeRequest(w.rt)
 			if lg.ContextSwitchEvery > 0 && (i+1)%lg.ContextSwitchEvery == 0 {
 				w.rt.ContextSwitch()
@@ -271,7 +335,7 @@ func (p *Pool) Run(lg LoadGenerator, concurrency int) Result {
 
 	start := time.Now()
 	runPhase(func(w *Worker, count int) {
-		for i := 0; i < count; i++ {
+		for i := 0; i < count && ctx.Err() == nil; i++ {
 			if p.col == nil {
 				w.ServeOne()
 			} else {
@@ -283,9 +347,24 @@ func (p *Pool) Run(lg LoadGenerator, concurrency int) Result {
 			}
 		}
 	})
-	wall := time.Since(start)
+	return p.gatherResultOwned(time.Since(start))
+}
 
-	res := Result{App: p.workers[0].app.Name(), Workers: n, Wall: wall}
+// GatherResult drains the pool (waiting for in-flight requests) and
+// aggregates the fleet-level Result accumulated since the workers were
+// last reset — served counts, latencies, merged meter and trace. It is
+// how serving paths that bypass Run (the serve.Scheduler) produce the
+// same Result shape Run returns; wall is the measurement wall time the
+// caller observed.
+func (p *Pool) GatherResult(wall time.Duration) Result {
+	p.acquireAll()
+	defer p.releaseAll()
+	return p.gatherResultOwned(wall)
+}
+
+// gatherResultOwned requires the caller to hold every worker.
+func (p *Pool) gatherResultOwned(wall time.Duration) Result {
+	res := Result{App: p.workers[0].app.Name(), Workers: len(p.workers), Wall: wall}
 	var lats []time.Duration
 	for _, w := range p.workers {
 		res.Requests += w.served

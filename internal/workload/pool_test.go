@@ -1,8 +1,10 @@
 package workload
 
 import (
+	"context"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -495,4 +497,137 @@ func benchmarkPoolServe(b *testing.B, col *obs.Collector) {
 			col.Observe(sp, len(page))
 		}
 	}
+}
+
+// TestAcquireCtxPrefersFreeWorker: a free worker beats an
+// already-expired context — admission checks the deadline, AcquireCtx
+// only enforces it while actually waiting.
+func TestAcquireCtxPrefersFreeWorker(t *testing.T) {
+	p, err := NewPool(1, swConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w, err := p.AcquireCtx(ctx)
+	if err != nil || w == nil {
+		t.Fatalf("free worker with dead ctx: %v, %v", w, err)
+	}
+	p.Release(w)
+}
+
+// TestAcquireCtxCancelledWhileWaiting: with every worker checked out,
+// AcquireCtx returns the context error and the pool stays usable.
+func TestAcquireCtxCancelledWhileWaiting(t *testing.T) {
+	p, err := NewPool(1, swConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := p.Acquire()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if w, err := p.AcquireCtx(ctx); err != context.DeadlineExceeded || w != nil {
+		t.Fatalf("AcquireCtx on empty pool = %v, %v", w, err)
+	}
+	p.Release(held)
+	w, err := p.AcquireCtx(context.Background())
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	p.Release(w)
+}
+
+// TestAcquireCtxContention is the satellite acceptance test: many
+// goroutines race AcquireCtx with aggressive timeouts against a small
+// pool (run under -race). However the cancellations interleave with
+// grants, no worker may be lost or double-released.
+func TestAcquireCtxContention(t *testing.T) {
+	const workers, clients, rounds = 2, 16, 50
+	p, err := NewPool(workers, swConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, missed int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Mix expired, racing-short, and patient contexts.
+				timeout := time.Duration(i%3) * 50 * time.Microsecond
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				w, err := p.AcquireCtx(ctx)
+				cancel()
+				if err != nil {
+					atomic.AddInt64(&missed, 1)
+					continue
+				}
+				atomic.AddInt64(&got, 1)
+				if w.ID() < 0 || w.ID() >= workers {
+					t.Errorf("bogus worker id %d", w.ID())
+				}
+				// Hold the worker long enough that other clients' short
+				// deadlines actually expire while they wait.
+				time.Sleep(20 * time.Microsecond)
+				p.Release(w)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if got == 0 || missed == 0 {
+		t.Fatalf("contention mix degenerate: got %d, missed %d", got, missed)
+	}
+	// Every worker must be back and distinct: grab them all.
+	if idle := p.Idle(); idle != workers {
+		t.Fatalf("pool has %d/%d workers after contention", idle, workers)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < workers; i++ {
+		w, err := p.AcquireCtx(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[w.ID()] {
+			t.Fatalf("worker %d recovered twice (double release)", w.ID())
+		}
+		seen[w.ID()] = true
+		defer p.Release(w)
+	}
+}
+
+// TestRunCtxCancelledPartialResult: cancelling a run mid-measured-phase
+// returns the partial Result for what completed and leaves the pool
+// serviceable.
+func TestRunCtxCancelledPartialResult(t *testing.T) {
+	p, err := NewPool(2, hwConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The collector sees every measured request, so it doubles as a
+	// progress signal: cancel once some requests have actually landed.
+	col := obs.NewCollector(0, nil, nil)
+	p.SetCollector(col)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for col.Snapshot().Requests < 5 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	const huge = 200000
+	res := p.RunCtx(ctx, LoadGenerator{Warmup: 1, Requests: huge, ContextSwitchEvery: 8}, 0)
+	if res.Requests <= 0 || res.Requests >= huge {
+		t.Fatalf("partial result requests = %d", res.Requests)
+	}
+	if res.Cycles <= 0 || res.Latency.Count != res.Requests {
+		t.Errorf("partial result inconsistent: %+v", res)
+	}
+	// The pool still serves after a cancelled run.
+	w := p.Acquire()
+	if page := w.ServeOne(); len(page) == 0 {
+		t.Errorf("pool unusable after cancelled run")
+	}
+	p.Release(w)
 }
