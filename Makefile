@@ -14,11 +14,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Fail if exported identifiers in the observability packages lack doc
-# comments — their API is the operator-facing surface (docs/OPERATIONS.md)
-# — and if any phpserve HTTP endpoint is missing from OPERATIONS.md.
+# Fail if exported identifiers in the operator-facing packages lack doc
+# comments — their API is the surface docs/OPERATIONS.md describes —
+# and if any phpserve HTTP endpoint or CLI flag is missing from
+# OPERATIONS.md.
 docs-check:
-	sh scripts/docs_check.sh internal/obs internal/profile
+	sh scripts/docs_check.sh internal/obs internal/profile internal/cache
 
 test:
 	$(GO) test ./...
@@ -39,5 +40,7 @@ check: build vet docs-check race
 # armed here.
 ci: check
 	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -race -count=1 ./internal/cache/
 	SPAN_OVERHEAD_GUARD=1 $(GO) test -run TestSpanOverheadGuard -count=1 .
 	SCHED_OVERHEAD_GUARD=1 $(GO) test -run TestSchedulerOverheadGuard -count=1 .
+	CACHE_OVERHEAD_GUARD=1 $(GO) test -run TestCacheOverheadGuard -count=1 .

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core/hashtable"
 	"repro/internal/core/heapmgr"
 	"repro/internal/core/regexaccel"
@@ -421,6 +422,73 @@ func TestSchedulerOverheadGuard(t *testing.T) {
 	t.Logf("scheduler overhead: direct %v, scheduled %v, ratio %.4f", direct, scheduled, ratio)
 	if ratio > 1.05 {
 		t.Errorf("request lifecycle layer costs %.1f%% (ratio %.4f), want <5%%",
+			100*(ratio-1), ratio)
+	}
+}
+
+// --- CI guard: response-cache miss-path overhead ---
+
+// cacheOverheadRun serves one measured load through the scheduler,
+// either plain (cached=false) or through DoCached with a sequential page
+// key so every lookup misses (cached=true) — the worst case for the
+// cache, where every request pays the shard lock, the singleflight
+// bookkeeping, and the insert without ever being saved a render.
+func cacheOverheadRun(cached bool) (time.Duration, error) {
+	cfg := vm.Config{Features: isa.AllAccelerators(), Mitigations: sim.AllMitigations(), TraceCapacity: -1}
+	pool, err := workload.NewPoolSharedSeed(1, cfg, "wordpress", 1)
+	if err != nil {
+		return 0, err
+	}
+	pool.Run(workload.LoadGenerator{Warmup: 40, ContextSwitchEvery: 64}, 0)
+	const requests = 400
+	s := serve.NewScheduler(pool, serve.Config{QueueDepth: 64})
+	opts := serve.LoadOptions{Requests: requests, Clients: 1, CtxSwitchEvery: 64}
+	if cached {
+		var page int
+		opts.Cache = cache.New(cache.Config{Capacity: requests * 2})
+		opts.PageKey = func() int { page++; return page }
+	}
+	ls := serve.RunLoad(context.Background(), s, opts)
+	if ls.Served != requests {
+		return 0, fmt.Errorf("cache run served %d/%d", ls.Served, requests)
+	}
+	if cached && ls.CacheMisses != requests {
+		return 0, fmt.Errorf("cache run hit %d times, want all %d requests to miss", ls.CacheHits+ls.CacheCoalesced, requests)
+	}
+	return ls.Wall, nil
+}
+
+// TestCacheOverheadGuard asserts that the response cache's miss path —
+// every request paying the lookup and insert with no hit ever saving a
+// render — costs under 5% wall time versus the same scheduler run with
+// no cache. Env-gated like the other guards (`make ci` sets
+// CACHE_OVERHEAD_GUARD=1): alternating trials, best of each side.
+func TestCacheOverheadGuard(t *testing.T) {
+	if os.Getenv("CACHE_OVERHEAD_GUARD") != "1" {
+		t.Skip("set CACHE_OVERHEAD_GUARD=1 to run the cache-overhead guard (make ci does)")
+	}
+	const trials = 5
+	var plain, missy time.Duration
+	for i := 0; i < trials; i++ {
+		p, err := cacheOverheadRun(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := cacheOverheadRun(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 || p < plain {
+			plain = p
+		}
+		if i == 0 || m < missy {
+			missy = m
+		}
+	}
+	ratio := float64(missy) / float64(plain)
+	t.Logf("cache overhead: plain %v, all-miss cached %v, ratio %.4f", plain, missy, ratio)
+	if ratio > 1.05 {
+		t.Errorf("response cache miss path costs %.1f%% (ratio %.4f), want <5%%",
 			100*(ratio-1), ratio)
 	}
 }

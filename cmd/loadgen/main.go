@@ -9,6 +9,7 @@
 //
 //	loadgen [-apps wordpress,drupal,mediawiki] [-requests 200] [-warmup 300]
 //	        [-workers 1] [-concurrency 0] [-queue -1] [-timeout 0] [-breakdown]
+//	        [-cache 0] [-cachettl 0] [-cacheshards 16] [-pages 512] [-zipf 1.0]
 //	        [-traceout file] [-tracesample 0.05]
 //
 // With -breakdown (the default) each row is followed by the per-category
@@ -25,6 +26,15 @@
 // each row gains a "sched:" line reporting shed/timeout counts and
 // queue-wait percentiles — overload is measured, not silent. Set
 // -concurrency above workers+queue to force shedding on purpose.
+//
+// With -cache N the measured phase routes every request through a
+// response cache of N entries in front of the scheduler (cache mode
+// implies scheduler mode; -queue defaults to 64 if unset): each request
+// draws a page identity from a Zipf(-zipf) distribution over -pages
+// pages, hits are served without a worker, and each row gains a
+// "cache:" line reporting the hit ratio and the hit-vs-miss latency
+// split. The same seed drives the same page sequence for every config
+// row, so hit ratios are reproducible and comparable.
 //
 // Ctrl-C (SIGINT) stops admission, waits for in-flight requests, and
 // prints the partial result for whatever completed instead of
@@ -44,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/profile"
@@ -80,6 +91,30 @@ func validateFlags(requests, warmup, workers, concurrency, queue int, tracesampl
 	return nil
 }
 
+// validateCacheFlags checks the -cache flag family; the knobs only
+// matter (and are only validated) when the cache is enabled.
+func validateCacheFlags(capacity, shards, pages int, ttl time.Duration, zipf float64) error {
+	if capacity < 0 {
+		return fmt.Errorf("loadgen: -cache must be >= 0, got %d", capacity)
+	}
+	if capacity == 0 {
+		return nil
+	}
+	if shards <= 0 {
+		return fmt.Errorf("loadgen: -cacheshards must be positive, got %d", shards)
+	}
+	if ttl < 0 {
+		return fmt.Errorf("loadgen: -cachettl must be >= 0, got %v", ttl)
+	}
+	if pages <= 0 {
+		return fmt.Errorf("loadgen: -pages must be positive with -cache, got %d", pages)
+	}
+	if zipf <= 0 {
+		return fmt.Errorf("loadgen: -zipf must be positive with -cache, got %g", zipf)
+	}
+	return nil
+}
+
 func main() {
 	apps := flag.String("apps", "wordpress,drupal,mediawiki", "comma-separated workloads")
 	requests := flag.Int("requests", 200, "measured requests per run (total across workers)")
@@ -92,12 +127,27 @@ func main() {
 	breakdown := flag.Bool("breakdown", true, "print the per-category cycle breakdown and Fig. 1 profile line under each row")
 	traceOut := flag.String("traceout", "", "write sampled request span trees as Chrome trace_event JSON to this file")
 	traceSample := flag.Float64("tracesample", 0.05, "request sampling rate for -traceout trees")
+	cacheCap := flag.Int("cache", 0, "route the measured phase through a response cache with this capacity (0 disables; implies scheduler mode)")
+	cacheTTL := flag.Duration("cachettl", 0, "response cache entry time-to-live (0 never expires)")
+	cacheShards := flag.Int("cacheshards", cache.DefaultShards, "response cache shard count (rounded up to a power of two)")
+	pages := flag.Int("pages", 512, "distinct page identities requests draw from in cache mode")
+	zipf := flag.Float64("zipf", 1.0, "Zipf popularity exponent for page identities in cache mode")
 	flag.Parse()
 
 	if err := validateFlags(*requests, *warmup, *workers, *concurrency, *queue, *traceSample, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := validateCacheFlags(*cacheCap, *cacheShards, *pages, *cacheTTL, *zipf); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *cacheCap > 0 && *queue < 0 {
+		// Cache mode rides the scheduler (DoCached); give it the server's
+		// default admission queue when the user didn't pick one.
+		*queue = 64
 	}
 
 	// SIGINT stops admission: the running phase finishes its in-flight
@@ -145,7 +195,13 @@ loop:
 				cfg.Features = isa.AllAccelerators()
 			}
 			lg := workload.LoadGenerator{Warmup: *warmup, Requests: *requests, ContextSwitchEvery: 64}
-			pool, err := workload.NewPool(*workers, cfg, appName, *seed)
+			// Cache mode needs worker-independent page identity, so all
+			// workers share one seed; otherwise keep per-worker seeds.
+			newPool := workload.NewPool
+			if *cacheCap > 0 {
+				newPool = workload.NewPoolSharedSeed
+			}
+			pool, err := newPool(*workers, cfg, appName, *seed)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
@@ -158,17 +214,32 @@ loop:
 			}
 			var res workload.Result
 			var ls serve.LoadStats
+			var rc *cache.Cache
 			if *queue >= 0 {
 				// Scheduler mode: warm directly, then drive the measured
 				// phase through the full request lifecycle.
 				pool.RunCtx(ctx, workload.LoadGenerator{Warmup: lg.Warmup, ContextSwitchEvery: lg.ContextSwitchEvery}, 0)
 				sched := serve.NewScheduler(pool, serve.Config{QueueDepth: *queue, Timeout: *timeout})
-				ls = serve.RunLoad(ctx, sched, serve.LoadOptions{
+				opts := serve.LoadOptions{
 					Requests:       *requests,
 					Clients:        *concurrency,
 					CtxSwitchEvery: lg.ContextSwitchEvery,
 					Collector:      col,
-				})
+				}
+				if *cacheCap > 0 {
+					// Fresh cache and page sequence per row, same seed
+					// everywhere: hit ratios are reproducible and every
+					// config row replays the identical request stream.
+					rc = cache.New(cache.Config{Capacity: *cacheCap, Shards: *cacheShards, TTL: *cacheTTL})
+					keys, kerr := workload.NewZipfKeys(*seed, *zipf, *pages)
+					if kerr != nil {
+						fmt.Fprintln(os.Stderr, kerr)
+						os.Exit(2)
+					}
+					opts.Cache = rc
+					opts.PageKey = keys.Next
+				}
+				ls = serve.RunLoad(ctx, sched, opts)
 				res = pool.GatherResult(ls.Wall)
 			} else {
 				res = pool.RunCtx(ctx, lg, *concurrency)
@@ -200,6 +271,9 @@ loop:
 			if *queue >= 0 {
 				fmt.Printf("  %-10s %s\n", "", schedLine(ls))
 			}
+			if rc != nil {
+				fmt.Printf("  %-10s %s\n", "", cacheLine(ls, rc))
+			}
 			if *breakdown {
 				fmt.Printf("  %-10s %s\n", "", breakdownLine(res))
 				fmt.Printf("  %-10s %s\n", "", fig1Line(pool))
@@ -227,6 +301,17 @@ func schedLine(ls serve.LoadStats) string {
 	return fmt.Sprintf("sched: served %d/%d, shed %d (overload %d, timeout %d, draining %d), queue-wait p50 %s p95 %s p99 %s",
 		ls.Served, ls.Submitted, ls.Shed(), ls.ShedOverload, ls.ShedDeadline, ls.ShedDraining,
 		fmtLatency(ls.QueueWait.P50), fmtLatency(ls.QueueWait.P95), fmtLatency(ls.QueueWait.P99))
+}
+
+// cacheLine renders one cache-mode run's outcomes: the hit ratio, the
+// outcome counts, and the latency split that shows what a hit buys —
+// cached answers skip both the queue and the render.
+func cacheLine(ls serve.LoadStats, rc *cache.Cache) string {
+	cs := rc.Stats()
+	return fmt.Sprintf("cache: hit ratio %.3f (%d hits, %d misses, %d coalesced, %d evictions), hit p50 %s p95 %s vs miss p50 %s p95 %s",
+		ls.CacheHitRatio(), ls.CacheHits, ls.CacheMisses, ls.CacheCoalesced, cs.Evictions,
+		fmtLatency(ls.HitLatency.P50), fmtLatency(ls.HitLatency.P95),
+		fmtLatency(ls.MissLatency.P50), fmtLatency(ls.MissLatency.P95))
 }
 
 // fig1Line renders the run's flat-profile headline — the paper's Fig. 1

@@ -5,8 +5,14 @@
 // admission queue, per-request deadline, overload shedding (503 +
 // Retry-After when the queue is full or the server is draining, 504
 // when the deadline expires first), graceful drain on SIGTERM/SIGINT —
-// before rendering on a free worker (its own vm.Runtime). The server
-// carries the full observability stack: /stats for a human-readable
+// before rendering on a free worker (its own vm.Runtime). With -cache,
+// a sharded TTL'd response cache with request coalescing sits between
+// admission and worker acquisition: hits are answered without consuming
+// a worker slot (the X-Cache header says HIT, MISS, or COALESCED), each
+// request renders a stable page identity drawn from a Zipf popularity
+// distribution (or forced with ?page=N), and hits charge a fixed
+// simulated lookup cost so the /metrics category totals stay exact. The
+// server carries the full observability stack: /stats for a human-readable
 // JSON snapshot, /metrics in Prometheus text format (per-category cycle
 // counters, latency + queue-wait histograms, shed counters, accelerator
 // and cache counters), sampled per-request attribution spans written to
@@ -21,6 +27,8 @@
 //	phpserve [-addr :8080] [-app wordpress] [-config accelerated]
 //	         [-workers 4] [-seed 1] [-warmup 300] [-ctxswitch 64]
 //	         [-queue 64] [-timeout 0] [-drain 30s]
+//	         [-cache 0] [-cachettl 0] [-cacheshards 16]
+//	         [-pages 512] [-zipf 1.0]
 //	         [-sample 0.01] [-accesslog path|-] [-pprof] [-tracebuf 4096]
 //	         [-treering 64] [-profepochs 16]
 //
@@ -53,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/profile"
@@ -75,6 +84,12 @@ type server struct {
 	ctxSwitchEvery int
 	pprofEnabled   bool
 	start          time.Time
+
+	// cache and pageKeys are non-nil only with -cache: the response
+	// cache in front of the pool and the server-side Zipf sampler that
+	// assigns each request its page identity (unless ?page= overrides).
+	cache    *cache.Cache
+	pageKeys *workload.ZipfKeys
 
 	// live is the windowed flat profile behind /profilez and the
 	// phpserve_profile_* gauges. Every scrape rotates a new epoch from a
@@ -120,6 +135,10 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	if s.cache != nil {
+		s.handleRenderCached(w, r)
+		return
+	}
 	start := time.Now()
 	var page []byte
 	var sp obs.Span
@@ -158,6 +177,71 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.Write(page)
+}
+
+// handleRenderCached is the -cache render path: the request gets a page
+// identity (?page=N override, else a server-side Zipf draw), then goes
+// through Scheduler.DoCached so a hit or a coalesced wait never takes a
+// worker. The outcome is surfaced in the X-Cache header; sampled hits
+// get a synthetic zero-render "cache_hit" span tree carrying only the
+// fixed lookup cost.
+func (s *server) handleRenderCached(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	pageID := queryInt(r, "page", -1)
+	if pageID < 0 {
+		pageID = s.pageKeys.Next()
+	}
+	sampled := s.col.ShouldSample()
+
+	var sp obs.Span
+	body, outcome, wait, err := s.sched.DoCached(r.Context(), s.cache, "page:"+strconv.Itoa(pageID),
+		func(wk *workload.Worker) ([]byte, error) {
+			b, rsp, rerr := wk.ServePageSpanCtx(r.Context(), pageID, sampled)
+			if rerr != nil {
+				return nil, rerr
+			}
+			rsp.Worker = wk.ID()
+			sp = rsp
+			if s.ctxSwitchEvery > 0 && wk.Served()%s.ctxSwitchEvery == 0 {
+				wk.Runtime().ContextSwitch()
+			}
+			return b, nil
+		})
+	meta := obs.RequestMeta{
+		Path:      r.URL.RequestURI(),
+		UserAgent: r.UserAgent(),
+		QueueWait: wait,
+	}
+	if err != nil {
+		s.shedResponse(w, err, meta)
+		return
+	}
+	wall := time.Since(start)
+	switch outcome {
+	case cache.Hit:
+		if sampled {
+			lookup := s.cache.LookupCostVec()
+			sp = obs.Span{
+				Worker:     -1,
+				Sampled:    true,
+				Cycles:     lookup.Total(),
+				Categories: lookup,
+				Tree:       obs.CacheHitTree(start, wall, lookup),
+			}
+		}
+	case cache.Coalesced:
+		// The render span belongs to the fill leader's request; this
+		// waiter only contributes latency and byte counts.
+		sp = obs.Span{Worker: -1}
+	}
+	sp.Wall = wall
+	sp.Tree.AddQueueSpan(wait)
+	meta.Status = http.StatusOK
+	s.col.ObserveHTTP(sp, len(body), meta)
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("X-Cache", strings.ToUpper(outcome.String()))
+	w.Write(body)
 }
 
 // retryAfterSeconds is the Retry-After hint on 503 sheds: long enough
@@ -276,14 +360,36 @@ type statsResponse struct {
 	HashTableHitRatio  float64 `json:"hashtable_hit_ratio"`
 	HashMapRebuilds    int64   `json:"hashmap_rebuilds"`
 	RegexCacheHitRatio float64 `json:"regex_cache_hit_ratio"`
+
+	// Cache is present only when the response cache is enabled (-cache).
+	Cache *cacheStatsResponse `json:"cache,omitempty"`
+}
+
+// cacheStatsResponse is the /stats response-cache block.
+type cacheStatsResponse struct {
+	Capacity  int     `json:"capacity"`
+	Shards    int     `json:"shards"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Coalesced int64   `json:"coalesced"`
+	Evictions int64   `json:"evictions"`
+	Expired   int64   `json:"expired"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	HitRatio  float64 `json:"hit_ratio"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.col.Snapshot()
 	lat := workload.LatencyStatsFrom(snap.Latencies)
 	// Pool.Snapshot drains the free list, so it also acts as a barrier:
-	// in-flight renders finish before their costs are aggregated.
+	// in-flight renders finish before their costs are aggregated. The
+	// cache's fixed lookup charges merge into the same meter so the
+	// category totals cover hits too.
 	ps := s.pool.Snapshot()
+	if s.cache != nil {
+		s.cache.MergeMeter(ps.Meter)
+	}
 	cats := ps.Meter.CategoryCyclesVec()
 	total := cats.Total()
 
@@ -333,6 +439,21 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if ps.Accel.RegexLookups > 0 {
 		resp.RegexCacheHitRatio = finite(float64(ps.Accel.RegexHits) / float64(ps.Accel.RegexLookups))
 	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		resp.Cache = &cacheStatsResponse{
+			Capacity:  s.cache.Capacity(),
+			Shards:    s.cache.Shards(),
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Coalesced: cs.Coalesced,
+			Evictions: cs.Evictions,
+			Expired:   cs.Expired,
+			Entries:   cs.Entries,
+			Bytes:     cs.Bytes,
+			HitRatio:  finite(cs.HitRatio()),
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -345,6 +466,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.col.Snapshot()
 	lat := workload.LatencyStatsFrom(snap.Latencies)
 	ps := s.pool.Snapshot()
+	if s.cache != nil {
+		// Lookup charges land in the same meter, so the per-category
+		// cycle totals stay exact with the cache on.
+		s.cache.MergeMeter(ps.Meter)
+	}
 	cats := ps.Meter.CategoryCyclesVec()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -462,6 +588,34 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	e.Gauge("phpserve_regex_cache_hit_ratio",
 		"Regexp manager cache hit fraction (0 when no lookups).",
 		obs.Sample{Value: ratio})
+
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		e.Counter("phpserve_cache_hits_total",
+			"Response cache lookups answered from a fresh cached entry.",
+			obs.Sample{Value: float64(cs.Hits)})
+		e.Counter("phpserve_cache_misses_total",
+			"Response cache lookups that rendered on a worker and filled.",
+			obs.Sample{Value: float64(cs.Misses)})
+		e.Counter("phpserve_cache_coalesced_total",
+			"Response cache lookups that waited on another request's in-flight render.",
+			obs.Sample{Value: float64(cs.Coalesced)})
+		e.Counter("phpserve_cache_evictions_total",
+			"Response cache entries evicted by the LRU capacity bound.",
+			obs.Sample{Value: float64(cs.Evictions)})
+		e.Counter("phpserve_cache_expired_total",
+			"Response cache entries dropped because their TTL passed.",
+			obs.Sample{Value: float64(cs.Expired)})
+		e.Gauge("phpserve_cache_entries",
+			"Responses currently cached (instantaneous).",
+			obs.Sample{Value: float64(cs.Entries)})
+		e.Gauge("phpserve_cache_bytes",
+			"Body bytes currently cached (instantaneous).",
+			obs.Sample{Value: float64(cs.Bytes)})
+		e.Gauge("phpserve_cache_hit_ratio",
+			"Fraction of cache lookups answered from a cached entry (0 when no lookups).",
+			obs.Sample{Value: finite(cs.HitRatio())})
+	}
 
 	if ps.Trace != nil {
 		totals := ps.Trace.KindTotals()
@@ -736,6 +890,30 @@ func validateFlags(workers, warmup, queue int, sample float64, timeout, drain ti
 	return nil
 }
 
+// validateCacheFlags checks the -cache flag family; pages and zipf only
+// matter (and are only validated) when the cache is enabled.
+func validateCacheFlags(capacity, shards, pages int, ttl time.Duration, zipf float64) error {
+	if capacity < 0 {
+		return fmt.Errorf("phpserve: -cache must be >= 0, got %d", capacity)
+	}
+	if capacity == 0 {
+		return nil
+	}
+	if shards <= 0 {
+		return fmt.Errorf("phpserve: -cacheshards must be positive, got %d", shards)
+	}
+	if ttl < 0 {
+		return fmt.Errorf("phpserve: -cachettl must be >= 0, got %v", ttl)
+	}
+	if pages <= 0 {
+		return fmt.Errorf("phpserve: -pages must be positive with -cache, got %d", pages)
+	}
+	if zipf <= 0 {
+		return fmt.Errorf("phpserve: -zipf must be positive with -cache, got %g", zipf)
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	app := flag.String("app", "wordpress", "workload to serve (wordpress, drupal, mediawiki)")
@@ -747,6 +925,11 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth beyond the worker count (0 sheds whenever all workers are busy)")
 	timeout := flag.Duration("timeout", 0, "per-request deadline from admission (0 disables; expired requests get 504)")
 	drainTO := flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight requests on SIGTERM/SIGINT")
+	cacheCap := flag.Int("cache", 0, "response cache capacity in entries (0 disables the cache)")
+	cacheTTL := flag.Duration("cachettl", 0, "response cache entry time-to-live (0 never expires)")
+	cacheShards := flag.Int("cacheshards", cache.DefaultShards, "response cache shard count (rounded up to a power of two)")
+	pages := flag.Int("pages", 512, "distinct page identities requests draw from when the cache is on")
+	zipf := flag.Float64("zipf", 1.0, "Zipf popularity exponent for server-drawn page identities (cache mode)")
 	sample := flag.Float64("sample", 0.01, "per-request span sampling rate in [0,1]")
 	accessLog := flag.String("accesslog", "", "JSON-lines access log for sampled spans and sheds (path, - for stdout, empty disables)")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -760,6 +943,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := validateCacheFlags(*cacheCap, *cacheShards, *pages, *cacheTTL, *zipf); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	cfg, err := configByName(*config)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -767,7 +955,14 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.TraceCapacity = *traceBuf
-	pool, err := workload.NewPool(*workers, cfg, *app, *seed)
+	// Cache mode needs page identity to be worker-independent, so every
+	// worker renders from the same seed; without the cache, workers keep
+	// their historical per-worker seeds (seed+i) for varied traffic.
+	newPool := workload.NewPool
+	if *cacheCap > 0 {
+		newPool = workload.NewPoolSharedSeed
+	}
+	pool, err := newPool(*workers, cfg, *app, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -790,6 +985,20 @@ func main() {
 	srv := newServer(sched, col, *app, *config, *ctxSwitch)
 	srv.live = profile.NewLive(*profEpochs, time.Now())
 	srv.pprofEnabled = *pprofFlag
+	if *cacheCap > 0 {
+		if !pool.SupportsPages() {
+			fmt.Fprintf(os.Stderr, "phpserve: -cache requires a workload with page identity; %s has none\n", *app)
+			os.Exit(2)
+		}
+		srv.cache = cache.New(cache.Config{Capacity: *cacheCap, Shards: *cacheShards, TTL: *cacheTTL})
+		srv.pageKeys, err = workload.NewZipfKeys(*seed, *zipf, *pages)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("phpserve: response cache on: %d entries, %d shards, ttl %v, %d pages, zipf %g\n",
+			srv.cache.Capacity(), srv.cache.Shards(), *cacheTTL, *pages, *zipf)
+	}
 	fmt.Printf("phpserve: listening on %s (queue %d, timeout %v, sample rate %g", *addr, *queue, *timeout, *sample)
 	if *pprofFlag {
 		fmt.Print(", pprof on")
@@ -822,6 +1031,11 @@ func main() {
 	st := sched.Stats()
 	fmt.Printf("phpserve: drained: served %d requests (%d sampled), shed %d (overload %d, timeout %d, draining %d)\n",
 		snap.Requests, snap.SampledSpans, st.Shed(), st.ShedOverload, st.ShedDeadline, st.ShedDraining)
+	if srv.cache != nil {
+		cs := srv.cache.Stats()
+		fmt.Printf("phpserve: cache: %d hits, %d misses, %d coalesced, %d evictions, hit ratio %.3f\n",
+			cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions, cs.HitRatio())
+	}
 	if logC != nil {
 		logC.Close()
 	}

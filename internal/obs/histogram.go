@@ -14,12 +14,14 @@ type Histogram struct {
 }
 
 // DefLatencyBuckets are the default request-latency bucket bounds in
-// seconds, spanning the microsecond-to-second range a simulated render
-// covers.
+// seconds. The ladder spans the microsecond range a simulated render
+// covers and continues through 30s so overload-length waits (long
+// -timeout/-drain settings) still land in finite buckets instead of
+// collapsing into +Inf exactly when the tail matters.
 func DefLatencyBuckets() []float64 {
 	return []float64{
 		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
-		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
 	}
 }
 

@@ -228,3 +228,26 @@ func TestCollectorObserveShed(t *testing.T) {
 	// A collector without a log writer must not panic on sheds.
 	NewCollector(0, nil, nil).ObserveShed(RequestMeta{Outcome: "timeout"})
 }
+
+func TestDefLatencyBucketsCoverOverloadTail(t *testing.T) {
+	// -timeout/-drain permit multi-second waits; a 10s observation must
+	// land in a finite bucket, not fall through to +Inf.
+	bounds := DefLatencyBuckets()
+	h := NewHistogram(bounds)
+	h.Observe(10.0)
+	s := h.Snapshot()
+	if s.Counts[len(s.Counts)-1] != 1 {
+		t.Fatalf("10s observation not within the largest finite bucket (max bound %g)", bounds[len(bounds)-1])
+	}
+	for i, b := range bounds {
+		if b >= 10.0 {
+			if s.Counts[i] != 1 {
+				t.Errorf("cumulative count at bound %g = %d, want 1", b, s.Counts[i])
+			}
+			return
+		}
+		if s.Counts[i] != 0 {
+			t.Errorf("cumulative count at bound %g = %d, want 0", b, s.Counts[i])
+		}
+	}
+}

@@ -117,6 +117,31 @@ func (t *Tree) AddQueueSpan(wait time.Duration) {
 	t.Start = t.Start.Add(-wait)
 }
 
+// CacheHitTree builds the span tree of a request answered from the
+// response cache: a "request" root whose only child is a "cache_hit"
+// span, both spanning the whole (tiny) wall interval and both carrying
+// the cache's fixed lookup cost vector — no render span exists because
+// no render happened. The root's self vector telescopes to zero and the
+// leaf carries the full inclusive total, so flamegraph and trace
+// exports hold the same self-cycles invariant as rendered trees.
+// Worker is -1: no pool worker served the request.
+func CacheHitTree(start time.Time, wall time.Duration, lookup sim.CategoryVec) *Tree {
+	hit := &TreeSpan{
+		Name:       "cache_hit",
+		Dur:        wall,
+		Cycles:     lookup.Total(),
+		Categories: lookup,
+	}
+	root := &TreeSpan{
+		Name:       "request",
+		Dur:        wall,
+		Cycles:     lookup.Total(),
+		Categories: lookup,
+		Children:   []*TreeSpan{hit},
+	}
+	return &Tree{Worker: -1, Start: start, Root: root}
+}
+
 // shiftStart moves a span and its descendants later by d (offsets are
 // all relative to the request start).
 func (s *TreeSpan) shiftStart(d time.Duration) {
@@ -153,10 +178,18 @@ type TreeBuilder struct {
 // charging against mt. maxSpans bounds the tree (<=0 selects
 // DefaultMaxTreeSpans).
 func NewTreeBuilder(mt *sim.Meter, maxSpans int) *TreeBuilder {
+	return NewTreeBuilderAt(mt, maxSpans, time.Now())
+}
+
+// NewTreeBuilderAt is NewTreeBuilder with an explicit root start
+// instant, letting callers share one clock reading between the tree and
+// their own wall measurement so the root's Dur and the request's Wall
+// agree exactly.
+func NewTreeBuilderAt(mt *sim.Meter, maxSpans int, t0 time.Time) *TreeBuilder {
 	if maxSpans <= 0 {
 		maxSpans = DefaultMaxTreeSpans
 	}
-	b := &TreeBuilder{meter: mt, t0: time.Now(), max: maxSpans}
+	b := &TreeBuilder{meter: mt, t0: t0, max: maxSpans}
 	b.stack = append(b.stack, treeFrame{
 		span:     &TreeSpan{Name: "request"},
 		beginVec: mt.CategoryCyclesVec(),

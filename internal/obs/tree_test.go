@@ -371,3 +371,57 @@ func TestAddQueueSpan(t *testing.T) {
 		t.Errorf("zero wait added a span")
 	}
 }
+
+func TestNewTreeBuilderAtSharesClock(t *testing.T) {
+	mt, charge := chargedMeter()
+	start := time.Now()
+	b := NewTreeBuilderAt(mt, 0, start)
+	charge(sim.CatOther, 100)
+	tree := b.Finish(0)
+	wall := time.Since(start)
+	if !tree.Start.Equal(start) {
+		t.Errorf("tree start = %v, want the supplied instant %v", tree.Start, start)
+	}
+	// Root Dur is measured from the supplied t0, so it can never exceed a
+	// wall measurement taken from the same instant afterwards.
+	if tree.Root.Dur > wall {
+		t.Errorf("root Dur %v exceeds wall %v measured from the same clock", tree.Root.Dur, wall)
+	}
+}
+
+func TestCacheHitTreeInvariant(t *testing.T) {
+	var lookup sim.CategoryVec
+	lookup[sim.CatHash] = 142.0
+	start := time.Now()
+	tree := CacheHitTree(start, 3*time.Microsecond, lookup)
+
+	if tree.Worker != -1 {
+		t.Errorf("worker = %d, want -1 (no pool worker)", tree.Worker)
+	}
+	root := tree.Root
+	if root.Name != "request" || len(root.Children) != 1 || root.Children[0].Name != "cache_hit" {
+		t.Fatalf("tree shape = %+v", root)
+	}
+	hit := root.Children[0]
+	if hit.Cycles != 142.0 || root.Cycles != 142.0 {
+		t.Errorf("cycles: hit %v root %v, want 142 each (inclusive)", hit.Cycles, root.Cycles)
+	}
+	// The telescoping invariant: Σ self over the tree equals the root's
+	// inclusive total, with the root's own self at zero.
+	var selfSum float64
+	root.Walk(func(sp *TreeSpan, _ int) { selfSum += sp.SelfCycles() })
+	if math.Abs(selfSum-root.Cycles) > 1e-9 {
+		t.Errorf("Σ self = %v, root inclusive = %v", selfSum, root.Cycles)
+	}
+	if self := root.SelfCycles(); math.Abs(self) > 1e-9 {
+		t.Errorf("root self = %v, want 0 (all cost in the cache_hit leaf)", self)
+	}
+	if got := hit.SelfCategories()[sim.CatHash]; math.Abs(got-142.0) > 1e-9 {
+		t.Errorf("cache_hit hash self = %v, want 142", got)
+	}
+	// A queue span composes with the synthetic tree like any other.
+	tree.AddQueueSpan(time.Millisecond)
+	if tree.Root.Children[0].Name != "queued" || tree.Root.Dur != time.Millisecond+3*time.Microsecond {
+		t.Errorf("after AddQueueSpan: first child %q, root dur %v", tree.Root.Children[0].Name, tree.Root.Dur)
+	}
+}

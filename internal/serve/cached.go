@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/workload"
+)
+
+// DoCached is Do with a response cache between admission and worker
+// acquisition: the request passes the same admission gate (drain state,
+// deadline, bounded token), then consults the cache. A hit returns the
+// cached bytes without ever touching the pool — no worker slot, no
+// queue wait. A miss acquires a worker inside the cache's singleflight
+// fill, so concurrent misses for the same key render once and the rest
+// wait for that render instead of piling onto the pool (dogpile
+// protection). The admission token is held for the full call either
+// way, which keeps the number of requests inside the scheduler bounded
+// exactly as for Do.
+//
+// The returned duration is the time the request waited for a worker
+// (zero for hits and coalesced waiters). Error mapping matches Do:
+// context expiry anywhere — at admission, queued, or while waiting on
+// another caller's render — becomes ErrDeadline.
+func (s *Scheduler) DoCached(ctx context.Context, c *cache.Cache, key string, render func(w *workload.Worker) ([]byte, error)) ([]byte, cache.Outcome, time.Duration, error) {
+	s.mu.Lock()
+	if s.state != StateRunning {
+		s.mu.Unlock()
+		s.count(&s.shedDraining)
+		return nil, cache.Bypass, 0, ErrDraining
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	if ctx.Err() != nil {
+		s.count(&s.shedDeadline)
+		return nil, cache.Bypass, 0, ErrDeadline
+	}
+
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.count(&s.shedOverload)
+		return nil, cache.Bypass, 0, ErrOverloaded
+	}
+	defer func() { <-s.slots }()
+
+	s.statsMu.Lock()
+	s.admitted++
+	s.statsMu.Unlock()
+
+	// Only the fill path — the elected leader of a miss — queues for a
+	// worker; hits and coalesced waiters never enter the pool.
+	var wait time.Duration
+	body, outcome, err := c.GetOrFill(ctx, key, func() ([]byte, error) {
+		s.statsMu.Lock()
+		s.queued++
+		s.statsMu.Unlock()
+		t0 := time.Now()
+		w, aerr := s.pool.AcquireCtx(ctx)
+		wait = time.Since(t0)
+		s.statsMu.Lock()
+		s.queued--
+		s.waitHist.Observe(wait.Seconds())
+		s.statsMu.Unlock()
+		if aerr != nil {
+			return nil, aerr
+		}
+		defer s.pool.Release(w)
+		return render(w)
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.count(&s.shedDeadline)
+			return nil, outcome, wait, ErrDeadline
+		}
+		return nil, outcome, wait, err
+	}
+	s.count(&s.served)
+	return body, outcome, wait, nil
+}

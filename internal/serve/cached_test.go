@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func cachedPool(t *testing.T, workers int) *workload.Pool {
+	t.Helper()
+	p, err := workload.NewPoolSharedSeed(workers, vm.Config{}, "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func renderPage(page int) func(w *workload.Worker) ([]byte, error) {
+	return func(w *workload.Worker) ([]byte, error) {
+		body, _, err := w.ServePageSpanCtx(context.Background(), page, false)
+		return body, err
+	}
+}
+
+func TestDoCachedHitMissAndEquivalence(t *testing.T) {
+	pool := cachedPool(t, 1)
+	s := NewScheduler(pool, Config{QueueDepth: 4})
+	c := cache.New(cache.Config{Capacity: 16})
+	ctx := context.Background()
+
+	b1, out, _, err := s.DoCached(ctx, c, "page:3", renderPage(3))
+	if err != nil || out != cache.Miss {
+		t.Fatalf("first = %v, %v; want Miss, nil", out, err)
+	}
+	b2, out, wait, err := s.DoCached(ctx, c, "page:3", renderPage(3))
+	if err != nil || out != cache.Hit {
+		t.Fatalf("second = %v, %v; want Hit, nil", out, err)
+	}
+	if wait != 0 {
+		t.Errorf("hit reported queue wait %v, want 0 (never queued)", wait)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("hit returned different bytes than the original render")
+	}
+	st := s.Stats()
+	if st.Served != 2 || st.Admitted != 2 {
+		t.Errorf("scheduler stats = %+v, want 2 admitted, 2 served", st)
+	}
+}
+
+// TestDoCachedHitNeedsNoWorker is the tentpole property: a cache hit is
+// served while every pool worker is busy.
+func TestDoCachedHitNeedsNoWorker(t *testing.T) {
+	pool := cachedPool(t, 1)
+	s := NewScheduler(pool, Config{QueueDepth: 4})
+	c := cache.New(cache.Config{Capacity: 16})
+	ctx := context.Background()
+
+	if _, _, _, err := s.DoCached(ctx, c, "page:1", renderPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Hold the only worker so no render can possibly run.
+	w := pool.Acquire()
+	defer pool.Release(w)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, out, _, err := s.DoCached(ctx, c, "page:1", renderPage(1))
+		if err != nil || out != cache.Hit {
+			t.Errorf("hit with busy pool = %v, %v; want Hit, nil", out, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cache hit blocked on worker acquisition")
+	}
+}
+
+func TestDoCachedCoalesces(t *testing.T) {
+	pool := cachedPool(t, 2)
+	s := NewScheduler(pool, Config{QueueDepth: 8})
+	c := cache.New(cache.Config{Capacity: 16})
+	ctx := context.Background()
+
+	const callers = 6
+	var renders int
+	var renderMu sync.Mutex
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{}, 1)
+
+	render := func(w *workload.Worker) ([]byte, error) {
+		renderMu.Lock()
+		renders++
+		renderMu.Unlock()
+		leaderIn <- struct{}{}
+		<-gate // hold the render open so the others must coalesce
+		body, _, err := w.ServePageSpanCtx(ctx, 5, false)
+		return body, err
+	}
+
+	var wg sync.WaitGroup
+	outcomes := make([]cache.Outcome, callers)
+	errs := make([]error, callers)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, outcomes[0], _, errs[0] = s.DoCached(ctx, c, "page:5", render)
+	}()
+	<-leaderIn
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, outcomes[i], _, errs[i] = s.DoCached(ctx, c, "page:5", render)
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if renders != 1 {
+		t.Fatalf("render ran %d times for one key, want 1", renders)
+	}
+	var coalesced int
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if outcomes[i] == cache.Coalesced {
+			coalesced++
+		}
+	}
+	if coalesced != callers-1 {
+		t.Errorf("coalesced callers = %d, want %d", coalesced, callers-1)
+	}
+	if st := s.Stats(); st.Served != callers {
+		t.Errorf("served = %d, want %d", st.Served, callers)
+	}
+}
+
+// TestDoCachedHitMatchesFreshRender is the semantics-preservation
+// property: for every page, the bytes a cache hit returns through the
+// full DoCached path are identical to what a never-cached render of the
+// same page produces — with the accelerated datapaths both off and on
+// (a cached response must not depend on which core config or worker
+// rendered it, only on the page identity).
+func TestDoCachedHitMatchesFreshRender(t *testing.T) {
+	configs := map[string]vm.Config{
+		"baseline":    {},
+		"accelerated": {Mitigations: sim.AllMitigations(), Features: isa.AllAccelerators()},
+	}
+	pages := []int{1, 4, 33, 4, 1} // repeats exercise the hit path
+	for name, cfg := range configs {
+		pool, err := workload.NewPoolSharedSeed(2, cfg, "wordpress", 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewScheduler(pool, Config{QueueDepth: 8})
+		c := cache.New(cache.Config{Capacity: 64})
+		// The reference pool renders every page fresh, never cached.
+		fresh, err := workload.NewPoolSharedSeed(1, cfg, "wordpress", 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, page := range pages {
+			got, out, _, err := s.DoCached(context.Background(), c, "page:"+strconv.Itoa(page), renderPage(page))
+			if err != nil {
+				t.Fatalf("%s page %d: %v", name, page, err)
+			}
+			if seen[page] && out != cache.Hit {
+				t.Errorf("%s page %d: repeat lookup was %v, want Hit", name, page, out)
+			}
+			seen[page] = true
+			fw := fresh.Acquire()
+			want, _, err := fw.ServePageSpanCtx(context.Background(), page, false)
+			fresh.Release(fw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s page %d (%v): cached bytes differ from a fresh render (%d vs %d bytes)",
+					name, page, out, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestDoCachedShedsWhileDraining(t *testing.T) {
+	pool := cachedPool(t, 1)
+	s := NewScheduler(pool, Config{})
+	c := cache.New(cache.Config{Capacity: 4})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, out, _, err := s.DoCached(context.Background(), c, "page:1", renderPage(1))
+	if !errors.Is(err, ErrDraining) || out != cache.Bypass {
+		t.Errorf("draining DoCached = %v, %v; want Bypass, ErrDraining", out, err)
+	}
+}
+
+func TestDoCachedDeadlineMapsToErrDeadline(t *testing.T) {
+	pool := cachedPool(t, 1)
+	s := NewScheduler(pool, Config{QueueDepth: 2})
+	c := cache.New(cache.Config{Capacity: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := s.DoCached(ctx, c, "page:1", renderPage(1))
+	if !errors.Is(err, ErrDeadline) {
+		t.Errorf("expired-context DoCached error = %v, want ErrDeadline", err)
+	}
+	if st := s.Stats(); st.ShedDeadline != 1 {
+		t.Errorf("shedDeadline = %d, want 1", st.ShedDeadline)
+	}
+}
+
+func TestRunLoadCachedZipf(t *testing.T) {
+	pool := cachedPool(t, 2)
+	s := NewScheduler(pool, Config{QueueDepth: 16})
+	c := cache.New(cache.Config{Capacity: 256})
+	keys, err := workload.NewZipfKeys(11, 1.0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := RunLoad(context.Background(), s, LoadOptions{
+		Requests: 300,
+		Clients:  2,
+		Cache:    c,
+		PageKey:  keys.Next,
+	})
+	if ls.Served != 300 {
+		t.Fatalf("served = %d/%d (shed %d)", ls.Served, ls.Submitted, ls.Shed())
+	}
+	if got := ls.CacheHits + ls.CacheMisses + ls.CacheCoalesced; got != 300 {
+		t.Fatalf("outcome partition sums to %d, want 300", got)
+	}
+	// 64 Zipf(1.0) pages into an uncapped cache: at most 64 misses, so
+	// the hit ratio is at least (300-64)/300 ≈ 0.78 minus coalescing.
+	if ls.CacheHits < 200 {
+		t.Errorf("hits = %d over 300 zipf requests across 64 pages, expected >= 200", ls.CacheHits)
+	}
+	if ls.HitLatency.P50 <= 0 || ls.MissLatency.P50 <= 0 {
+		t.Errorf("latency split missing: hit p50 %v, miss p50 %v", ls.HitLatency.P50, ls.MissLatency.P50)
+	}
+	if ls.HitLatency.P50 >= ls.MissLatency.P50 {
+		t.Errorf("hit p50 %v not below miss p50 %v", ls.HitLatency.P50, ls.MissLatency.P50)
+	}
+	cs := c.Stats()
+	if int(cs.Hits) != ls.CacheHits || int(cs.Misses) != ls.CacheMisses {
+		t.Errorf("cache stats (%d hits, %d misses) disagree with load stats (%d, %d)",
+			cs.Hits, cs.Misses, ls.CacheHits, ls.CacheMisses)
+	}
+}

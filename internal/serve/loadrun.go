@@ -2,10 +2,12 @@ package serve
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
@@ -27,6 +29,13 @@ type LoadOptions struct {
 	// Collector, when non-nil, observes every served request and
 	// samples span trees the way Pool.Run's collector path does.
 	Collector *obs.Collector
+	// Cache, when non-nil, routes every request through the response
+	// cache (Scheduler.DoCached) instead of a plain render. Requires
+	// PageKey and a pool whose workload has page identity.
+	Cache *cache.Cache
+	// PageKey draws the next request's page index (e.g. ZipfKeys.Next);
+	// it is what gives cached requests their popularity distribution.
+	PageKey func() int
 }
 
 // LoadStats is what a scheduler-driven load run observed: per-outcome
@@ -47,6 +56,27 @@ type LoadStats struct {
 	QueueWait workload.LatencyStats
 	// Wall is the run's wall-clock duration.
 	Wall time.Duration
+
+	// CacheHits, CacheMisses, CacheCoalesced partition served requests
+	// by cache outcome (all zero when the run had no cache).
+	CacheHits      int
+	CacheMisses    int
+	CacheCoalesced int
+	// HitLatency and MissLatency split end-to-end request latency by
+	// cache outcome; coalesced waiters count as misses (they waited for
+	// a render, just not their own).
+	HitLatency  workload.LatencyStats
+	MissLatency workload.LatencyStats
+}
+
+// CacheHitRatio returns the fraction of served requests answered
+// directly from the cache (0 when the run had no cache traffic).
+func (ls LoadStats) CacheHitRatio() float64 {
+	total := ls.CacheHits + ls.CacheMisses + ls.CacheCoalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(ls.CacheHits) / float64(total)
 }
 
 // Shed returns the total requests rejected for any reason.
@@ -69,7 +99,7 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 	var next int64 // next request index to claim; claims beyond Requests stop the client
 	var mu sync.Mutex
 	var ls LoadStats
-	var waits []time.Duration
+	var waits, hitLats, missLats []time.Duration
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -81,27 +111,65 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 				if atomic.AddInt64(&next, 1) > int64(opts.Requests) {
 					return
 				}
-				wait, err := s.Do(ctx, func(w *workload.Worker) error {
-					if opts.Collector != nil {
-						page, sp, err := w.ServeSpanCtx(ctx, opts.Collector.ShouldSample())
-						if err != nil {
+				var wait time.Duration
+				var err error
+				var outcome cache.Outcome
+				var lat time.Duration
+				if opts.Cache != nil {
+					page := opts.PageKey()
+					t0 := time.Now()
+					_, outcome, wait, err = s.DoCached(ctx, opts.Cache, "page:"+strconv.Itoa(page),
+						func(w *workload.Worker) ([]byte, error) {
+							profile := opts.Collector != nil && opts.Collector.ShouldSample()
+							body, sp, rerr := w.ServePageSpanCtx(ctx, page, profile)
+							if rerr != nil {
+								return nil, rerr
+							}
+							if opts.Collector != nil {
+								opts.Collector.Observe(sp, len(body))
+							}
+							if opts.CtxSwitchEvery > 0 && w.Served()%opts.CtxSwitchEvery == 0 {
+								w.Runtime().ContextSwitch()
+							}
+							return body, nil
+						})
+					lat = time.Since(t0)
+				} else {
+					wait, err = s.Do(ctx, func(w *workload.Worker) error {
+						if opts.Collector != nil {
+							page, sp, err := w.ServeSpanCtx(ctx, opts.Collector.ShouldSample())
+							if err != nil {
+								return err
+							}
+							opts.Collector.Observe(sp, len(page))
+						} else if _, err := w.ServeOneCtx(ctx); err != nil {
 							return err
 						}
-						opts.Collector.Observe(sp, len(page))
-					} else if _, err := w.ServeOneCtx(ctx); err != nil {
-						return err
-					}
-					if opts.CtxSwitchEvery > 0 && w.Served()%opts.CtxSwitchEvery == 0 {
-						w.Runtime().ContextSwitch()
-					}
-					return nil
-				})
+						if opts.CtxSwitchEvery > 0 && w.Served()%opts.CtxSwitchEvery == 0 {
+							w.Runtime().ContextSwitch()
+						}
+						return nil
+					})
+				}
 				mu.Lock()
 				ls.Submitted++
 				switch err {
 				case nil:
 					ls.Served++
 					waits = append(waits, wait)
+					if opts.Cache != nil {
+						switch outcome {
+						case cache.Hit:
+							ls.CacheHits++
+							hitLats = append(hitLats, lat)
+						case cache.Coalesced:
+							ls.CacheCoalesced++
+							missLats = append(missLats, lat)
+						default:
+							ls.CacheMisses++
+							missLats = append(missLats, lat)
+						}
+					}
 				case ErrOverloaded:
 					ls.ShedOverload++
 				case ErrDeadline:
@@ -116,5 +184,7 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 	wg.Wait()
 	ls.Wall = time.Since(start)
 	ls.QueueWait = workload.LatencyStatsFrom(waits)
+	ls.HitLatency = workload.LatencyStatsFrom(hitLats)
+	ls.MissLatency = workload.LatencyStatsFrom(missLats)
 	return ls
 }

@@ -248,7 +248,10 @@ func (r *Runtime) FreeStr(fn string, s *Str) {
 // pattern. The manager shares patterns and FSM tables with other
 // functions through a hash map accessed with dynamic key names (§4.2);
 // that lookup is attributed to the manager itself, the compile to the
-// caller.
+// caller. Failed compiles are cached too (negative caching): an invalid
+// pattern pays pcre_compile once and its error is replayed from the
+// manager afterwards, so one bad pattern in a hot path cannot defeat
+// the cache.
 func (r *Runtime) Regex(fn, pattern string) (*regex.Regex, error) {
 	const mgrFn = "regex_cache_lookup"
 	k := hashmap.StrKey(pattern)
@@ -257,12 +260,17 @@ func (r *Runtime) Regex(fn, pattern string) (*regex.Regex, error) {
 	r.regexLookups++
 	if ok {
 		r.regexHits++
+		if err, bad := v.(error); bad {
+			return nil, err
+		}
 		return v.(*regex.Regex), nil
 	}
 	r.spans.Begin("regex:compile")
 	re, err := r.cpu.RegexCompile(fn, pattern)
 	r.spans.End()
 	if err != nil {
+		r.cpu.HashSet(mgrFn, r.regexMgr, k, err, true)
+		r.record(trace.Event{Kind: trace.KindHashSet, Fn: mgrFn, A: r.regexMgr.ID(), B: uint64(k.Len()), C: 1})
 		return nil, err
 	}
 	r.cpu.HashSet(mgrFn, r.regexMgr, k, re, true)

@@ -351,3 +351,49 @@ func TestRemoteCoherenceNoAccelIsNoop(t *testing.T) {
 		t.Errorf("software map affected by remote touch: %v %v", v, ok)
 	}
 }
+
+// TestRegexNegativeCaching is the regression test for failed compiles
+// bypassing the regex manager: an invalid pattern must pay pcre_compile
+// once, with every later lookup a cache hit replaying the stored error.
+func TestRegexNegativeCaching(t *testing.T) {
+	r := New(Config{TraceCapacity: 0})
+	const bad = `(unclosed`
+	_, err1 := r.Regex("f", bad)
+	if err1 == nil {
+		t.Fatalf("pattern %q should fail to compile", bad)
+	}
+	lookups0, hits0 := r.RegexCacheStats()
+	_, err2 := r.Regex("f", bad)
+	if err2 == nil {
+		t.Fatal("cached failure must still return the error")
+	}
+	if err2.Error() != err1.Error() {
+		t.Errorf("replayed error %q differs from original %q", err2, err1)
+	}
+	lookups1, hits1 := r.RegexCacheStats()
+	if lookups1 != lookups0+1 || hits1 != hits0+1 {
+		t.Errorf("second lookup of a failed pattern must be a cache hit: lookups %d->%d, hits %d->%d",
+			lookups0, lookups1, hits0, hits1)
+	}
+	// The trace shows exactly one manager store (the cached failure) and
+	// two probes — the second lookup never re-entered the compiler.
+	var gets, sets int
+	for _, e := range r.Trace().Events() {
+		if e.Fn != "regex_cache_lookup" {
+			continue
+		}
+		switch e.Kind {
+		case trace.KindHashGet:
+			gets++
+		case trace.KindHashSet:
+			sets++
+		}
+	}
+	if gets != 2 || sets != 1 {
+		t.Errorf("regex manager trace: %d gets, %d sets; want 2 gets, 1 set (error compiled once)", gets, sets)
+	}
+	// A valid pattern still works alongside the cached failure.
+	if _, err := r.Regex("f", `<[a-z]+>`); err != nil {
+		t.Errorf("valid pattern after cached failure: %v", err)
+	}
+}

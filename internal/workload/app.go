@@ -18,6 +18,18 @@ type App interface {
 	ServeRequest(rt *vm.Runtime) []byte
 }
 
+// PageApp is an App whose requests have page identity: ServePage renders
+// the page with the given index, and the same (corpus seed, page) pair
+// always produces the same bytes regardless of request history. That
+// stable identity is what makes a response cache key meaningful —
+// ServeRequest is exactly ServePage over an internally advancing page
+// sequence. Every built-in workload implements it.
+type PageApp interface {
+	App
+	// ServePage renders the page with the given index.
+	ServePage(rt *vm.Runtime, page int) []byte
+}
+
 // params tunes one application's per-request activity mix. The values per
 // app are calibrated so the post-mitigation execution-time breakdown
 // matches Fig. 5 and the accelerated improvements match Figs. 14–15.
@@ -67,28 +79,43 @@ func fig11Chain() []vm.ChainStep {
 	}
 }
 
-// ServeRequest renders one page.
+// ServeRequest renders the next page in the app's request sequence.
 func (a *appBase) ServeRequest(rt *vm.Runtime) []byte {
 	a.reqSeq++
+	return a.renderPage(rt, a.reqSeq)
+}
+
+// ServePage renders the page with the given index, independent of the
+// request sequence: the same (corpus seed, page) pair yields the same
+// bytes on any worker with the same seed, which is the identity the
+// response cache keys on.
+func (a *appBase) ServePage(rt *vm.Runtime, page int) []byte {
+	return a.renderPage(rt, page)
+}
+
+// renderPage is the shared request flow: every place the legacy path
+// used the advancing reqSeq now derives from the explicit page index, so
+// ServeRequest(n-th call) and ServePage(n) are bit-for-bit identical.
+func (a *appBase) renderPage(rt *vm.Runtime, page int) []byte {
 	rt.BeginRequest()
 	ob := rt.NewOutputBuffer(a.p.prefix + "render_page")
 
 	a.ensureDBCache(rt)
 	rt.BeginSpan("load_config")
-	a.loadConfiguration(rt)
+	a.loadConfiguration(rt, page)
 	rt.EndSpan()
 	rt.BeginSpan("route_request")
-	a.routeRequest(rt)
+	a.routeRequest(rt, page)
 	rt.EndSpan()
 
 	rt.BeginSpan("render_items")
 	for i := 0; i < a.p.items; i++ {
-		a.renderItem(rt, ob, a.reqSeq*a.p.items+i)
+		a.renderItem(rt, ob, page*a.p.items+i)
 	}
 	rt.EndSpan()
 	rt.BeginSpan("render_comments")
 	for i := 0; i < a.p.comments; i++ {
-		a.renderComment(rt, ob, a.reqSeq*a.p.comments+i)
+		a.renderComment(rt, ob, page*a.p.comments+i)
 	}
 	rt.EndSpan()
 
@@ -115,7 +142,7 @@ func (a *appBase) ensureDBCache(rt *vm.Runtime) {
 
 // loadConfiguration models option/config loading: mostly static literal
 // keys (IC/HMI-specializable) with some dynamic ones.
-func (a *appBase) loadConfiguration(rt *vm.Runtime) {
+func (a *appBase) loadConfiguration(rt *vm.Runtime, page int) {
 	fn := pick(a.cat.hash, 0)
 	opts := rt.NewArray(fn)
 	for i := 0; i < a.p.optionReads; i++ {
@@ -130,12 +157,12 @@ func (a *appBase) loadConfiguration(rt *vm.Runtime) {
 	sym := rt.NewArray("symtab_insert")
 	src := rt.NewArray("extract_locals")
 	for i := 0; i < a.p.symtabOps; i++ {
-		k := hashmap.StrKey(pick(templateVars, a.reqSeq+i))
+		k := hashmap.StrKey(pick(templateVars, page+i))
 		rt.ASet(pick(a.cat.hash, i+3), src, k, a.corpus.Author(i), true)
 	}
 	rt.Extract("extract_locals", sym, src)
 	for i := 0; i < a.p.symtabOps; i++ {
-		k := hashmap.StrKey(pick(templateVars, a.reqSeq+i))
+		k := hashmap.StrKey(pick(templateVars, page+i))
 		rt.AGet(pick(a.cat.hash, i+5), sym, k, true)
 	}
 	rt.FreeArray(fn, opts)
@@ -145,11 +172,11 @@ func (a *appBase) loadConfiguration(rt *vm.Runtime) {
 
 // routeRequest models URL parsing: the same regexp over nearly identical
 // URLs, the content reuse opportunity (Fig. 13).
-func (a *appBase) routeRequest(rt *vm.Runtime) {
+func (a *appBase) routeRequest(rt *vm.Runtime, page int) {
 	fn := pick(a.cat.regex, 0)
 	re := rt.MustRegex(fn, `https://[a-z]+/\?author=[a-z0-9]+`)
 	for i := 0; i < a.p.urlScans; i++ {
-		url := a.corpus.AuthorURL(a.reqSeq + i/3)
+		url := a.corpus.AuthorURL(page + i/3)
 		rt.ScanURL(fn, re, 0x4010, url)
 	}
 }

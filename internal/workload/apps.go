@@ -78,7 +78,17 @@ type drupalApp struct {
 }
 
 func (d *drupalApp) ServeRequest(rt *vm.Runtime) []byte {
-	out := d.appBase.ServeRequest(rt)
+	d.reqSeq++
+	return d.renderDrupalPage(rt, d.reqSeq)
+}
+
+// ServePage renders the Drupal page with the given index (see PageApp).
+func (d *drupalApp) ServePage(rt *vm.Runtime, page int) []byte {
+	return d.renderDrupalPage(rt, page)
+}
+
+func (d *drupalApp) renderDrupalPage(rt *vm.Runtime, page int) []byte {
+	out := d.renderPage(rt, page)
 	// Entity field lookups: short-lived maps with dynamic keys.
 	fn := "drupal_entity_field_get"
 	ent := rt.NewArray(fn)
@@ -129,11 +139,21 @@ type mediaWikiApp struct {
 }
 
 func (m *mediaWikiApp) ServeRequest(rt *vm.Runtime) []byte {
-	out := m.appBase.ServeRequest(rt)
+	m.reqSeq++
+	return m.renderWikiPage(rt, m.reqSeq)
+}
+
+// ServePage renders the MediaWiki page with the given index (see PageApp).
+func (m *mediaWikiApp) ServePage(rt *vm.Runtime, page int) []byte {
+	return m.renderWikiPage(rt, page)
+}
+
+func (m *mediaWikiApp) renderWikiPage(rt *vm.Runtime, page int) []byte {
+	out := m.renderPage(rt, page)
 	// Wikitext parsing: sieve over the article, then shadow scans for
 	// link and entity patterns.
 	fn := "wfParseWikitext"
-	body := m.corpus.Post(m.reqSeq)
+	body := m.corpus.Post(page)
 	if len(body) > 400 {
 		body = body[:400]
 	}
@@ -171,6 +191,12 @@ func (s *specWebApp) Name() string { return s.name }
 
 func (s *specWebApp) ServeRequest(rt *vm.Runtime) []byte {
 	s.seq++
+	return s.ServePage(rt, s.seq)
+}
+
+// ServePage renders the SPECWeb response for the given page index (see
+// PageApp).
+func (s *specWebApp) ServePage(rt *vm.Runtime, page int) []byte {
 	rt.BeginRequest()
 	ob := rt.NewOutputBuffer("specweb_render")
 	mt := rt.Meter()
@@ -186,10 +212,10 @@ func (s *specWebApp) ServeRequest(rt *vm.Runtime) []byte {
 
 	// A little genuine runtime activity.
 	arr := rt.NewArray("sw_session_get")
-	rt.ASet("sw_session_get", arr, hashmap.StrKey("session"), s.seq, false)
+	rt.ASet("sw_session_get", arr, hashmap.StrKey("session"), page, false)
 	rt.AGet("sw_session_get", arr, hashmap.StrKey("session"), false)
 	rt.FreeArray("sw_session_get", arr)
-	ob.Write(rt.EscapeHTML("response_writer", s.corpus.Post(s.seq)))
+	ob.Write(rt.EscapeHTML("response_writer", s.corpus.Post(page)))
 	return ob.Bytes()
 }
 

@@ -83,11 +83,21 @@ type symfonyApp struct {
 }
 
 func (s *symfonyApp) ServeRequest(rt *vm.Runtime) []byte {
-	out := s.appBase.ServeRequest(rt)
+	s.reqSeq++
+	return s.renderSymfonyPage(rt, s.reqSeq)
+}
+
+// ServePage renders the Symfony page with the given index (see PageApp).
+func (s *symfonyApp) ServePage(rt *vm.Runtime, page int) []byte {
+	return s.renderSymfonyPage(rt, page)
+}
+
+func (s *symfonyApp) renderSymfonyPage(rt *vm.Runtime, page int) []byte {
+	out := s.renderPage(rt, page)
 	// Service container: dynamic-key service id lookups against the
 	// persistent cache (the container is built once per worker).
 	for i := 0; i < 25; i++ {
-		k := hashmap.StrKey(fmt.Sprintf("meta_%s_%d", pick(templateVars, s.reqSeq+i), (s.reqSeq+i)%48))
+		k := hashmap.StrKey(fmt.Sprintf("meta_%s_%d", pick(templateVars, page+i), (page+i)%48))
 		rt.AGet("sf_container_get", s.dbCache, k, true)
 	}
 	return out

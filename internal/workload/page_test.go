@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// pageApps is every built-in workload name; all must have page identity.
+var pageApps = []string{
+	"wordpress", "drupal", "mediawiki", "laravel", "symfony",
+	"specweb-banking", "specweb-ecommerce", "phpscript-blog",
+}
+
+func TestEveryAppImplementsPageApp(t *testing.T) {
+	for _, name := range pageApps {
+		app, err := ByName(name, 1)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if _, ok := app.(PageApp); !ok {
+			t.Errorf("%s does not implement PageApp", name)
+		}
+	}
+}
+
+// TestServePageMatchesServeRequest is the page-identity contract: the
+// n-th ServeRequest and ServePage(n) on an identically seeded app must
+// produce the same bytes, so a cache keyed on page index returns exactly
+// what a fresh render would.
+func TestServePageMatchesServeRequest(t *testing.T) {
+	for _, name := range pageApps {
+		seqApp, err := ByName(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pageApp, err := ByName(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqRT := vm.New(vm.Config{})
+		pageRT := vm.New(vm.Config{})
+		pa := pageApp.(PageApp)
+		for n := 1; n <= 4; n++ {
+			seq := seqApp.ServeRequest(seqRT)
+			byPage := pa.ServePage(pageRT, n)
+			if !bytes.Equal(seq, byPage) {
+				t.Errorf("%s request %d: ServeRequest and ServePage differ (%d vs %d bytes)",
+					name, n, len(seq), len(byPage))
+				break
+			}
+		}
+	}
+}
+
+// TestServePageDeterministicAcrossWorkers checks the shared-seed pool
+// premise: two independently constructed app instances with the same
+// seed render identical bytes for the same page, with accelerators on
+// and off.
+func TestServePageDeterministicAcrossWorkers(t *testing.T) {
+	configs := map[string]vm.Config{
+		"baseline":    {},
+		"accelerated": {Mitigations: sim.AllMitigations(), Features: isa.AllAccelerators()},
+	}
+	for cfgName, cfg := range configs {
+		a1, _ := ByName("wordpress", 7)
+		a2, _ := ByName("wordpress", 7)
+		rt1, rt2 := vm.New(cfg), vm.New(cfg)
+		for _, page := range []int{1, 3, 120, 7} {
+			b1 := a1.(PageApp).ServePage(rt1, page)
+			b2 := a2.(PageApp).ServePage(rt2, page)
+			if !bytes.Equal(b1, b2) {
+				t.Errorf("%s page %d: same-seed workers render different bytes", cfgName, page)
+			}
+		}
+	}
+}
+
+func TestSharedSeedPool(t *testing.T) {
+	p, err := NewPoolSharedSeed(2, vm.Config{}, "wordpress", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.SupportsPages() {
+		t.Fatal("wordpress pool must support pages")
+	}
+	w1 := p.Acquire()
+	b1, _, err := w1.ServePageSpanCtx(context.Background(), 9, false)
+	p.Release(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := p.Acquire()
+	var b2 []byte
+	for w2 == w1 { // make sure a different worker renders the same page
+		p.Release(w2)
+		w2 = p.Acquire()
+	}
+	b2, _, err = w2.ServePageSpanCtx(context.Background(), 9, false)
+	p.Release(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("shared-seed workers rendered different bytes for the same page")
+	}
+}
+
+// TestProfiledWallMatchesTreeDur is the clock-alignment regression test:
+// the tree root's Dur must equal the span's Wall (it used to exceed it
+// because the tree clock started before the wall clock).
+func TestProfiledWallMatchesTreeDur(t *testing.T) {
+	p, err := NewPool(1, vm.Config{}, "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Acquire()
+	defer p.Release(w)
+	for i := 0; i < 5; i++ {
+		_, sp := w.ServeOneProfiled()
+		if !sp.Sampled || sp.Tree == nil {
+			t.Fatal("profiled serve must carry a tree")
+		}
+		if sp.Tree.Root.Dur != sp.Wall {
+			t.Fatalf("request %d: tree root Dur %v != span Wall %v", i, sp.Tree.Root.Dur, sp.Wall)
+		}
+		// Children still nest within the root interval.
+		for _, c := range sp.Tree.Root.Children {
+			if c.Start+c.Dur > sp.Wall+sp.Wall/10 {
+				t.Errorf("child %s [%v +%v] extends past wall %v", c.Name, c.Start, c.Dur, sp.Wall)
+			}
+		}
+	}
+}
+
+func TestZipfKeysDeterministicAndSkewed(t *testing.T) {
+	z1, err := NewZipfKeys(3, 1.0, 256) // s = 1.0: unsupported by math/rand's Zipf
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2, _ := NewZipfKeys(3, 1.0, 256)
+	const draws = 20000
+	counts := make([]int, 256)
+	for i := 0; i < draws; i++ {
+		a, b := z1.Next(), z2.Next()
+		if a != b {
+			t.Fatalf("draw %d: same-seed samplers disagree (%d vs %d)", i, a, b)
+		}
+		if a < 0 || a >= 256 {
+			t.Fatalf("draw out of range: %d", a)
+		}
+		counts[a]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[4] {
+		t.Errorf("popularity not monotone: top counts %v", counts[:6])
+	}
+	// Under Zipf(1.0, 256) the head of the distribution carries most
+	// draws; the top-32 analytic share is ~66%, so the empirical share
+	// over 20k draws lands near it.
+	var top32 int
+	for _, c := range counts[:32] {
+		top32 += c
+	}
+	got := float64(top32) / draws
+	want := z1.TopShare(32)
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("top-32 share = %.3f, analytic %.3f", got, want)
+	}
+	if want < 0.6 {
+		t.Errorf("Zipf(1.0) top-32 analytic share = %.3f, expected skew >= 0.6", want)
+	}
+}
+
+func TestZipfKeysRejectsBadParams(t *testing.T) {
+	if _, err := NewZipfKeys(1, 1.0, 0); err == nil {
+		t.Error("zero pages must error")
+	}
+	if _, err := NewZipfKeys(1, 0, 10); err == nil {
+		t.Error("zero exponent must error")
+	}
+	if _, err := NewZipfKeys(1, -2, 10); err == nil {
+		t.Error("negative exponent must error")
+	}
+}

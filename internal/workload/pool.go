@@ -103,18 +103,27 @@ func (w *Worker) ServeSpanCtx(ctx context.Context, profile bool) ([]byte, obs.Sp
 }
 
 func (w *Worker) serveSpan(profile bool) ([]byte, obs.Span) {
+	return w.serve(profile, func() []byte { return w.app.ServeRequest(w.rt) })
+}
+
+// serve runs one render, measuring wall latency and (when profile is
+// true) building the span tree. The wall clock and the tree share one
+// starting instant, so the tree root's Dur can never exceed the span's
+// Wall — and for profiled requests the two are set equal exactly (the
+// invariant the /tracez exports rely on).
+func (w *Worker) serve(profile bool, render func() []byte) ([]byte, obs.Span) {
+	start := time.Now()
 	var tb *obs.TreeBuilder
 	if profile {
 		// The builder's root "request" span doubles as the meter diff:
 		// its category delta is exactly what the before/after snapshot
 		// used to compute, so the tree costs no extra vector reads at
 		// the request level.
-		tb = obs.NewTreeBuilder(w.rt.Meter(), 0)
+		tb = obs.NewTreeBuilderAt(w.rt.Meter(), 0, start)
 		w.rt.SetSpans(tb)
 		w.rt.BeginSpan("render")
 	}
-	start := time.Now()
-	page := w.app.ServeRequest(w.rt)
+	page := render()
 	wall := time.Since(start)
 	sp := obs.Span{Worker: w.id, Wall: wall}
 	if profile {
@@ -124,6 +133,9 @@ func (w *Worker) serveSpan(profile bool) ([]byte, obs.Span) {
 		sp.Tree = tree
 		sp.Categories = tree.Root.Categories
 		sp.Cycles = tree.Root.Cycles
+		// Finish read the clock after the wall measurement; pin the two
+		// to the same value so root Dur == span Wall exactly.
+		tree.Root.Dur = wall
 	}
 	if len(w.latencies) >= maxWorkerLatencies {
 		w.latencies = append(w.latencies[:0], w.latencies[len(w.latencies)/2:]...)
@@ -132,6 +144,22 @@ func (w *Worker) serveSpan(profile bool) ([]byte, obs.Span) {
 	w.served++
 	w.respBytes += int64(len(page))
 	return page, sp
+}
+
+// ServePageSpanCtx is ServeSpanCtx for a specific page index: the
+// render goes through the app's PageApp identity instead of its internal
+// request sequence, which is how cache fills render the exact page the
+// cache key names. It errors when the worker's app lacks page identity.
+func (w *Worker) ServePageSpanCtx(ctx context.Context, page int, profile bool) ([]byte, obs.Span, error) {
+	pa, ok := w.app.(PageApp)
+	if !ok {
+		return nil, obs.Span{}, fmt.Errorf("workload: app %s does not support page identity", w.app.Name())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, obs.Span{}, err
+	}
+	body, sp := w.serve(profile, func() []byte { return pa.ServePage(w.rt, page) })
+	return body, sp, nil
 }
 
 // reset discards accumulated measurements but keeps runtime state warm.
@@ -163,14 +191,27 @@ type Pool struct {
 }
 
 // NewPool builds n workers, each with a fresh runtime from cfg and its
-// own app instance.
+// own app instance. Worker i is seeded with seed+i, so workers render
+// distinct content — the traffic-variety default for throughput runs.
 func NewPool(n int, cfg vm.Config, appName string, seed int64) (*Pool, error) {
+	return newPool(n, cfg, appName, func(i int) int64 { return seed + int64(i) })
+}
+
+// NewPoolSharedSeed builds a pool whose workers all use the same seed,
+// so every worker renders identical bytes for a given page index. That
+// is the configuration a response cache requires: a cached page must
+// match what any other worker would have rendered for the same key.
+func NewPoolSharedSeed(n int, cfg vm.Config, appName string, seed int64) (*Pool, error) {
+	return newPool(n, cfg, appName, func(int) int64 { return seed })
+}
+
+func newPool(n int, cfg vm.Config, appName string, seedFor func(i int) int64) (*Pool, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("workload: pool needs at least 1 worker, got %d", n)
 	}
 	p := &Pool{free: make(chan *Worker, n)}
 	for i := 0; i < n; i++ {
-		app, err := ByName(appName, seed+int64(i))
+		app, err := ByName(appName, seedFor(i))
 		if err != nil {
 			return nil, err
 		}
@@ -179,6 +220,13 @@ func NewPool(n int, cfg vm.Config, appName string, seed int64) (*Pool, error) {
 		p.free <- w
 	}
 	return p, nil
+}
+
+// SupportsPages reports whether the pool's workload has page identity
+// (implements PageApp) — a precondition for the cached serving path.
+func (p *Pool) SupportsPages() bool {
+	_, ok := p.workers[0].app.(PageApp)
+	return ok
 }
 
 // Size returns the number of workers.

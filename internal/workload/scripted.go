@@ -29,8 +29,14 @@ func (s *ScriptedApp) Name() string { return s.name }
 // ServeRequest runs the script once with $req set to the request number.
 func (s *ScriptedApp) ServeRequest(rt *vm.Runtime) []byte {
 	s.seq++
+	return s.ServePage(rt, int(s.seq))
+}
+
+// ServePage runs the script once with $req set to the page index (see
+// PageApp).
+func (s *ScriptedApp) ServePage(rt *vm.Runtime, page int) []byte {
 	in := php.New(rt, s.prog)
-	in.SetGlobal("req", s.seq)
+	in.SetGlobal("req", int64(page))
 	out, err := in.Run()
 	if err != nil {
 		panic("workload: scripted app failed: " + err.Error())

@@ -11,7 +11,9 @@
 # every HTTP route phpserve registers (mux.HandleFunc in
 # cmd/phpserve/main.go, with /debug/pprof/* collapsed to its index
 # entry) must be mentioned in docs/OPERATIONS.md, so a new endpoint
-# cannot land without operator documentation.
+# cannot land without operator documentation. Flag coverage works the
+# same way: every CLI flag phpserve defines must appear as -name in
+# docs/OPERATIONS.md.
 #
 # Used by `make docs-check`, which runs it over internal/obs and
 # internal/profile so the observability packages' public surface stays
@@ -52,6 +54,18 @@ if [ -f "$server" ] && [ -f "$opsdoc" ]; then
 	for route in $routes; do
 		if ! grep -qF "$route" "$opsdoc"; then
 			echo "docs-check: endpoint $route (from $server) is not documented in $opsdoc" >&2
+			status=1
+		fi
+	done
+fi
+
+# Flag coverage: every flag phpserve defines (flag.Type("name", ...))
+# must be documented as -name in the operations guide.
+if [ -f "$server" ] && [ -f "$opsdoc" ]; then
+	flags=$(sed -n 's/.*flag\.[A-Za-z0-9]*("\([^"]*\)".*/\1/p' "$server" | sort -u)
+	for f in $flags; do
+		if ! grep -qF -- "-$f" "$opsdoc"; then
+			echo "docs-check: flag -$f (from $server) is not documented in $opsdoc" >&2
 			status=1
 		fi
 	done
