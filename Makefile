@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench docs-check check ci
+.PHONY: all build vet test race bench bench-record bench-check docs-check check ci
 
 all: check
 
@@ -19,7 +19,7 @@ vet:
 # and if any phpserve HTTP endpoint or CLI flag is missing from
 # OPERATIONS.md.
 docs-check:
-	sh scripts/docs_check.sh internal/obs internal/profile internal/cache
+	sh scripts/docs_check.sh internal/obs internal/profile internal/cache internal/benchrec
 
 test:
 	$(GO) test ./...
@@ -29,6 +29,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Benchmark trajectory (docs/OPERATIONS.md "Benchmark trajectory").
+# bench-record runs the pinned full-scale scenario matrix and appends
+# the next BENCH_<n>.json at the repo root; commit the file so the
+# trajectory travels with the history. bench-check reruns the matrix
+# fresh and fails with a side-by-side table if any gated metric
+# regressed past tolerance against the latest committed record.
+bench-record:
+	$(GO) run ./cmd/loadgen -record
+
+bench-check:
+	$(GO) run ./scripts
 
 check: build vet docs-check race
 
@@ -44,3 +56,4 @@ ci: check
 	SPAN_OVERHEAD_GUARD=1 $(GO) test -run TestSpanOverheadGuard -count=1 .
 	SCHED_OVERHEAD_GUARD=1 $(GO) test -run TestSchedulerOverheadGuard -count=1 .
 	CACHE_OVERHEAD_GUARD=1 $(GO) test -run TestCacheOverheadGuard -count=1 .
+	BENCH_CHECK_GUARD=1 $(GO) test -run TestBenchCheckGuard -count=1 .

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/benchrec"
 	"repro/internal/cache"
 	"repro/internal/core/hashtable"
 	"repro/internal/core/heapmgr"
@@ -541,5 +542,55 @@ func BenchmarkAccelRegexSift(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ra.Shadow(re, content, hv)
+	}
+}
+
+// --- CI guard: benchmark trajectory gate ---
+
+// TestBenchCheckGuard is the env-gated short mode of `make bench-check`
+// (`make ci` sets BENCH_CHECK_GUARD=1): it proves the trajectory gate
+// itself works without paying for a full-scale matrix. A quick-scale
+// record must self-compare clean, a copy doctored past every tolerance
+// must trip all three gates, and the canonical record must be
+// reproducible — the properties that make a committed BENCH_<n>.json
+// trustworthy as a regression baseline.
+func TestBenchCheckGuard(t *testing.T) {
+	if os.Getenv("BENCH_CHECK_GUARD") != "1" {
+		t.Skip("set BENCH_CHECK_GUARD=1 to run the bench-trajectory gate check (make ci does)")
+	}
+	rec, err := benchrec.RunMatrix(benchrec.Options{Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, err := benchrec.Compare(rec, rec, benchrec.DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("self-comparison reported regressions: %v", regs)
+	}
+
+	doctored := rec
+	doctored.Scenarios = append([]benchrec.Scenario(nil), rec.Scenarios...)
+	doctored.Scenarios[0].ReqPerSec *= 0.5
+	doctored.Scenarios[1].P99US *= 2
+	doctored.Scenarios[2].AllocsPerOp++
+	regs, err = benchrec.Compare(rec, doctored, benchrec.DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 3 {
+		t.Fatalf("injected 3 regressions, gate caught %d:\n%s", len(regs),
+			benchrec.RenderTable(rec, doctored, regs))
+	}
+
+	again, err := benchrec.RunMatrix(benchrec.Options{Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := rec.Canonical().MarshalIndent()
+	jb, _ := again.Canonical().MarshalIndent()
+	if string(ja) != string(jb) {
+		t.Error("canonical record not reproducible across runs")
 	}
 }

@@ -36,6 +36,13 @@
 // split. The same seed drives the same page sequence for every config
 // row, so hit ratios are reproducible and comparable.
 //
+// With -record the normal comparison run is replaced by the benchmark
+// trajectory recorder: the pinned benchrec scenario matrix (direct pool
+// loop, scheduler, cached Zipf, accelerator on/off — all reusing the
+// same serve.RunLoad plumbing as scheduler mode) runs at -recordscale
+// and one schema-versioned record is written to the next free
+// BENCH_<n>.json under -recorddir. `make bench-record` is this mode.
+//
 // Ctrl-C (SIGINT) stops admission, waits for in-flight requests, and
 // prints the partial result for whatever completed instead of
 // discarding the run.
@@ -54,6 +61,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchrec"
 	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/obs"
@@ -132,7 +140,23 @@ func main() {
 	cacheShards := flag.Int("cacheshards", cache.DefaultShards, "response cache shard count (rounded up to a power of two)")
 	pages := flag.Int("pages", 512, "distinct page identities requests draw from in cache mode")
 	zipf := flag.Float64("zipf", 1.0, "Zipf popularity exponent for page identities in cache mode")
+	record := flag.Bool("record", false, "run the pinned benchmark matrix and append a BENCH_<n>.json trajectory record instead of the comparison table")
+	recordDir := flag.String("recorddir", ".", "directory trajectory records are read from and written to in -record mode")
+	recordScale := flag.String("recordscale", "full", "matrix scale in -record mode: full (paper methodology) or quick (CI-sized)")
 	flag.Parse()
+
+	if *record {
+		if *recordScale != "full" && *recordScale != "quick" {
+			fmt.Fprintf(os.Stderr, "loadgen: -recordscale %q: want full or quick\n", *recordScale)
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := runRecord(*recordDir, *recordScale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := validateFlags(*requests, *warmup, *workers, *concurrency, *queue, *traceSample, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -294,12 +318,38 @@ loop:
 	}
 }
 
+// runRecord is -record mode: run the pinned matrix and append the next
+// trajectory record. Sequence numbers are monotonic — the new record is
+// LatestSeq+1 and Write refuses to overwrite.
+func runRecord(dir, scale string, seed int64) error {
+	latest, err := benchrec.LatestSeq(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recording benchmark matrix (scale %s, seed %d)...\n", scale, seed)
+	rec, err := benchrec.RunMatrix(benchrec.Options{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	rec.Seq = latest + 1
+	path, err := benchrec.Write(dir, rec)
+	if err != nil {
+		return err
+	}
+	for _, sc := range rec.Scenarios {
+		fmt.Printf("  %-10s %8.0f req/s  p99 %8.0fus  %10.0f sim cycles/req  hit ratio %.3f\n",
+			sc.Name, sc.ReqPerSec, sc.P99US, sc.SimCyclesPerReq, sc.CacheHitRatio)
+	}
+	fmt.Printf("wrote %s (seq %d)\n", path, rec.Seq)
+	return nil
+}
+
 // schedLine renders one scheduler-mode run's lifecycle outcomes: how
 // much was shed and why, and what the admission queue cost the requests
 // that made it through.
 func schedLine(ls serve.LoadStats) string {
-	return fmt.Sprintf("sched: served %d/%d, shed %d (overload %d, timeout %d, draining %d), queue-wait p50 %s p95 %s p99 %s",
-		ls.Served, ls.Submitted, ls.Shed(), ls.ShedOverload, ls.ShedDeadline, ls.ShedDraining,
+	return fmt.Sprintf("sched: served %d/%d, shed %d (overload %d, timeout %d, canceled %d, draining %d), queue-wait p50 %s p95 %s p99 %s",
+		ls.Served, ls.Submitted, ls.Shed(), ls.ShedOverload, ls.ShedDeadline, ls.ShedCanceled, ls.ShedDraining,
 		fmtLatency(ls.QueueWait.P50), fmtLatency(ls.QueueWait.P95), fmtLatency(ls.QueueWait.P99))
 }
 

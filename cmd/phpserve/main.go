@@ -249,10 +249,16 @@ func (s *server) handleRenderCached(w http.ResponseWriter, r *http.Request) {
 // while a drain is still the likelier cause of free capacity elsewhere.
 const retryAfterSeconds = 1
 
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the server produced a response. The status is
+// never seen by that client (it is gone) — it exists for the access log
+// and metrics, so abandoned requests stop masquerading as 504 timeouts.
+const statusClientClosedRequest = 499
+
 // shedResponse maps a lifecycle error to its HTTP answer — 503 +
 // Retry-After for overload and drain (retryable), 504 for an expired
-// deadline — and records the shed in the collector (counter + access
-// log line).
+// deadline, 499 for a client that disconnected first — and records the
+// shed in the collector (counter + access log line).
 func (s *server) shedResponse(w http.ResponseWriter, err error, meta obs.RequestMeta) {
 	var status int
 	switch {
@@ -265,6 +271,9 @@ func (s *server) shedResponse(w http.ResponseWriter, err error, meta obs.Request
 	case errors.Is(err, serve.ErrDeadline):
 		meta.Outcome = "timeout"
 		status = http.StatusGatewayTimeout
+	case errors.Is(err, serve.ErrCanceled):
+		meta.Outcome = "canceled"
+		status = statusClientClosedRequest
 	default:
 		meta.Outcome = "error"
 		status = http.StatusInternalServerError
@@ -341,6 +350,7 @@ type statsResponse struct {
 	QueueLimit   int    `json:"queue_limit"`
 	ShedOverload int64  `json:"shed_overload"`
 	ShedTimeout  int64  `json:"shed_timeout"`
+	ShedCanceled int64  `json:"shed_canceled"`
 	ShedDraining int64  `json:"shed_draining"`
 
 	LatencyP50Us  int64 `json:"latency_p50_us"`
@@ -404,6 +414,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		QueueLimit:        s.sched.QueueLimit(),
 		ShedOverload:      sched.ShedOverload,
 		ShedTimeout:       sched.ShedDeadline,
+		ShedCanceled:      sched.ShedCanceled,
 		ShedDraining:      sched.ShedDraining,
 		Requests:          snap.Requests,
 		SampledSpans:      snap.SampledSpans,
@@ -514,6 +525,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Requests rejected by the lifecycle layer, by reason.",
 		obs.Sample{Labels: []obs.Label{{Name: "reason", Value: "overload"}}, Value: float64(sched.ShedOverload)},
 		obs.Sample{Labels: []obs.Label{{Name: "reason", Value: "timeout"}}, Value: float64(sched.ShedDeadline)},
+		obs.Sample{Labels: []obs.Label{{Name: "reason", Value: "canceled"}}, Value: float64(sched.ShedCanceled)},
 		obs.Sample{Labels: []obs.Label{{Name: "reason", Value: "draining"}}, Value: float64(sched.ShedDraining)})
 	e.Histogram("phpserve_queue_wait_seconds",
 		"Time admitted requests spent waiting for a worker.", nil, sched.QueueWait)
@@ -1029,8 +1041,8 @@ func main() {
 	httpSrv.Shutdown(dctx)
 	snap := col.Snapshot()
 	st := sched.Stats()
-	fmt.Printf("phpserve: drained: served %d requests (%d sampled), shed %d (overload %d, timeout %d, draining %d)\n",
-		snap.Requests, snap.SampledSpans, st.Shed(), st.ShedOverload, st.ShedDeadline, st.ShedDraining)
+	fmt.Printf("phpserve: drained: served %d requests (%d sampled), shed %d (overload %d, timeout %d, canceled %d, draining %d)\n",
+		snap.Requests, snap.SampledSpans, st.Shed(), st.ShedOverload, st.ShedDeadline, st.ShedCanceled, st.ShedDraining)
 	if srv.cache != nil {
 		cs := srv.cache.Stats()
 		fmt.Printf("phpserve: cache: %d hits, %d misses, %d coalesced, %d evictions, hit ratio %.3f\n",

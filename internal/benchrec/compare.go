@@ -1,0 +1,121 @@
+package benchrec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tolerances bound how far a fresh run may drift from the committed
+// record before Compare reports a regression. Throughput and p99 are
+// fractional; allocs/op tolerates no increase at all (allocation counts
+// are deterministic enough that any rise is a real code change).
+type Tolerances struct {
+	// ThroughputDrop is the allowed fractional throughput decrease
+	// (0.05 = fail below 95% of the committed req/s).
+	ThroughputDrop float64
+	// P99Rise is the allowed fractional p99 latency increase
+	// (0.10 = fail above 110% of the committed p99).
+	P99Rise float64
+}
+
+// DefaultTolerances returns the documented regression gates:
+// throughput −5%, p99 +10%, allocs/op any increase.
+func DefaultTolerances() Tolerances {
+	return Tolerances{ThroughputDrop: 0.05, P99Rise: 0.10}
+}
+
+// Regression is one metric that moved past its tolerance.
+type Regression struct {
+	// Scenario and Metric locate the failure.
+	Scenario string
+	Metric   string
+	// Base and Fresh are the committed and fresh values.
+	Base  float64
+	Fresh float64
+	// Limit is the threshold the fresh value crossed.
+	Limit float64
+}
+
+// String renders the violation as "scenario/metric: base -> fresh".
+func (r Regression) String() string {
+	return fmt.Sprintf("%s/%s: %.2f -> %.2f (limit %.2f)", r.Scenario, r.Metric, r.Base, r.Fresh, r.Limit)
+}
+
+// Compare diffs fresh against base and returns every tolerance
+// violation. It errors (rather than reporting a bogus clean pass) when
+// the records are not comparable: schema, scale, or seed mismatch, or a
+// scenario configuration drift — those need a new committed baseline,
+// not a regression verdict.
+func Compare(base, fresh Record, tol Tolerances) ([]Regression, error) {
+	if base.Schema != fresh.Schema {
+		return nil, fmt.Errorf("benchrec: schema mismatch: committed %d vs fresh %d", base.Schema, fresh.Schema)
+	}
+	if base.Scale != fresh.Scale || base.Seed != fresh.Seed {
+		return nil, fmt.Errorf("benchrec: records not comparable: committed scale=%s seed=%d vs fresh scale=%s seed=%d",
+			base.Scale, base.Seed, fresh.Scale, fresh.Seed)
+	}
+	var regs []Regression
+	for _, b := range base.Scenarios {
+		f, ok := fresh.Scenario(b.Name)
+		if !ok {
+			return nil, fmt.Errorf("benchrec: fresh run is missing scenario %q", b.Name)
+		}
+		if b.Workers != f.Workers || b.Warmup != f.Warmup || b.Requests != f.Requests ||
+			b.Accelerated != f.Accelerated || b.CacheCapacity != f.CacheCapacity ||
+			b.ZipfPages != f.ZipfPages {
+			return nil, fmt.Errorf("benchrec: scenario %q configuration drifted; commit a new baseline", b.Name)
+		}
+		if limit := b.ReqPerSec * (1 - tol.ThroughputDrop); f.ReqPerSec < limit {
+			regs = append(regs, Regression{b.Name, "req_per_sec", b.ReqPerSec, f.ReqPerSec, limit})
+		}
+		if limit := b.P99US * (1 + tol.P99Rise); f.P99US > limit {
+			regs = append(regs, Regression{b.Name, "p99_us", b.P99US, f.P99US, limit})
+		}
+		if f.AllocsPerOp > b.AllocsPerOp {
+			regs = append(regs, Regression{b.Name, "allocs_per_op", b.AllocsPerOp, f.AllocsPerOp, b.AllocsPerOp})
+		}
+	}
+	return regs, nil
+}
+
+// RenderTable renders a side-by-side committed-vs-fresh table for every
+// scenario and gated metric, marking tolerance violations — the
+// human-readable half of a failed bench-check.
+func RenderTable(base, fresh Record, regs []Regression) string {
+	failed := map[string]bool{}
+	for _, r := range regs {
+		failed[r.Scenario+"/"+r.Metric] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-18s %14s %14s %8s\n", "scenario", "metric", "committed", "fresh", "status")
+	for _, bs := range base.Scenarios {
+		fs, ok := fresh.Scenario(bs.Name)
+		if !ok {
+			continue
+		}
+		rows := []struct {
+			metric      string
+			base, fresh float64
+		}{
+			{"req_per_sec", bs.ReqPerSec, fs.ReqPerSec},
+			{"p99_us", bs.P99US, fs.P99US},
+			{"allocs_per_op", bs.AllocsPerOp, fs.AllocsPerOp},
+			{"cache_hit_ratio", bs.CacheHitRatio, fs.CacheHitRatio},
+			{"sim_cycles_per_req", bs.SimCyclesPerReq, fs.SimCyclesPerReq},
+		}
+		for _, row := range rows {
+			status := "ok"
+			if failed[bs.Name+"/"+row.metric] {
+				status = "FAIL"
+			}
+			fmt.Fprintf(&b, "%-12s %-18s %14.2f %14.2f %8s\n", bs.Name, row.metric, row.base, row.fresh, status)
+		}
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(&b, "\n%d regression(s) beyond tolerance:\n", len(regs))
+		for _, r := range regs {
+			fmt.Fprintf(&b, "  %s\n", r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,224 @@
+// Package benchrec makes the repo's performance trajectory a reviewed
+// artifact instead of folklore. It runs a pinned scenario matrix — the
+// direct pool loop, the scheduler path, the cached Zipf path, and the
+// accelerator on/off sweep EXPERIMENTS.md documents — and serializes
+// one schema-versioned Record per run into BENCH_<n>.json at the repo
+// root. Committed records form the trajectory; scripts/bench_compare.go
+// diffs a fresh run against the latest committed record and fails CI on
+// regressions beyond the documented tolerances.
+//
+// Records mix two kinds of fields. Simulated fields (per-category cycle
+// totals, cache hit ratios, shed counts) are deterministic for a given
+// seed+scale: the matrix uses a single closed-loop client over the
+// pool's FIFO worker rotation, so same inputs give byte-identical
+// values, which TestMatrixDeterministic pins. Timing fields (req/s,
+// latency percentiles, allocs/op, timestamps) vary run to run; they are
+// what Compare applies tolerances to and what Canonical zeroes.
+package benchrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// SchemaVersion is the record schema this package writes. Compare
+// refuses to diff records with mismatched schemas instead of guessing.
+const SchemaVersion = 1
+
+// Record is one benchmark run: the environment it ran in, the knobs
+// that pin the matrix, and one Scenario per matrix entry.
+type Record struct {
+	// Schema is the record format version (SchemaVersion at write time).
+	Schema int `json:"schema"`
+	// Seq is the record's position in the committed trajectory — the n
+	// in BENCH_<n>.json.
+	Seq int `json:"seq"`
+	// CreatedAt is the RFC3339 wall-clock instant the run started.
+	CreatedAt string `json:"created_at"`
+	// GoVersion, GOOS, GOARCH identify the toolchain and platform, so a
+	// regression can be told apart from an environment change.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Scale names the pinned matrix size: "full" (the paper's 300
+	// warmup / 200 measured methodology) or "quick" (CI-sized).
+	Scale string `json:"scale"`
+	// Seed is the base RNG seed every scenario derives its streams from.
+	Seed int64 `json:"seed"`
+	// Scenarios holds one entry per matrix scenario, in matrix order.
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Scenario is one pinned workload configuration and what it measured.
+type Scenario struct {
+	// Name identifies the scenario within the matrix: "direct",
+	// "accel_off", "scheduler", or "cache_zipf".
+	Name string `json:"name"`
+	// App is the workload application served (wordpress throughout).
+	App string `json:"app"`
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// Warmup and Requests are the discarded and measured request counts.
+	Warmup   int `json:"warmup"`
+	Requests int `json:"requests"`
+	// Clients is the closed-loop client count on scheduler-driven
+	// scenarios (0 for direct pool scenarios).
+	Clients int `json:"clients"`
+	// QueueDepth and TimeoutMS echo the scheduler config (0 when the
+	// scenario bypasses the scheduler).
+	QueueDepth int     `json:"queue_depth"`
+	TimeoutMS  float64 `json:"timeout_ms"`
+	// Accelerated reports whether the paper's accelerators (and
+	// mitigations) were enabled for this scenario's VM config.
+	Accelerated bool `json:"accelerated"`
+	// CacheCapacity, ZipfPages, ZipfS pin the cached scenario's response
+	// cache size and popularity distribution (0 when uncached).
+	CacheCapacity int     `json:"cache_capacity"`
+	ZipfPages     int     `json:"zipf_pages"`
+	ZipfS         float64 `json:"zipf_s"`
+
+	// ReqPerSec is measured throughput: served requests per wall second.
+	ReqPerSec float64 `json:"req_per_sec"`
+	// WallMS is the measured phase's wall-clock duration.
+	WallMS float64 `json:"wall_ms"`
+	// P50US, P95US, P99US are client-visible per-request latency
+	// percentiles (nearest-rank), in microseconds.
+	P50US float64 `json:"p50_us"`
+	P95US float64 `json:"p95_us"`
+	P99US float64 `json:"p99_us"`
+	// AllocsPerOp is heap allocations per served request across the
+	// measured phase (runtime.MemStats Mallocs delta / served).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Served counts requests that completed; the four shed counts
+	// partition the rejected remainder by reason.
+	Served       int `json:"served"`
+	ShedOverload int `json:"shed_overload"`
+	ShedDeadline int `json:"shed_deadline"`
+	ShedCanceled int `json:"shed_canceled"`
+	ShedDraining int `json:"shed_draining"`
+	// CacheHits, CacheMisses, CacheCoalesced partition served requests
+	// by response-cache outcome; CacheHitRatio is hits over lookups.
+	CacheHits      int     `json:"cache_hits"`
+	CacheMisses    int     `json:"cache_misses"`
+	CacheCoalesced int     `json:"cache_coalesced"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	// SimCyclesPerReq and SimEnergyPJPerReq are the simulated cost
+	// model's per-request averages for the measured phase.
+	SimCyclesPerReq   float64 `json:"sim_cycles_per_req"`
+	SimEnergyPJPerReq float64 `json:"sim_energy_pj_per_req"`
+	// SimCategoryCycles is the simulated cycle total per activity
+	// category (hash, heap, string, regex, ...) over the measured phase,
+	// including the response cache's lookup charges when present.
+	SimCategoryCycles map[string]float64 `json:"sim_category_cycles"`
+}
+
+// Canonical returns a copy of the record with every timing-dependent
+// field zeroed: CreatedAt and Seq on the record, and throughput, wall,
+// latency percentiles, and allocs/op on each scenario. Two runs with
+// the same seed and scale must produce byte-identical canonical JSON —
+// the determinism property TestMatrixDeterministic enforces.
+func (r Record) Canonical() Record {
+	out := r
+	out.Seq = 0
+	out.CreatedAt = ""
+	out.Scenarios = make([]Scenario, len(r.Scenarios))
+	for i, sc := range r.Scenarios {
+		sc.ReqPerSec = 0
+		sc.WallMS = 0
+		sc.P50US = 0
+		sc.P95US = 0
+		sc.P99US = 0
+		sc.AllocsPerOp = 0
+		out.Scenarios[i] = sc
+	}
+	return out
+}
+
+// Scenario returns the named scenario and whether it exists.
+func (r Record) Scenario(name string) (Scenario, bool) {
+	for _, sc := range r.Scenarios {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// MarshalIndent renders the record as stable, human-reviewable JSON
+// (map keys sort, so the output is deterministic).
+func (r Record) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Filename returns the trajectory filename for sequence number seq.
+func Filename(seq int) string { return "BENCH_" + strconv.Itoa(seq) + ".json" }
+
+// benchFileRE matches trajectory filenames and captures the sequence.
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// LatestSeq scans dir for BENCH_<n>.json files and returns the highest
+// sequence number present (0 when there are none).
+func LatestSeq(dir string) (int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	latest := 0
+	for _, ent := range ents {
+		m := benchFileRE.FindStringSubmatch(ent.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > latest {
+			latest = n
+		}
+	}
+	return latest, nil
+}
+
+// Load reads and validates one record file.
+func Load(path string) (Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Record{}, err
+	}
+	var r Record
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Record{}, fmt.Errorf("benchrec: parse %s: %w", path, err)
+	}
+	if r.Schema == 0 || len(r.Scenarios) == 0 {
+		return Record{}, fmt.Errorf("benchrec: %s is not a benchmark record (schema %d, %d scenarios)",
+			path, r.Schema, len(r.Scenarios))
+	}
+	return r, nil
+}
+
+// Write stores rec as dir/BENCH_<rec.Seq>.json. It refuses to
+// overwrite an existing file — the trajectory is append-only.
+func Write(dir string, rec Record) (string, error) {
+	path := filepath.Join(dir, Filename(rec.Seq))
+	if _, err := os.Stat(path); err == nil {
+		return "", fmt.Errorf("benchrec: %s already exists; the trajectory is append-only", path)
+	}
+	b, err := rec.MarshalIndent()
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ScenarioNames lists the matrix scenario names in matrix order.
+func ScenarioNames() []string {
+	return []string{"direct", "accel_off", "scheduler", "cache_zipf"}
+}

@@ -1,0 +1,297 @@
+package benchrec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Matrix knobs pinned per scale. The full scale matches the paper's
+// serving methodology (300 warmup, 200 measured — EXPERIMENTS.md);
+// quick is sized for CI.
+const (
+	fullWarmup  = 300
+	fullMeasure = 200
+
+	quickWarmup  = 40
+	quickMeasure = 80
+
+	matrixApp     = "wordpress"
+	matrixWorkers = 2
+
+	// Scheduler scenario: a deep queue and a generous timeout keep shed
+	// counts deterministically zero — overload behaviour is covered by
+	// the serve package's own tests, not the trajectory.
+	schedQueueDepth = 64
+	schedTimeout    = 30 * time.Second
+
+	// Cached scenario: 128 cached responses over 512 Zipf(1.0) pages.
+	// The analytic steady-state top-128 share is ~80%; the recorded
+	// ratio sits lower (~0.5 at full scale) because the cache starts
+	// cold, but the exact value is pinned by the seed.
+	cacheCapacity = 128
+	zipfPages     = 512
+	zipfExponent  = 1.0
+)
+
+// Options selects the matrix size and base seed for one run.
+type Options struct {
+	// Scale is "full" (default) or "quick".
+	Scale string
+	// Seed is the base RNG seed (default 1, the seed EXPERIMENTS.md
+	// figures use).
+	Seed int64
+}
+
+func (o *Options) normalize() error {
+	if o.Scale == "" {
+		o.Scale = "full"
+	}
+	if o.Scale != "full" && o.Scale != "quick" {
+		return fmt.Errorf("benchrec: unknown scale %q (want full or quick)", o.Scale)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
+// counts returns (warmup, measured) for the scale.
+func (o Options) counts() (int, int) {
+	if o.Scale == "quick" {
+		return quickWarmup, quickMeasure
+	}
+	return fullWarmup, fullMeasure
+}
+
+// RunMatrix runs the pinned scenario matrix and returns the resulting
+// record with Seq 0 (the caller assigns the trajectory position).
+//
+// Determinism: every scenario drives the pool from a single closed-loop
+// client (or the pool's own statically partitioned loop), so the
+// per-worker request streams — and with them every simulated cost,
+// cache outcome, and shed count — depend only on Seed and Scale.
+// Canonical() strips the remaining wall-clock-dependent fields.
+func RunMatrix(opts Options) (Record, error) {
+	if err := opts.normalize(); err != nil {
+		return Record{}, err
+	}
+	rec := Record{
+		Schema:    SchemaVersion,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Scale:     opts.Scale,
+		Seed:      opts.Seed,
+	}
+	warmup, measure := opts.counts()
+
+	for _, name := range ScenarioNames() {
+		var (
+			sc  Scenario
+			err error
+		)
+		switch name {
+		case "direct":
+			sc, err = runDirect(opts, warmup, measure, true)
+		case "accel_off":
+			sc, err = runDirect(opts, warmup, measure, false)
+		case "scheduler":
+			sc, err = runScheduler(opts, warmup, measure)
+		case "cache_zipf":
+			sc, err = runCacheZipf(opts, warmup, measure)
+		}
+		if err != nil {
+			return Record{}, fmt.Errorf("benchrec: scenario %s: %w", name, err)
+		}
+		sc.Name = name
+		rec.Scenarios = append(rec.Scenarios, sc)
+	}
+	return rec, nil
+}
+
+// vmConfig builds the scenario VM config: mitigations always on (the
+// paper's §3 baseline for the serving experiments), accelerators per
+// the on/off sweep.
+func vmConfig(accelerated bool) vm.Config {
+	cfg := vm.Config{Mitigations: sim.AllMitigations()}
+	if accelerated {
+		cfg.Features = isa.AllAccelerators()
+	}
+	return cfg
+}
+
+// measureAllocs runs f and returns heap allocations per request across
+// it. A forced GC on each side keeps the Mallocs delta from absorbing a
+// neighbouring scenario's garbage.
+func measureAllocs(requests int, f func()) float64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if requests <= 0 {
+		return 0
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(requests)
+}
+
+// baseScenario fills the config half of a Scenario.
+func baseScenario(workers, warmup, measure int, accelerated bool) Scenario {
+	return Scenario{
+		App:         matrixApp,
+		Workers:     workers,
+		Warmup:      warmup,
+		Requests:    measure,
+		Accelerated: accelerated,
+	}
+}
+
+// simFields fills the simulated-cost fields from a merged meter. Totals
+// are summed in deterministic order — the dense category vector for
+// cycles, the sorted function list for energy — because float addition
+// is order-sensitive and Meter's map-walking totals would smear the
+// last few bits differently run to run, breaking the byte-identical
+// canonical record property.
+func (sc *Scenario) simFields(mt *sim.Meter, requests int) {
+	if requests <= 0 {
+		return
+	}
+	vec := mt.CategoryCyclesVec()
+	sc.SimCyclesPerReq = vec.Total() / float64(requests)
+	var energy float64
+	for _, f := range mt.Functions() {
+		energy += f.Energy(&mt.Model)
+	}
+	sc.SimEnergyPJPerReq = energy / float64(requests)
+	sc.SimCategoryCycles = make(map[string]float64, sim.NumCategories)
+	for _, c := range sim.Categories() {
+		sc.SimCategoryCycles[c.String()] = vec[c]
+	}
+}
+
+// latencyFields fills the client-visible latency percentiles.
+func (sc *Scenario) latencyFields(l workload.LatencyStats) {
+	sc.P50US = float64(l.P50) / float64(time.Microsecond)
+	sc.P95US = float64(l.P95) / float64(time.Microsecond)
+	sc.P99US = float64(l.P99) / float64(time.Microsecond)
+}
+
+// runDirect is the direct pool loop (no scheduler): Pool.Run with the
+// static request partition, accelerators on or off. The on/off pair is
+// the trajectory's view of the EXPERIMENTS.md accelerator sweep.
+func runDirect(opts Options, warmup, measure int, accelerated bool) (Scenario, error) {
+	pool, err := workload.NewPool(matrixWorkers, vmConfig(accelerated), matrixApp, opts.Seed)
+	if err != nil {
+		return Scenario{}, err
+	}
+	// Warmup separately so the allocation window covers only the
+	// measured phase.
+	pool.Run(workload.LoadGenerator{Warmup: warmup}, 0)
+	var res workload.Result
+	allocs := measureAllocs(measure, func() {
+		res = pool.Run(workload.LoadGenerator{Requests: measure}, 0)
+	})
+
+	sc := baseScenario(matrixWorkers, warmup, measure, accelerated)
+	sc.Served = res.Requests
+	sc.ReqPerSec = res.Throughput()
+	sc.WallMS = float64(res.Wall) / float64(time.Millisecond)
+	sc.AllocsPerOp = allocs
+	sc.latencyFields(res.Latency)
+	sc.simFields(pool.MergedMeter(), res.Requests)
+	return sc, nil
+}
+
+// runScheduler drives the measured phase through serve.Scheduler with a
+// queue and timeout, from one closed-loop client (determinism: the FIFO
+// free list rotates workers in a fixed order).
+func runScheduler(opts Options, warmup, measure int) (Scenario, error) {
+	pool, err := workload.NewPool(matrixWorkers, vmConfig(true), matrixApp, opts.Seed)
+	if err != nil {
+		return Scenario{}, err
+	}
+	pool.Run(workload.LoadGenerator{Warmup: warmup}, 0)
+	s := serve.NewScheduler(pool, serve.Config{QueueDepth: schedQueueDepth, Timeout: schedTimeout})
+	var ls serve.LoadStats
+	allocs := measureAllocs(measure, func() {
+		ls = serve.RunLoad(context.Background(), s, serve.LoadOptions{Requests: measure, Clients: 1})
+	})
+
+	sc := baseScenario(matrixWorkers, warmup, measure, true)
+	sc.Clients = 1
+	sc.QueueDepth = schedQueueDepth
+	sc.TimeoutMS = float64(schedTimeout) / float64(time.Millisecond)
+	sc.fillLoadStats(ls)
+	sc.AllocsPerOp = allocs
+	sc.simFields(pool.MergedMeter(), ls.Served)
+	return sc, nil
+}
+
+// runCacheZipf is the cached serving path: shared-seed pool (page
+// identity), response cache, Zipf page popularity, one client.
+func runCacheZipf(opts Options, warmup, measure int) (Scenario, error) {
+	pool, err := workload.NewPoolSharedSeed(matrixWorkers, vmConfig(true), matrixApp, opts.Seed)
+	if err != nil {
+		return Scenario{}, err
+	}
+	pool.Run(workload.LoadGenerator{Warmup: warmup}, 0)
+	s := serve.NewScheduler(pool, serve.Config{QueueDepth: schedQueueDepth, Timeout: schedTimeout})
+	c := cache.New(cache.Config{Capacity: cacheCapacity})
+	keys, err := workload.NewZipfKeys(opts.Seed, zipfExponent, zipfPages)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var ls serve.LoadStats
+	allocs := measureAllocs(measure, func() {
+		ls = serve.RunLoad(context.Background(), s, serve.LoadOptions{
+			Requests: measure,
+			Clients:  1,
+			Cache:    c,
+			PageKey:  keys.Next,
+		})
+	})
+
+	sc := baseScenario(matrixWorkers, warmup, measure, true)
+	sc.Clients = 1
+	sc.QueueDepth = schedQueueDepth
+	sc.TimeoutMS = float64(schedTimeout) / float64(time.Millisecond)
+	sc.CacheCapacity = cacheCapacity
+	sc.ZipfPages = zipfPages
+	sc.ZipfS = zipfExponent
+	sc.fillLoadStats(ls)
+	sc.AllocsPerOp = allocs
+	mt := pool.MergedMeter()
+	c.MergeMeter(mt) // hits cost lookup cycles too; keep the totals exact
+	sc.simFields(mt, ls.Served)
+	return sc, nil
+}
+
+// fillLoadStats copies a RunLoad result into the scenario's measured
+// fields.
+func (sc *Scenario) fillLoadStats(ls serve.LoadStats) {
+	sc.Served = ls.Served
+	sc.ShedOverload = ls.ShedOverload
+	sc.ShedDeadline = ls.ShedDeadline
+	sc.ShedCanceled = ls.ShedCanceled
+	sc.ShedDraining = ls.ShedDraining
+	sc.CacheHits = ls.CacheHits
+	sc.CacheMisses = ls.CacheMisses
+	sc.CacheCoalesced = ls.CacheCoalesced
+	sc.CacheHitRatio = ls.CacheHitRatio()
+	if ls.Wall > 0 {
+		sc.ReqPerSec = float64(ls.Served) / ls.Wall.Seconds()
+	}
+	sc.WallMS = float64(ls.Wall) / float64(time.Millisecond)
+	sc.latencyFields(ls.Latency)
+}

@@ -14,8 +14,10 @@
 // contributes exactly the lookup cost, a miss contributes the lookup
 // cost plus the full render charged on the worker that performed it.
 //
-// Cached values are shared byte slices; callers must treat them as
-// immutable.
+// The cache owns its stored bytes: entries hold a private copy of the
+// filled value, and every GetOrFill return hands the caller its own
+// copy. Callers may mutate what they get back (append a footer, rewrite
+// headers in place) without corrupting what every future hit sees.
 package cache
 
 import (
@@ -145,11 +147,18 @@ type entry struct {
 	expires time.Time // zero means never
 }
 
-// flight is one in-progress fill other callers for the same key wait on.
+// flight is one in-progress fill other callers for the same key wait
+// on. val is a private snapshot published for the waiters (each waiter
+// returns its own copy of it), never the slice handed to the filling
+// caller, so the leader mutating its response cannot race or corrupt a
+// waiter's. waiters counts the coalesced callers (guarded by the
+// shard's mu while the flight is registered); the snapshot is only made
+// when someone is actually waiting.
 type flight struct {
-	done chan struct{}
-	val  []byte
-	err  error
+	done    chan struct{}
+	val     []byte
+	err     error
+	waiters int
 }
 
 // shard is one independently locked slice of the key space.
@@ -252,6 +261,11 @@ func (c *Cache) shard(key string) *shard {
 // context's error without disturbing the fill. Fill errors are returned
 // to the filling caller and every waiter, and nothing is cached.
 //
+// The returned slice is the caller's own copy on the Hit and Coalesced
+// paths, and the fill's own return value on the Miss path (the cache
+// stores a private copy of it) — so no caller ever holds bytes aliased
+// to the live cache entry or to another request's response.
+//
 // Every call charges the fixed lookup cost to the cache's meter, so a
 // hit costs exactly that and nothing else in the simulated totals.
 func (c *Cache) GetOrFill(ctx context.Context, key string, fill func() ([]byte, error)) ([]byte, Outcome, error) {
@@ -264,7 +278,7 @@ func (c *Cache) GetOrFill(ctx context.Context, key string, fill func() ([]byte, 
 		if e.expires.IsZero() || c.now().Before(e.expires) {
 			sh.lru.MoveToFront(el)
 			sh.hits++
-			val := e.val
+			val := cloneBytes(e.val)
 			sh.mu.Unlock()
 			return val, Hit, nil
 		}
@@ -273,10 +287,11 @@ func (c *Cache) GetOrFill(ctx context.Context, key string, fill func() ([]byte, 
 	}
 	if f, ok := sh.flights[key]; ok {
 		sh.coalesced++
+		f.waiters++
 		sh.mu.Unlock()
 		select {
 		case <-f.done:
-			return f.val, Coalesced, f.err
+			return cloneBytes(f.val), Coalesced, f.err
 		case <-ctx.Done():
 			return nil, Coalesced, ctx.Err()
 		}
@@ -286,16 +301,24 @@ func (c *Cache) GetOrFill(ctx context.Context, key string, fill func() ([]byte, 
 	sh.misses++
 	sh.mu.Unlock()
 
-	f.val, f.err = fill()
+	body, ferr := fill()
 
+	// Unregister the flight and store before publishing to waiters: the
+	// waiter set is frozen once the flight is gone from the map, so
+	// f.waiters is stable after this critical section.
 	sh.mu.Lock()
 	delete(sh.flights, key)
-	if f.err == nil {
-		sh.insertLocked(key, f.val, c.entryExpiry())
+	if ferr == nil {
+		sh.insertLocked(key, body, c.entryExpiry())
 	}
+	waiters := f.waiters
 	sh.mu.Unlock()
+	if waiters > 0 {
+		f.val = cloneBytes(body)
+	}
+	f.err = ferr
 	close(f.done)
-	return f.val, Miss, f.err
+	return body, Miss, ferr
 }
 
 // entryExpiry returns the expiry instant for an entry stored now (zero
@@ -307,9 +330,21 @@ func (c *Cache) entryExpiry() time.Time {
 	return c.now().Add(c.ttl)
 }
 
-// insertLocked stores (or refreshes) key, evicting LRU entries past the
-// shard capacity. Caller holds sh.mu.
+// cloneBytes returns a caller-owned copy of b (nil stays nil).
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// insertLocked stores (or refreshes) key with a private copy of val —
+// the caller keeps its slice, the cache keeps its own — evicting LRU
+// entries past the shard capacity. Caller holds sh.mu.
 func (sh *shard) insertLocked(key string, val []byte, expires time.Time) {
+	val = cloneBytes(val)
 	if el, ok := sh.entries[key]; ok {
 		e := el.Value.(*entry)
 		sh.bytes += int64(len(val)) - int64(len(e.val))

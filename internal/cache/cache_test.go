@@ -285,3 +285,87 @@ func closeEnough(a, b float64) bool {
 	}
 	return d < 1e-6
 }
+
+// TestReturnedBytesArePrivate is the aliasing regression test for the
+// hit and miss paths: the slice GetOrFill hands back belongs to the
+// caller, and mutating it must never corrupt the stored entry. Before
+// the fix, a hit returned the live entry slice and the miss path stored
+// the very slice it returned, so any in-place transform (appending a
+// footer, rewriting headers) poisoned every later hit.
+func TestReturnedBytesArePrivate(t *testing.T) {
+	c := New(Config{Capacity: 8})
+	ctx := context.Background()
+
+	miss, out, err := c.GetOrFill(ctx, "k", fillConst("pristine", nil))
+	if err != nil || out != Miss {
+		t.Fatalf("first lookup = %v, %v; want Miss, nil", out, err)
+	}
+	for i := range miss {
+		miss[i] = 'X' // the filling caller scribbles over its response
+	}
+
+	hit, out, err := c.GetOrFill(ctx, "k", fillConst("other", nil))
+	if err != nil || out != Hit {
+		t.Fatalf("second lookup = %v, %v; want Hit, nil", out, err)
+	}
+	if string(hit) != "pristine" {
+		t.Fatalf("miss-path mutation reached the cache: hit = %q", hit)
+	}
+	for i := range hit {
+		hit[i] = 'Y' // a hit caller scribbles too
+	}
+	again, out, err := c.GetOrFill(ctx, "k", fillConst("other", nil))
+	if err != nil || out != Hit {
+		t.Fatalf("third lookup = %v, %v; want Hit, nil", out, err)
+	}
+	if string(again) != "pristine" {
+		t.Fatalf("hit-path mutation reached the cache: hit = %q", again)
+	}
+}
+
+// TestCoalescedWaiterBytesPrivate covers the third aliasing corner:
+// a coalesced waiter's bytes must be independent of both the leader's
+// returned slice and the stored entry. The leader mutates its response
+// immediately after returning — under -race this also proves the waiter
+// never reads the leader's slice concurrently.
+func TestCoalescedWaiterBytesPrivate(t *testing.T) {
+	c := New(Config{Capacity: 8})
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	waiterVal := make(chan []byte, 1)
+	go func() {
+		v, _, _ := c.GetOrFill(context.Background(), "k", func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return []byte("rendered"), nil
+		})
+		for i := range v {
+			v[i] = 'X' // leader transforms its response in place
+		}
+	}()
+	<-leaderIn
+	go func() {
+		v, _, _ := c.GetOrFill(context.Background(), "k", fillConst("dup", nil))
+		waiterVal <- v
+	}()
+	for c.Stats().Coalesced == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	wv := <-waiterVal
+	if string(wv) != "rendered" {
+		t.Fatalf("waiter bytes = %q, want the leader's render", wv)
+	}
+	for i := range wv {
+		wv[i] = 'Z' // waiter transforms its copy too
+	}
+	hit, out, err := c.GetOrFill(context.Background(), "k", fillConst("other", nil))
+	if err != nil || out != Hit {
+		t.Fatalf("post-coalesce lookup = %v, %v; want Hit, nil", out, err)
+	}
+	if string(hit) != "rendered" {
+		t.Fatalf("stored entry corrupted by leader/waiter mutation: %q", hit)
+	}
+}

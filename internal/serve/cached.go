@@ -22,8 +22,9 @@ import (
 //
 // The returned duration is the time the request waited for a worker
 // (zero for hits and coalesced waiters). Error mapping matches Do:
-// context expiry anywhere — at admission, queued, or while waiting on
-// another caller's render — becomes ErrDeadline.
+// deadline expiry anywhere — at admission, queued, or while waiting on
+// another caller's render — becomes ErrDeadline, and a canceled context
+// (client abandoned) becomes ErrCanceled.
 func (s *Scheduler) DoCached(ctx context.Context, c *cache.Cache, key string, render func(w *workload.Worker) ([]byte, error)) ([]byte, cache.Outcome, time.Duration, error) {
 	s.mu.Lock()
 	if s.state != StateRunning {
@@ -40,9 +41,8 @@ func (s *Scheduler) DoCached(ctx context.Context, c *cache.Cache, key string, re
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
-	if ctx.Err() != nil {
-		s.count(&s.shedDeadline)
-		return nil, cache.Bypass, 0, ErrDeadline
+	if err := ctx.Err(); err != nil {
+		return nil, cache.Bypass, 0, s.shedCtx(err)
 	}
 
 	select {
@@ -79,8 +79,7 @@ func (s *Scheduler) DoCached(ctx context.Context, c *cache.Cache, key string, re
 	})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.count(&s.shedDeadline)
-			return nil, outcome, wait, ErrDeadline
+			return nil, outcome, wait, s.shedCtx(err)
 		}
 		return nil, outcome, wait, err
 	}

@@ -215,14 +215,73 @@ func TestDoCachedDeadlineMapsToErrDeadline(t *testing.T) {
 	pool := cachedPool(t, 1)
 	s := NewScheduler(pool, Config{QueueDepth: 2})
 	c := cache.New(cache.Config{Capacity: 4})
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
 	_, _, _, err := s.DoCached(ctx, c, "page:1", renderPage(1))
 	if !errors.Is(err, ErrDeadline) {
 		t.Errorf("expired-context DoCached error = %v, want ErrDeadline", err)
 	}
 	if st := s.Stats(); st.ShedDeadline != 1 {
 		t.Errorf("shedDeadline = %d, want 1", st.ShedDeadline)
+	}
+}
+
+// TestDoCachedCanceledMapsToErrCanceled pins the cached path's half of
+// the canceled/deadline split: an abandoned request sheds as
+// ErrCanceled and bumps only the canceled counter.
+func TestDoCachedCanceledMapsToErrCanceled(t *testing.T) {
+	pool := cachedPool(t, 1)
+	s := NewScheduler(pool, Config{QueueDepth: 2})
+	c := cache.New(cache.Config{Capacity: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := s.DoCached(ctx, c, "page:1", renderPage(1))
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("canceled-context DoCached error = %v, want ErrCanceled", err)
+	}
+	if st := s.Stats(); st.ShedCanceled != 1 || st.ShedDeadline != 0 {
+		t.Errorf("sheds = canceled %d, deadline %d; want 1, 0", st.ShedCanceled, st.ShedDeadline)
+	}
+}
+
+// TestDoCachedHitIsPrivateCopy is the aliasing regression test: bytes
+// returned by DoCached must be the caller's to mutate (phpserve hands
+// them to ResponseWriter.Write and middleware may transform them in
+// place). Before the fix a hit aliased the live cache entry, so one
+// handler's mutation corrupted every later hit for the page.
+func TestDoCachedHitIsPrivateCopy(t *testing.T) {
+	pool := cachedPool(t, 1)
+	s := NewScheduler(pool, Config{QueueDepth: 4})
+	c := cache.New(cache.Config{Capacity: 16})
+	ctx := context.Background()
+
+	first, _, _, err := s.DoCached(ctx, c, "page:7", renderPage(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), first...)
+	// A handler scribbling over the miss-path bytes it was handed must
+	// not reach into the stored entry either.
+	for i := range first {
+		first[i] = 'X'
+	}
+
+	hit, out, _, err := s.DoCached(ctx, c, "page:7", renderPage(7))
+	if err != nil || out != cache.Hit {
+		t.Fatalf("second lookup = %v, %v; want Hit, nil", out, err)
+	}
+	if !bytes.Equal(hit, want) {
+		t.Fatal("miss-path mutation corrupted the cached entry")
+	}
+	for i := range hit {
+		hit[i] = 'Y'
+	}
+	again, out, _, err := s.DoCached(ctx, c, "page:7", renderPage(7))
+	if err != nil || out != cache.Hit {
+		t.Fatalf("third lookup = %v, %v; want Hit, nil", out, err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Fatal("hit-path mutation corrupted the cached entry")
 	}
 }
 

@@ -45,15 +45,20 @@ type LoadStats struct {
 	// Submitted is how many requests the clients actually issued
 	// (less than Requests when the run was cancelled mid-flight).
 	Submitted int
-	// Served, ShedOverload, ShedDeadline, ShedDraining partition
-	// Submitted by outcome.
+	// Served, ShedOverload, ShedDeadline, ShedCanceled, ShedDraining
+	// partition Submitted by outcome.
 	Served       int
 	ShedOverload int
 	ShedDeadline int
+	ShedCanceled int
 	ShedDraining int
 	// QueueWait summarizes the time admitted requests waited for a
 	// worker.
 	QueueWait workload.LatencyStats
+	// Latency is the end-to-end submit-to-response distribution over
+	// served requests, cached or not — queue wait plus render (or cache
+	// lookup). It is the client-visible latency benchrec records.
+	Latency workload.LatencyStats
 	// Wall is the run's wall-clock duration.
 	Wall time.Duration
 
@@ -80,7 +85,9 @@ func (ls LoadStats) CacheHitRatio() float64 {
 }
 
 // Shed returns the total requests rejected for any reason.
-func (ls LoadStats) Shed() int { return ls.ShedOverload + ls.ShedDeadline + ls.ShedDraining }
+func (ls LoadStats) Shed() int {
+	return ls.ShedOverload + ls.ShedDeadline + ls.ShedCanceled + ls.ShedDraining
+}
 
 // RunLoad submits opts.Requests requests through the scheduler from a
 // closed-loop client fleet and reports the admission outcomes. Clients
@@ -99,7 +106,7 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 	var next int64 // next request index to claim; claims beyond Requests stop the client
 	var mu sync.Mutex
 	var ls LoadStats
-	var waits, hitLats, missLats []time.Duration
+	var waits, lats, hitLats, missLats []time.Duration
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -135,6 +142,7 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 						})
 					lat = time.Since(t0)
 				} else {
+					t0 := time.Now()
 					wait, err = s.Do(ctx, func(w *workload.Worker) error {
 						if opts.Collector != nil {
 							page, sp, err := w.ServeSpanCtx(ctx, opts.Collector.ShouldSample())
@@ -150,6 +158,7 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 						}
 						return nil
 					})
+					lat = time.Since(t0)
 				}
 				mu.Lock()
 				ls.Submitted++
@@ -157,6 +166,7 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 				case nil:
 					ls.Served++
 					waits = append(waits, wait)
+					lats = append(lats, lat)
 					if opts.Cache != nil {
 						switch outcome {
 						case cache.Hit:
@@ -174,6 +184,8 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 					ls.ShedOverload++
 				case ErrDeadline:
 					ls.ShedDeadline++
+				case ErrCanceled:
+					ls.ShedCanceled++
 				case ErrDraining:
 					ls.ShedDraining++
 				}
@@ -184,6 +196,7 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 	wg.Wait()
 	ls.Wall = time.Since(start)
 	ls.QueueWait = workload.LatencyStatsFrom(waits)
+	ls.Latency = workload.LatencyStatsFrom(lats)
 	ls.HitLatency = workload.LatencyStatsFrom(hitLats)
 	ls.MissLatency = workload.LatencyStatsFrom(missLats)
 	return ls

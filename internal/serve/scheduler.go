@@ -37,6 +37,10 @@ var (
 	// ErrDeadline reports that the request's deadline expired before a
 	// worker picked it up (or it arrived already expired).
 	ErrDeadline = errors.New("serve: deadline exceeded before execution")
+	// ErrCanceled reports that the client abandoned the request (its
+	// context was canceled) before a worker ran it. Distinct from
+	// ErrDeadline: the server was not too slow, the caller walked away.
+	ErrCanceled = errors.New("serve: canceled by client before execution")
 	// ErrDraining reports that the scheduler has stopped admitting
 	// because the server is shutting down.
 	ErrDraining = errors.New("serve: draining, not admitting requests")
@@ -91,6 +95,9 @@ type Stats struct {
 	// ShedDeadline counts requests whose deadline expired before
 	// execution (at admission, while queued, or at worker pickup).
 	ShedDeadline int64
+	// ShedCanceled counts requests whose client abandoned them (context
+	// canceled) before execution — disconnects, not server slowness.
+	ShedCanceled int64
 	// ShedDraining counts requests rejected during shutdown.
 	ShedDraining int64
 	// QueueWait is the histogram of time admitted requests spent
@@ -99,7 +106,9 @@ type Stats struct {
 }
 
 // Shed returns the total requests rejected for any reason.
-func (s Stats) Shed() int64 { return s.ShedOverload + s.ShedDeadline + s.ShedDraining }
+func (s Stats) Shed() int64 {
+	return s.ShedOverload + s.ShedDeadline + s.ShedCanceled + s.ShedDraining
+}
 
 // Scheduler owns the request lifecycle in front of a workload.Pool.
 // Safe for concurrent use by any number of request goroutines.
@@ -117,6 +126,13 @@ type Scheduler struct {
 	mu       sync.Mutex
 	state    State
 	inflight sync.WaitGroup
+	// drainDone is created (under mu) by the first Drain call and closed
+	// by the single waiter goroutine once the last in-flight request
+	// completes — after it has flipped the state to Drained. Keeping the
+	// transition on the waiter, not in Drain's select, means quiescence
+	// that arrives after a drain context expired still lands the state
+	// machine in Drained instead of sticking at Draining forever.
+	drainDone chan struct{}
 
 	statsMu      sync.Mutex
 	queued       int
@@ -124,6 +140,7 @@ type Scheduler struct {
 	served       int64
 	shedOverload int64
 	shedDeadline int64
+	shedCanceled int64
 	shedDraining int64
 	waitHist     *obs.Histogram
 }
@@ -175,9 +192,25 @@ func (s *Scheduler) Stats() Stats {
 		Served:       s.served,
 		ShedOverload: s.shedOverload,
 		ShedDeadline: s.shedDeadline,
+		ShedCanceled: s.shedCanceled,
 		ShedDraining: s.shedDraining,
 		QueueWait:    s.waitHist.Snapshot(),
 	}
+}
+
+// shedCtx maps a context failure observed before or at execution to its
+// typed shed outcome and bumps the matching counter: a canceled context
+// is the client abandoning the request (ErrCanceled), anything else is
+// the deadline running out (ErrDeadline). Conflating the two would let
+// client disconnects inflate the deadline-shed metrics and surface as
+// 504s for requests nobody was waiting on.
+func (s *Scheduler) shedCtx(err error) error {
+	if errors.Is(err, context.Canceled) {
+		s.count(&s.shedCanceled)
+		return ErrCanceled
+	}
+	s.count(&s.shedDeadline)
+	return ErrDeadline
 }
 
 // Do runs one request through the full lifecycle: admission (shed with
@@ -186,9 +219,9 @@ func (s *Scheduler) Stats() Stats {
 // owned worker, and release. The returned duration is the time spent
 // waiting for a worker, valid whenever admission succeeded (including
 // ErrDeadline sheds — the wait is what expired the request). fn's error
-// is returned as-is, except context expiry, which maps to ErrDeadline
-// so frontends see one deadline outcome regardless of where the clock
-// ran out.
+// is returned as-is, except context failure: an expired deadline maps
+// to ErrDeadline regardless of where the clock ran out, and a canceled
+// context (the client abandoned the request) maps to ErrCanceled.
 func (s *Scheduler) Do(ctx context.Context, fn func(w *workload.Worker) error) (time.Duration, error) {
 	s.mu.Lock()
 	if s.state != StateRunning {
@@ -205,9 +238,8 @@ func (s *Scheduler) Do(ctx context.Context, fn func(w *workload.Worker) error) (
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
-	if ctx.Err() != nil {
-		s.count(&s.shedDeadline)
-		return 0, ErrDeadline
+	if err := ctx.Err(); err != nil {
+		return 0, s.shedCtx(err)
 	}
 
 	select {
@@ -230,15 +262,13 @@ func (s *Scheduler) Do(ctx context.Context, fn func(w *workload.Worker) error) (
 	s.waitHist.Observe(wait.Seconds())
 	s.statsMu.Unlock()
 	if err != nil {
-		s.count(&s.shedDeadline)
-		return wait, ErrDeadline
+		return wait, s.shedCtx(err)
 	}
 	defer s.pool.Release(w)
 
 	if err := fn(w); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.count(&s.shedDeadline)
-			return wait, ErrDeadline
+			return wait, s.shedCtx(err)
 		}
 		return wait, err
 	}
@@ -259,26 +289,43 @@ func (s *Scheduler) count(c *int64) {
 // every worker is back on the free list; if ctx expires first the
 // state stays Draining and the context's error is returned. Drain is
 // idempotent: concurrent or repeated calls all wait for the same
-// quiescence.
+// quiescence, and quiescence that arrives after a bounded Drain already
+// gave up still moves the state to Drained — the transition belongs to
+// the single waiter goroutine, not to whichever Drain call happened to
+// be watching. A repeated Drain after quiescence returns nil even if
+// its own context has already expired.
 func (s *Scheduler) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if s.state == StateRunning {
 		s.state = StateDraining
 	}
+	if s.drainDone == nil {
+		done := make(chan struct{})
+		s.drainDone = done
+		go func() {
+			s.inflight.Wait()
+			s.mu.Lock()
+			if s.state == StateDraining {
+				s.state = StateDrained
+			}
+			s.mu.Unlock()
+			close(done)
+		}()
+	}
+	done := s.drainDone
 	s.mu.Unlock()
 
-	done := make(chan struct{})
-	go func() {
-		s.inflight.Wait()
-		close(done)
-	}()
 	select {
 	case <-done:
-		s.mu.Lock()
-		s.state = StateDrained
-		s.mu.Unlock()
 		return nil
 	case <-ctx.Done():
+		// Both channels may be ready at once (a re-drain with an already
+		// expired context after quiescence); success must win the race.
+		select {
+		case <-done:
+			return nil
+		default:
+		}
 		return ctx.Err()
 	}
 }

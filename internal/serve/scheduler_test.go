@@ -127,10 +127,10 @@ func TestDeadlineWhileQueued(t *testing.T) {
 
 func TestExpiredBeforeAdmission(t *testing.T) {
 	s := NewScheduler(testPool(t, 1), Config{QueueDepth: 1})
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
 	if _, err := s.Do(ctx, func(*workload.Worker) error { return nil }); !errors.Is(err, ErrDeadline) {
-		t.Fatalf("cancelled ctx: err = %v, want ErrDeadline", err)
+		t.Fatalf("expired ctx: err = %v, want ErrDeadline", err)
 	}
 	// The shed must not leak its admission token: a live request still
 	// gets through.
@@ -141,6 +141,81 @@ func TestExpiredBeforeAdmission(t *testing.T) {
 		t.Fatalf("after expired shed: %v", err)
 	}
 	checkPoolIntact(t, s.Pool())
+}
+
+// TestCanceledBeforeAdmission: a context the client already abandoned
+// is a canceled outcome, not a deadline shed — the regression the
+// conflated mapping used to hide (disconnects inflating 504 metrics).
+func TestCanceledBeforeAdmission(t *testing.T) {
+	s := NewScheduler(testPool(t, 1), Config{QueueDepth: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Do(ctx, func(*workload.Worker) error { return nil }); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled ctx: err = %v, want ErrCanceled", err)
+	}
+	st := s.Stats()
+	if st.ShedCanceled != 1 || st.ShedDeadline != 0 {
+		t.Errorf("sheds = canceled %d, deadline %d; want 1, 0", st.ShedCanceled, st.ShedDeadline)
+	}
+	if st.Shed() != 1 {
+		t.Errorf("Shed() = %d, want 1 (canceled must count)", st.Shed())
+	}
+	checkPoolIntact(t, s.Pool())
+}
+
+// TestCanceledWhileQueued: a client disconnecting while its request is
+// queued for a worker sheds with ErrCanceled and bumps only the
+// canceled counter, even with a per-request Timeout configured (the
+// cancel races no deadline here — the parent context was canceled).
+func TestCanceledWhileQueued(t *testing.T) {
+	s := NewScheduler(testPool(t, 1), Config{QueueDepth: 2, Timeout: time.Hour})
+
+	b := newBlock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), b.fn)
+		done <- err
+	}()
+	<-b.entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() {
+		_, err := s.Do(ctx, func(*workload.Worker) error { return nil })
+		queued <- err
+	}()
+	// Wait until the second request is measurably queued, then hang up.
+	for s.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-queued; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled while queued: err = %v, want ErrCanceled", err)
+	}
+	close(b.release)
+	if err := <-done; err != nil {
+		t.Fatalf("blocked request: %v", err)
+	}
+	st := s.Stats()
+	if st.ShedCanceled != 1 || st.ShedDeadline != 0 {
+		t.Errorf("sheds = canceled %d, deadline %d; want 1, 0", st.ShedCanceled, st.ShedDeadline)
+	}
+	checkPoolIntact(t, s.Pool())
+}
+
+// TestFnCanceledMapsToErrCanceled: a worker function reporting a
+// canceled context surfaces as ErrCanceled, distinct from the deadline
+// mapping TestFnContextErrorMapsToDeadline pins.
+func TestFnCanceledMapsToErrCanceled(t *testing.T) {
+	s := NewScheduler(testPool(t, 1), Config{QueueDepth: 1})
+	if _, err := s.Do(context.Background(), func(*workload.Worker) error {
+		return context.Canceled
+	}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("fn canceled error: %v, want ErrCanceled", err)
+	}
+	if st := s.Stats(); st.ShedCanceled != 1 || st.ShedDeadline != 0 || st.Served != 0 {
+		t.Errorf("stats = %+v", st)
+	}
 }
 
 // TestFnContextErrorMapsToDeadline: a worker function reporting context
@@ -259,6 +334,57 @@ func TestDrainTimeout(t *testing.T) {
 	if st := s.State(); st != StateDrained {
 		t.Errorf("state = %v, want drained", st)
 	}
+}
+
+// TestDrainLateQuiescence is the regression test for the stuck-Draining
+// bug: when the drain context expires before the last request finishes,
+// quiescence arriving later must still move the state machine to
+// Drained on its own — no further Drain call — and a repeated Drain
+// whose own context is already expired must still report success.
+func TestDrainLateQuiescence(t *testing.T) {
+	s := NewScheduler(testPool(t, 1), Config{})
+
+	b := newBlock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), b.fn)
+		done <- err
+	}()
+	<-b.entered
+
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("bounded drain with stuck request: err = %v", err)
+	}
+	if st := s.State(); st != StateDraining {
+		t.Fatalf("state = %v, want draining", st)
+	}
+
+	// Quiescence arrives after the drain caller gave up. Before the fix
+	// nobody owned the Draining→Drained transition anymore and the state
+	// stuck at Draining forever (health checks report draining, the
+	// process never observes completion).
+	close(b.release)
+	if err := <-done; err != nil {
+		t.Fatalf("blocked request: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.State() != StateDrained {
+		if time.Now().After(deadline) {
+			t.Fatalf("state stuck at %v after quiescence", s.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Re-drain with an expired context: quiescence already happened, so
+	// this must be a success, not ctx.Err().
+	ectx, ecancel := context.WithCancel(context.Background())
+	ecancel()
+	if err := s.Drain(ectx); err != nil {
+		t.Errorf("re-drain after quiescence with expired ctx: %v", err)
+	}
+	checkPoolIntact(t, s.Pool())
 }
 
 // TestRunLoadServesAll: an unsaturated closed loop serves everything,

@@ -187,3 +187,54 @@ func TestZipfKeysRejectsBadParams(t *testing.T) {
 		t.Error("negative exponent must error")
 	}
 }
+
+// TestZipfKeysPickBoundaries pins the inverse-CDF lookup at its exact
+// boundary values: a draw landing precisely on a CDF step belongs to
+// that step's rank (SearchFloat64s finds the first cdf >= u), u = 0
+// maps to the most popular page, and draws at or arbitrarily close to 1
+// stay in range because the tail is pinned to exactly 1.
+func TestZipfKeysPickBoundaries(t *testing.T) {
+	z, err := NewZipfKeys(1, 1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := z.pick(0); got != 0 {
+		t.Errorf("pick(0) = %d, want rank 0", got)
+	}
+	for k := 0; k < 4; k++ {
+		// Exactly on the step: the step's own rank.
+		if got := z.pick(z.cdf[k]); got != k {
+			t.Errorf("pick(cdf[%d]=%v) = %d, want %d", k, z.cdf[k], got, k)
+		}
+		// Just above the step: the next rank (except past the pinned tail).
+		if k < 3 {
+			u := math.Nextafter(z.cdf[k], 2)
+			if got := z.pick(u); got != k+1 {
+				t.Errorf("pick(just above cdf[%d]) = %d, want %d", k, got, k+1)
+			}
+		}
+	}
+	if z.cdf[3] != 1 {
+		t.Fatalf("tail not pinned: cdf[3] = %v", z.cdf[3])
+	}
+	if got := z.pick(math.Nextafter(1, 0)); got != 3 {
+		t.Errorf("pick(1-ulp) = %d, want last rank 3", got)
+	}
+	if got := z.pick(1); got != 3 {
+		t.Errorf("pick(1) = %d, want last rank 3", got)
+	}
+
+	// Degenerate one-page set: every draw is page 0.
+	one, err := NewZipfKeys(1, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{0, 0.5, math.Nextafter(1, 0), 1} {
+		if got := one.pick(u); got != 0 {
+			t.Errorf("one-page pick(%v) = %d, want 0", u, got)
+		}
+	}
+	if got := one.Next(); got != 0 {
+		t.Errorf("one-page Next() = %d, want 0", got)
+	}
+}

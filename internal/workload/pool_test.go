@@ -631,3 +631,33 @@ func TestRunCtxCancelledPartialResult(t *testing.T) {
 	}
 	p.Release(w)
 }
+
+// TestLatencyStatsSmallSamples pins the nearest-rank percentile math at
+// the degenerate sizes benchrec records can produce: with one sample
+// every percentile is that sample; with two, p50 is the smaller value
+// (rank ceil(0.5*2) = 1) and p95/p99 the larger (rank ceil(1.9) =
+// ceil(1.98) = 2).
+func TestLatencyStatsSmallSamples(t *testing.T) {
+	one := LatencyStatsFrom([]time.Duration{42 * time.Millisecond})
+	if one.Count != 1 {
+		t.Fatalf("count = %d, want 1", one.Count)
+	}
+	for name, got := range map[string]time.Duration{
+		"mean": one.Mean, "p50": one.P50, "p95": one.P95, "p99": one.P99, "max": one.Max,
+	} {
+		if got != 42*time.Millisecond {
+			t.Errorf("single sample %s = %v, want 42ms", name, got)
+		}
+	}
+
+	two := LatencyStatsFrom([]time.Duration{20 * time.Millisecond, 10 * time.Millisecond})
+	if two.Count != 2 || two.Mean != 15*time.Millisecond || two.Max != 20*time.Millisecond {
+		t.Fatalf("two-sample summary = %+v", two)
+	}
+	if two.P50 != 10*time.Millisecond {
+		t.Errorf("two-sample p50 = %v, want the smaller value (nearest rank 1)", two.P50)
+	}
+	if two.P95 != 20*time.Millisecond || two.P99 != 20*time.Millisecond {
+		t.Errorf("two-sample tail = p95 %v, p99 %v; want the larger value", two.P95, two.P99)
+	}
+}

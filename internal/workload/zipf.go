@@ -50,6 +50,15 @@ func (z *ZipfKeys) Next() int {
 	z.mu.Lock()
 	u := z.rng.Float64()
 	z.mu.Unlock()
+	return z.pick(u)
+}
+
+// pick maps one uniform draw u to a page rank: the smallest rank whose
+// cumulative popularity is >= u. Split from Next so CDF boundary values
+// (a draw landing exactly on a step, or arbitrarily close to 1) are
+// testable without steering the RNG. Any u in [0, 1] maps into range —
+// the pinned tail (cdf[pages-1] == 1) guarantees it.
+func (z *ZipfKeys) pick(u float64) int {
 	return sort.SearchFloat64s(z.cdf, u)
 }
 

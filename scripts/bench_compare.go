@@ -1,0 +1,119 @@
+// Command bench_compare is the benchmark-trajectory gate `make
+// bench-check` runs: it loads the latest committed BENCH_<n>.json,
+// reruns the pinned benchrec matrix fresh at the record's scale and
+// seed, diffs the two, and exits nonzero with a side-by-side table when
+// any metric moved past its tolerance (throughput −5%, p99 +10%,
+// allocs/op any increase).
+//
+// Usage:
+//
+//	go run ./scripts [-dir .] [-against BENCH_3.json] [-fresh rec.json] [-selftest]
+//
+// -against pins the committed side to a specific record instead of the
+// latest. -fresh diffs a pre-recorded file instead of running the
+// matrix (regression triage: compare any two committed records).
+// -selftest skips the full-scale matrix and instead proves the gate
+// works: a quick-scale run is self-compared (must pass) and then
+// doctored past every tolerance (must fail) — the env-gated mode
+// `make ci` runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/benchrec"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding committed BENCH_<n>.json records")
+	against := flag.String("against", "", "committed record to compare against (default: latest BENCH_<n>.json in -dir)")
+	freshPath := flag.String("fresh", "", "use this record file as the fresh side instead of running the matrix")
+	selftest := flag.Bool("selftest", false, "run the quick-scale gate self-test instead of a full comparison")
+	flag.Parse()
+
+	if err := run(*dir, *against, *freshPath, *selftest); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-check:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, against, freshPath string, selftest bool) error {
+	if selftest {
+		return runSelftest()
+	}
+
+	if against == "" {
+		latest, err := benchrec.LatestSeq(dir)
+		if err != nil {
+			return err
+		}
+		if latest == 0 {
+			return fmt.Errorf("no BENCH_<n>.json records in %s; run `make bench-record` first", dir)
+		}
+		against = filepath.Join(dir, benchrec.Filename(latest))
+	}
+	base, err := benchrec.Load(against)
+	if err != nil {
+		return err
+	}
+
+	var fresh benchrec.Record
+	if freshPath != "" {
+		fresh, err = benchrec.Load(freshPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("comparing against %s (scale %s, seed %d); running fresh matrix...\n", against, base.Scale, base.Seed)
+		fresh, err = benchrec.RunMatrix(benchrec.Options{Scale: base.Scale, Seed: base.Seed})
+		if err != nil {
+			return err
+		}
+	}
+
+	regs, err := benchrec.Compare(base, fresh, benchrec.DefaultTolerances())
+	if err != nil {
+		return err
+	}
+	fmt.Print(benchrec.RenderTable(base, fresh, regs))
+	if len(regs) > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond tolerance vs %s", len(regs), against)
+	}
+	fmt.Println("bench-check: no regressions beyond tolerance")
+	return nil
+}
+
+// runSelftest proves the gate trips: a quick matrix self-compares clean,
+// then a doctored copy must produce exactly the injected regressions.
+func runSelftest() error {
+	rec, err := benchrec.RunMatrix(benchrec.Options{Scale: "quick"})
+	if err != nil {
+		return err
+	}
+	regs, err := benchrec.Compare(rec, rec, benchrec.DefaultTolerances())
+	if err != nil {
+		return err
+	}
+	if len(regs) != 0 {
+		return fmt.Errorf("self-comparison reported regressions: %v", regs)
+	}
+
+	doctored := rec
+	doctored.Scenarios = append([]benchrec.Scenario(nil), rec.Scenarios...)
+	doctored.Scenarios[0].ReqPerSec *= 0.5
+	doctored.Scenarios[1].P99US *= 2
+	doctored.Scenarios[2].AllocsPerOp++
+	regs, err = benchrec.Compare(rec, doctored, benchrec.DefaultTolerances())
+	if err != nil {
+		return err
+	}
+	if len(regs) != 3 {
+		fmt.Print(benchrec.RenderTable(rec, doctored, regs))
+		return fmt.Errorf("injected 3 regressions, gate caught %d", len(regs))
+	}
+	fmt.Println("bench-check selftest: clean pass on identical records, all 3 injected regressions caught")
+	return nil
+}

@@ -70,4 +70,19 @@ if [ -f "$server" ] && [ -f "$opsdoc" ]; then
 		fi
 	done
 fi
+
+# Benchmark-record schema coverage: every JSON field the benchrec
+# record serializes must be documented (as `name`) in the operations
+# guide's "Benchmark trajectory" section, so a schema field cannot land
+# without a reader-facing definition.
+record=internal/benchrec/record.go
+if [ -f "$record" ] && [ -f "$opsdoc" ]; then
+	fields=$(sed -n 's/.*json:"\([a-z0-9_]*\)".*/\1/p' "$record" | sort -u)
+	for field in $fields; do
+		if ! grep -qF -- "\`$field\`" "$opsdoc"; then
+			echo "docs-check: record field $field (from $record) is not documented in $opsdoc" >&2
+			status=1
+		fi
+	done
+fi
 exit $status
