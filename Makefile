@@ -16,10 +16,12 @@ vet:
 
 # Fail if exported identifiers in the operator-facing packages lack doc
 # comments — their API is the surface docs/OPERATIONS.md describes —
-# and if any phpserve HTTP endpoint or CLI flag is missing from
-# OPERATIONS.md.
+# and if any phpserve/phprouter HTTP endpoint, CLI flag, or phprouter_*
+# metric series is missing from OPERATIONS.md. internal/serve is in the
+# list because the router/supervisor/cluster API is what the cluster
+# section documents.
 docs-check:
-	sh scripts/docs_check.sh internal/obs internal/profile internal/cache internal/benchrec
+	sh scripts/docs_check.sh internal/obs internal/profile internal/cache internal/benchrec internal/serve
 
 test:
 	$(GO) test ./...

@@ -36,6 +36,16 @@
 // split. The same seed drives the same page sequence for every config
 // row, so hit ratios are reproducible and comparable.
 //
+// With -cluster N the measured phase runs the in-process FPM-style
+// cluster instead: N backend stacks (pool + scheduler + response cache)
+// behind a consistent-hash ring, each request routed to the backend
+// that owns its page key — the same topology phprouter builds out of
+// real processes. Cluster mode implies the cache (capacity defaults to
+// 128 when -cache is unset); -dbwait adds a simulated per-render
+// database stall held FPM-style on the worker, which is what lets N
+// backends overlap I/O and scale on few cores. Each row reports cluster
+// throughput, aggregate hit ratio, and the per-backend split.
+//
 // With -record the normal comparison run is replaced by the benchmark
 // trajectory recorder: the pinned benchrec scenario matrix (direct pool
 // loop, scheduler, cached Zipf, accelerator on/off — all reusing the
@@ -140,6 +150,8 @@ func main() {
 	cacheShards := flag.Int("cacheshards", cache.DefaultShards, "response cache shard count (rounded up to a power of two)")
 	pages := flag.Int("pages", 512, "distinct page identities requests draw from in cache mode")
 	zipf := flag.Float64("zipf", 1.0, "Zipf popularity exponent for page identities in cache mode")
+	cluster := flag.Int("cluster", 0, "run the measured phase on an in-process N-backend cluster behind a cache-affinity ring (0 disables; implies -cache)")
+	dbwait := flag.Duration("dbwait", 0, "cluster mode: simulated per-render database stall held on the worker (0 disables)")
 	record := flag.Bool("record", false, "run the pinned benchmark matrix and append a BENCH_<n>.json trajectory record instead of the comparison table")
 	recordDir := flag.String("recorddir", ".", "directory trajectory records are read from and written to in -record mode")
 	recordScale := flag.String("recordscale", "full", "matrix scale in -record mode: full (paper methodology) or quick (CI-sized)")
@@ -168,10 +180,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := validateClusterFlags(*cluster, *dbwait); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *cacheCap > 0 && *queue < 0 {
 		// Cache mode rides the scheduler (DoCached); give it the server's
 		// default admission queue when the user didn't pick one.
 		*queue = 64
+	}
+
+	if *cluster > 0 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := runClusterCompare(ctx, clusterParams{
+			apps: *apps, backends: *cluster, workers: *workers,
+			requests: *requests, warmup: *warmup, seed: *seed,
+			queue: *queue, timeout: *timeout,
+			capacity: *cacheCap, pages: *pages, zipf: *zipf,
+			dbwait: *dbwait, breakdown: *breakdown,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	// SIGINT stops admission: the running phase finishes its in-flight
@@ -316,6 +349,124 @@ loop:
 		fmt.Printf("wrote %d span trees to %s (open in chrome://tracing or ui.perfetto.dev)\n",
 			len(treeRing.Last(0)), *traceOut)
 	}
+}
+
+// validateClusterFlags checks the -cluster flag family.
+func validateClusterFlags(cluster int, dbwait time.Duration) error {
+	if cluster < 0 {
+		return fmt.Errorf("loadgen: -cluster must be >= 0, got %d", cluster)
+	}
+	if dbwait < 0 {
+		return fmt.Errorf("loadgen: -dbwait must be >= 0, got %v", dbwait)
+	}
+	if dbwait > 0 && cluster == 0 {
+		return fmt.Errorf("loadgen: -dbwait requires -cluster")
+	}
+	return nil
+}
+
+// clusterParams bundles the -cluster mode inputs.
+type clusterParams struct {
+	apps              string
+	backends, workers int
+	requests, warmup  int
+	seed              int64
+	queue             int
+	timeout           time.Duration
+	capacity          int
+	pages             int
+	zipf              float64
+	dbwait            time.Duration
+	breakdown         bool
+}
+
+// runClusterCompare is -cluster mode: for each workload and config row,
+// build an in-process cluster, warm every backend, replay the shared
+// Zipf stream partitioned by ring owner, and report cluster throughput
+// with the per-backend split.
+func runClusterCompare(ctx context.Context, p clusterParams) error {
+	capacity := p.capacity
+	if capacity == 0 {
+		capacity = 128 // cluster implies the cache; server default budget
+	}
+	queue := p.queue
+	if queue < 0 {
+		queue = 64
+	}
+	type config struct {
+		name string
+		mit  bool
+		acc  bool
+	}
+	configs := []config{
+		{"baseline", false, false},
+		{"mitigated", true, false},
+		{"accelerated", true, true},
+	}
+	fmt.Printf("cluster: %d backends x %d workers, cache %d total, %d pages zipf %.2f, dbwait %v\n",
+		p.backends, p.workers, capacity, p.pages, p.zipf, p.dbwait)
+	fmt.Printf("%-12s %-12s %10s %10s %9s %9s %9s %16s\n",
+		"workload", "config", "req/s", "hit ratio", "p50", "p95", "p99", "sim cycles/req")
+	for _, appName := range strings.Split(p.apps, ",") {
+		appName = strings.TrimSpace(appName)
+		for _, c := range configs {
+			if ctx.Err() != nil {
+				fmt.Println("loadgen: interrupted")
+				return nil
+			}
+			cfg := vm.Config{TraceCapacity: -1}
+			if c.mit {
+				cfg.Mitigations = sim.AllMitigations()
+			}
+			if c.acc {
+				cfg.Features = isa.AllAccelerators()
+			}
+			cl, err := serve.NewCluster(serve.ClusterOptions{
+				Backends:          p.backends,
+				WorkersPerBackend: p.workers,
+				Config:            cfg,
+				App:               appName,
+				Seed:              p.seed,
+				QueueDepth:        queue,
+				Timeout:           p.timeout,
+				CacheCapacity:     capacity,
+				Pages:             p.pages,
+				ZipfS:             p.zipf,
+				DBWait:            p.dbwait,
+				RingReplicas:      512,
+			})
+			if err != nil {
+				return err
+			}
+			cl.Warm(p.warmup)
+			cs, err := cl.RunZipf(ctx, p.requests)
+			if err != nil {
+				return err
+			}
+			agg := cs.Aggregate
+			if agg.Served == 0 {
+				fmt.Printf("%-12s %-12s  (no requests completed)\n", appName, c.name)
+				continue
+			}
+			mt := cl.MergedMeter()
+			fmt.Printf("%-12s %-12s %10.0f %10.3f %9s %9s %9s %16.0f\n",
+				appName, c.name,
+				float64(agg.Served)/agg.Wall.Seconds(),
+				agg.CacheHitRatio(),
+				fmtLatency(agg.Latency.P50), fmtLatency(agg.Latency.P95), fmtLatency(agg.Latency.P99),
+				mt.CategoryCyclesVec().Total()/float64(agg.Served))
+			if p.breakdown {
+				var b strings.Builder
+				b.WriteString("backends:")
+				for _, pb := range cs.PerBackend {
+					fmt.Fprintf(&b, "  [%s] %d reqs %d pages hit %.3f",
+						pb.ID, pb.Load.Served, pb.Pages, pb.Load.CacheHitRatio())
+				}
+				fmt.Printf("  %-10s %s\n", "", b.String())
+			}
+		}
+	}
+	return nil
 }
 
 // runRecord is -record mode: run the pinned matrix and append the next

@@ -1,0 +1,453 @@
+// Command phprouter is the cluster front for phpserve: a reverse proxy
+// that routes each request to a backend by consistent hash on the page
+// key, so every backend's response cache owns a stable slice of the key
+// space (the PHP-FPM topology, with cache-affinity dispatch).
+//
+// Backends come from either -backends (addresses of externally managed
+// phpserve -fpm processes) or -spawn N (phprouter launches and
+// supervises N phpserve children itself). The router applies the
+// serving lifecycle one level up: it health-checks every backend's
+// /healthz, evicts draining or dead backends from the ring (their key
+// range rebalances to ring successors; everyone else's cache stays
+// hot), re-admits them when healthy, sheds with typed 503s before a
+// backend saturates, and reroutes on connection-refused so a rolling
+// restart (POST /restart) never surfaces a connection error to a
+// client.
+//
+// Usage:
+//
+//	phprouter [-addr :8090] [-backends host:port,...] [-spawn 4]
+//	          [-phpserve ./phpserve] [-baseport 9101] [-backendargs "..."]
+//	          [-pages 512] [-zipf 1.0] [-seed 1] [-replicas 512]
+//	          [-maxinflight 32] [-health 500ms] [-healthtimeout 1s]
+//	          [-retrywait 60s] [-drain 30s]
+//
+// Endpoints: / proxies renders; /metrics (phprouter_* series),
+// /healthz, /backends report router state; POST /restart rolls every
+// spawned backend through drain → restart → readmit under load.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// router wraps serve.Router with the binary's frontend concerns: page
+// key derivation, metrics exposition, and the rolling-restart
+// orchestration over supervised children.
+type router struct {
+	r     *serve.Router
+	sup   *serve.Supervisor // nil when backends are external
+	start time.Time
+
+	// pageKeys draws a page identity for requests that arrive without
+	// one, and the query is rewritten so the backend renders the same
+	// page the router hashed (nil when -pages is 0).
+	pageMu   sync.Mutex
+	pageKeys *workload.ZipfKeys
+
+	// addrs maps backend id to address for restart/readmission.
+	addrs map[string]string
+
+	// restartMu serializes rolling restarts (a second POST /restart
+	// while one is running answers 409).
+	restartMu sync.Mutex
+
+	drainGrace time.Duration
+}
+
+// handleProxy derives the request's cache key and forwards it through
+// the affinity router. Requests without an explicit ?page= get a
+// router-drawn Zipf page identity (rewritten into the query so backend
+// render and router hash agree); with -pages 0 the key falls back to
+// the request path.
+func (rt *router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	key := r.URL.Path
+	page := r.URL.Query().Get("page")
+	if page == "" && rt.pageKeys != nil {
+		rt.pageMu.Lock()
+		n := rt.pageKeys.Next()
+		rt.pageMu.Unlock()
+		page = strconv.Itoa(n)
+		q := r.URL.Query()
+		q.Set("page", page)
+		r.URL.RawQuery = q.Encode()
+	}
+	if page != "" {
+		key = "page:" + page
+	}
+	rt.r.Proxy(w, r, key)
+}
+
+// handleHealthz reports router readiness: 200 while at least one
+// backend is up and the router is not draining.
+func (rt *router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	rs := rt.r.Stats()
+	type backendz struct {
+		ID   string `json:"id"`
+		Addr string `json:"addr"`
+		Up   bool   `json:"up"`
+	}
+	resp := struct {
+		Status     string     `json:"status"` // ready | draining | no_backends
+		Ready      bool       `json:"ready"`
+		BackendsUp int        `json:"backends_up"`
+		Backends   []backendz `json:"backends"`
+	}{Status: "ready", Ready: true, BackendsUp: rs.UpCount()}
+	for _, b := range rs.Backends {
+		resp.Backends = append(resp.Backends, backendz{b.ID, b.Addr, b.Up})
+	}
+	switch {
+	case rs.Draining:
+		resp.Status, resp.Ready = "draining", false
+	case rs.UpCount() == 0:
+		resp.Status, resp.Ready = "no_backends", false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// handleBackends dumps per-backend routing state as JSON (a debugging
+// view; /metrics carries the same numbers as series).
+func (rt *router) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	rs := rt.r.Stats()
+	type row struct {
+		ID        string `json:"id"`
+		Addr      string `json:"addr"`
+		Up        bool   `json:"up"`
+		Inflight  int    `json:"inflight"`
+		Requests  int64  `json:"requests"`
+		Errors    int64  `json:"errors"`
+		Shed      int64  `json:"shed"`
+		CacheHits int64  `json:"cache_hits"`
+	}
+	out := struct {
+		Draining bool  `json:"draining"`
+		Retries  int64 `json:"retries"`
+		Rows     []row `json:"backends"`
+	}{Draining: rs.Draining, Retries: rs.Retries}
+	for _, b := range rs.Backends {
+		out.Rows = append(out.Rows, row{b.ID, b.Addr, b.Up, b.Inflight, b.Requests, b.Errors, b.Shed, b.CacheHits})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// handleMetrics renders the phprouter_* series in the Prometheus text
+// format.
+func (rt *router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	rs := rt.r.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e := obs.NewEncoder(w)
+
+	e.Gauge("phprouter_uptime_seconds", "Seconds since the router started.",
+		obs.Sample{Value: time.Since(rt.start).Seconds()})
+	e.Gauge("phprouter_backends", "Configured backend count.",
+		obs.Sample{Value: float64(len(rs.Backends))})
+	e.Gauge("phprouter_backends_up", "Backends currently healthy and on the ring.",
+		obs.Sample{Value: float64(rs.UpCount())})
+	e.Gauge("phprouter_draining", "1 while the router is draining for shutdown.",
+		obs.Sample{Value: boolGauge(rs.Draining)})
+
+	up := make([]obs.Sample, 0, len(rs.Backends))
+	inflight := make([]obs.Sample, 0, len(rs.Backends))
+	reqs := make([]obs.Sample, 0, len(rs.Backends))
+	errs := make([]obs.Sample, 0, len(rs.Backends))
+	hits := make([]obs.Sample, 0, len(rs.Backends))
+	sheds := make([]obs.Sample, 0, len(rs.Backends))
+	for _, b := range rs.Backends {
+		l := []obs.Label{{Name: "backend", Value: b.ID}}
+		up = append(up, obs.Sample{Labels: l, Value: boolGauge(b.Up)})
+		inflight = append(inflight, obs.Sample{Labels: l, Value: float64(b.Inflight)})
+		reqs = append(reqs, obs.Sample{Labels: l, Value: float64(b.Requests)})
+		errs = append(errs, obs.Sample{Labels: l, Value: float64(b.Errors)})
+		hits = append(hits, obs.Sample{Labels: l, Value: float64(b.CacheHits)})
+		sheds = append(sheds, obs.Sample{Labels: l, Value: float64(b.Shed)})
+	}
+	e.Gauge("phprouter_backend_up", "1 while the labelled backend is healthy and owns its key range.", up...)
+	e.Gauge("phprouter_backend_inflight", "Requests currently proxied to the labelled backend.", inflight...)
+	e.Counter("phprouter_requests_total", "Requests answered by the labelled backend.", reqs...)
+	e.Counter("phprouter_backend_errors_total", "Transport failures against the labelled backend.", errs...)
+	e.Counter("phprouter_backend_cache_hits_total", "Responses the labelled backend served from its cache (X-Cache: HIT).", hits...)
+	e.Counter("phprouter_backend_shed_total", "Requests shed at the labelled backend's inflight cap.", sheds...)
+
+	e.Counter("phprouter_shed_total", "Router-level sheds by reason.",
+		obs.Sample{Labels: []obs.Label{{Name: "reason", Value: serve.RouterShedOverload}}, Value: float64(rs.ShedOverload)},
+		obs.Sample{Labels: []obs.Label{{Name: "reason", Value: serve.RouterShedNoBackend}}, Value: float64(rs.ShedNoBackend)},
+		obs.Sample{Labels: []obs.Label{{Name: "reason", Value: serve.RouterShedDraining}}, Value: float64(rs.ShedDraining)})
+	e.Counter("phprouter_retries_total", "Reroutes to a fallback ring owner (refused connection or backend-side 503).",
+		obs.Sample{Value: float64(rs.Retries)})
+
+	for _, b := range rs.Backends {
+		e.Histogram("phprouter_backend_latency_seconds",
+			"Proxied request latency through the labelled backend.",
+			[]obs.Label{{Name: "backend", Value: b.ID}}, b.Latency)
+	}
+	if err := e.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "phprouter: metrics write: %v\n", err)
+	}
+}
+
+// boolGauge renders a bool as 0/1.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// handleRestart rolls every supervised backend: drain (evict from the
+// ring), SIGTERM, wait for exit, start a fresh process, wait healthy,
+// readmit. One backend at a time, so N-1 backends keep serving (and
+// keep their caches) throughout. External-backend mode answers 501.
+func (rt *router) handleRestart(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if rt.sup == nil {
+		http.Error(w, "restart requires spawned backends (-spawn)", http.StatusNotImplemented)
+		return
+	}
+	if !rt.restartMu.TryLock() {
+		http.Error(w, "a rolling restart is already in progress", http.StatusConflict)
+		return
+	}
+	defer rt.restartMu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	flusher, _ := w.(http.Flusher)
+	progress := func(format string, args ...any) {
+		fmt.Fprintf(w, format+"\n", args...)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for _, p := range rt.sup.Procs() {
+		id := p.ID()
+		progress("backend %s: draining and evicting from ring", id)
+		rt.r.SetBackendUp(id, false)
+		stopCtx, cancel := context.WithTimeout(r.Context(), rt.drainGrace)
+		err := p.Stop(stopCtx)
+		cancel()
+		if err != nil {
+			progress("backend %s: %v", id, err)
+		}
+		if err := p.Restart(); err != nil {
+			progress("backend %s: restart failed: %v", id, err)
+			return
+		}
+		waitCtx, cancel := context.WithTimeout(r.Context(), rt.drainGrace+2*time.Minute)
+		err = rt.r.WaitHealthy(waitCtx, rt.addrs[id], 100*time.Millisecond)
+		cancel()
+		if err != nil {
+			progress("backend %s: %v", id, err)
+			return
+		}
+		rt.r.SetBackendUp(id, true)
+		progress("backend %s: healthy, readmitted to ring", id)
+	}
+	progress("rolling restart complete")
+}
+
+func (rt *router) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", rt.handleProxy)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/backends", rt.handleBackends)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	mux.HandleFunc("/restart", rt.handleRestart)
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", ":8090", "router listen address")
+	backendsFlag := flag.String("backends", "", "comma-separated backend addresses (host:port) of externally managed phpserve -fpm processes")
+	spawn := flag.Int("spawn", 0, "spawn and supervise this many phpserve backend processes (mutually exclusive with -backends)")
+	phpserveBin := flag.String("phpserve", "./phpserve", "phpserve binary to spawn backends from (spawn mode)")
+	baseport := flag.Int("baseport", 9101, "first backend port; backend i listens on 127.0.0.1:baseport+i (spawn mode)")
+	backendArgs := flag.String("backendargs", "", "extra space-separated flags passed to every spawned phpserve (e.g. \"-cache 64 -workers 2\")")
+	pages := flag.Int("pages", 512, "page universe for router-drawn page identities; 0 routes on the raw request path instead")
+	zipf := flag.Float64("zipf", 1.0, "Zipf exponent for router-drawn page identities")
+	seed := flag.Int64("seed", 1, "seed for the router's page-identity sampler")
+	replicas := flag.Int("replicas", 2048, "virtual nodes per backend on the affinity ring (more = smoother key split)")
+	maxInflight := flag.Int("maxinflight", 32, "per-backend inflight cap; beyond it the router sheds 503 (0 unlimited)")
+	healthEvery := flag.Duration("health", 500*time.Millisecond, "backend /healthz probe interval")
+	healthTO := flag.Duration("healthtimeout", time.Second, "per-probe timeout")
+	retryWait := flag.Duration("retrywait", 60*time.Second, "startup budget for spawned backends to become healthy (covers warmup)")
+	drainTO := flag.Duration("drain", 30*time.Second, "grace for router drain on SIGTERM and per-backend drain during rolling restarts")
+	flag.Parse()
+
+	var external []string
+	if *backendsFlag != "" {
+		for _, a := range strings.Split(*backendsFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				external = append(external, a)
+			}
+		}
+	}
+	if err := validateRouterFlags(external, *spawn, *pages, *zipf, *maxInflight, *replicas, *healthEvery, *healthTO, *drainTO); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rt := &router{
+		r: serve.NewRouter(serve.RouterConfig{
+			RingReplicas:  *replicas,
+			MaxInflight:   *maxInflight,
+			HealthTimeout: *healthTO,
+		}),
+		start:      time.Now(),
+		addrs:      make(map[string]string),
+		drainGrace: *drainTO,
+	}
+	if *pages > 0 {
+		keys, err := workload.NewZipfKeys(*seed, *zipf, *pages)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rt.pageKeys = keys
+	}
+
+	if *spawn > 0 {
+		rt.sup = serve.NewSupervisor()
+		rt.sup.Logf = func(format string, args ...any) {
+			fmt.Printf("phprouter: "+format+"\n", args...)
+		}
+		extra := strings.Fields(*backendArgs)
+		for i := 0; i < *spawn; i++ {
+			id := strconv.Itoa(i)
+			baddr := "127.0.0.1:" + strconv.Itoa(*baseport+i)
+			args := append([]string{"-fpm", "-backend", id, "-listen", baddr}, extra...)
+			if _, err := rt.sup.Add(serve.ProcSpec{ID: id, Binary: *phpserveBin, Args: args}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rt.addrs[id] = baddr
+			rt.r.AddBackend(id, baddr)
+			fmt.Printf("phprouter: spawned backend %s on %s\n", id, baddr)
+		}
+	} else {
+		for i, baddr := range external {
+			id := strconv.Itoa(i)
+			rt.addrs[id] = baddr
+			rt.r.AddBackend(id, baddr)
+			fmt.Printf("phprouter: backend %s at %s\n", id, baddr)
+		}
+	}
+
+	rootCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	// Wait for every backend to answer /healthz before serving: spawned
+	// children are still warming their pools, and external backends may
+	// not be up yet. Failures here mark the backend down; the health
+	// loop keeps probing and admits it when it recovers.
+	waitCtx, cancel := context.WithTimeout(rootCtx, *retryWait)
+	for id, baddr := range rt.addrs {
+		if err := rt.r.WaitHealthy(waitCtx, baddr, 200*time.Millisecond); err != nil {
+			fmt.Fprintf(os.Stderr, "phprouter: backend %s: %v (will keep probing)\n", id, err)
+			rt.r.SetBackendUp(id, false)
+		}
+	}
+	cancel()
+
+	if rt.sup != nil {
+		go rt.sup.Watch(rootCtx)
+	}
+	go rt.r.HealthLoop(rootCtx, *healthEvery, func(tr serve.HealthTransition) {
+		if tr.Up {
+			fmt.Printf("phprouter: backend %s healthy, readmitted to ring\n", tr.ID)
+		} else {
+			fmt.Printf("phprouter: backend %s unhealthy, evicted from ring (%v)\n", tr.ID, tr.Err)
+		}
+	})
+
+	fmt.Printf("phprouter: routing on %s (%d backends, %d ring replicas, maxinflight %d)\n",
+		*addr, len(rt.addrs), *replicas, *maxInflight)
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-rootCtx.Done():
+	}
+	stop()
+
+	// Drain: shed new requests (typed 503s), let in-flight proxies
+	// finish, then stop the children gracefully.
+	fmt.Printf("phprouter: draining (grace %v)\n", *drainTO)
+	rt.r.SetDraining()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	httpSrv.Shutdown(dctx)
+	if rt.sup != nil {
+		rt.sup.StopAll(dctx)
+	}
+	rs := rt.r.Stats()
+	fmt.Printf("phprouter: drained: %d proxied, %d retries, shed %d (overload %d, no_backend %d, draining %d)\n",
+		rs.Requests(), rs.Retries, rs.ShedOverload+rs.ShedNoBackend+rs.ShedDraining,
+		rs.ShedOverload, rs.ShedNoBackend, rs.ShedDraining)
+}
+
+// validateRouterFlags fails fast on inconsistent flag values.
+func validateRouterFlags(external []string, spawn, pages int, zipf float64, maxInflight, replicas int, healthEvery, healthTO, drain time.Duration) error {
+	if spawn < 0 {
+		return fmt.Errorf("phprouter: -spawn must be >= 0, got %d", spawn)
+	}
+	if spawn > 0 && len(external) > 0 {
+		return fmt.Errorf("phprouter: -spawn and -backends are mutually exclusive")
+	}
+	if spawn == 0 && len(external) == 0 {
+		return fmt.Errorf("phprouter: need backends: set -spawn N or -backends host:port,...")
+	}
+	if pages < 0 {
+		return fmt.Errorf("phprouter: -pages must be >= 0, got %d", pages)
+	}
+	if pages > 0 && zipf <= 0 {
+		return fmt.Errorf("phprouter: -zipf must be positive with -pages, got %g", zipf)
+	}
+	if maxInflight < 0 {
+		return fmt.Errorf("phprouter: -maxinflight must be >= 0, got %d", maxInflight)
+	}
+	if replicas <= 0 {
+		return fmt.Errorf("phprouter: -replicas must be positive, got %d", replicas)
+	}
+	if healthEvery <= 0 || healthTO <= 0 {
+		return fmt.Errorf("phprouter: -health and -healthtimeout must be positive, got %v/%v", healthEvery, healthTO)
+	}
+	if drain < 0 {
+		return fmt.Errorf("phprouter: -drain must be >= 0, got %v", drain)
+	}
+	return nil
+}

@@ -85,6 +85,15 @@ type server struct {
 	pprofEnabled   bool
 	start          time.Time
 
+	// backendID is this process's cluster identity (-fpm/-backend), or
+	// -1 standalone; it stamps the X-Backend header, /healthz, and the
+	// access log so multi-process setups can tell processes apart.
+	backendID int
+	// dbWait is the simulated per-render database stall (-dbwait): the
+	// worker is held for it, FPM-style, so backends model I/O-bound
+	// pages. Zero disables it.
+	dbWait time.Duration
+
 	// cache and pageKeys are non-nil only with -cache: the response
 	// cache in front of the pool and the server-side Zipf sampler that
 	// assigns each request its page identity (unless ?page= overrides).
@@ -108,7 +117,42 @@ func newServer(sched *serve.Scheduler, col *obs.Collector, app, config string, c
 		config:         config,
 		ctxSwitchEvery: ctxSwitchEvery,
 		start:          time.Now(),
+		backendID:      -1,
 		live:           profile.NewLive(0, time.Now()),
+	}
+}
+
+// backendLabel is the access-log/healthz form of the backend identity:
+// the id in cluster mode, "-" standalone.
+func (s *server) backendLabel() string {
+	if s.backendID < 0 {
+		return "-"
+	}
+	return strconv.Itoa(s.backendID)
+}
+
+// stampBackend adds the X-Backend header in cluster mode so responses
+// (and the router's view of them) name the process that served them.
+func (s *server) stampBackend(w http.ResponseWriter) {
+	if s.backendID >= 0 {
+		w.Header().Set("X-Backend", strconv.Itoa(s.backendID))
+	}
+}
+
+// dbStall simulates the page's database round trips while holding the
+// worker (the FPM blocking model). Returns the context error when the
+// client gave up or the deadline expired mid-stall.
+func (s *server) dbStall(ctx context.Context) error {
+	if s.dbWait <= 0 {
+		return nil
+	}
+	t := time.NewTimer(s.dbWait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -152,6 +196,9 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
+		if err := s.dbStall(r.Context()); err != nil {
+			return err
+		}
 		if s.ctxSwitchEvery > 0 && wk.Served()%s.ctxSwitchEvery == 0 {
 			wk.Runtime().ContextSwitch()
 		}
@@ -176,6 +223,7 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	s.col.ObserveHTTP(sp, len(page), meta)
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	s.stampBackend(w)
 	w.Write(page)
 }
 
@@ -198,6 +246,9 @@ func (s *server) handleRenderCached(w http.ResponseWriter, r *http.Request) {
 		func(wk *workload.Worker) ([]byte, error) {
 			b, rsp, rerr := wk.ServePageSpanCtx(r.Context(), pageID, sampled)
 			if rerr != nil {
+				return nil, rerr
+			}
+			if rerr := s.dbStall(r.Context()); rerr != nil {
 				return nil, rerr
 			}
 			rsp.Worker = wk.ID()
@@ -241,6 +292,7 @@ func (s *server) handleRenderCached(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.Header().Set("X-Cache", strings.ToUpper(outcome.String()))
+	s.stampBackend(w)
 	w.Write(body)
 }
 
@@ -291,6 +343,7 @@ func (s *server) shedResponse(w http.ResponseWriter, err error, meta obs.Request
 type healthzResponse struct {
 	Status      string `json:"status"` // ready | draining | drained
 	Ready       bool   `json:"ready"`
+	Backend     string `json:"backend"` // cluster backend id, "-" standalone
 	Workers     int    `json:"workers"`
 	WorkersBusy int    `json:"workers_busy"`
 	QueueDepth  int    `json:"queue_depth"`
@@ -307,6 +360,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	resp := healthzResponse{
 		Status:      state.String(),
 		Ready:       state == serve.StateRunning,
+		Backend:     s.backendLabel(),
 		Workers:     s.pool.Size(),
 		WorkersBusy: s.pool.Size() - s.pool.Idle(),
 		QueueDepth:  s.sched.QueueDepth(),
@@ -902,6 +956,19 @@ func validateFlags(workers, warmup, queue int, sample float64, timeout, drain ti
 	return nil
 }
 
+// validateClusterFlags checks the -fpm flag family. The backend id may
+// be -1 (standalone) or any non-negative id; -dbwait models time, so it
+// cannot be negative.
+func validateClusterFlags(backend int, dbwait time.Duration) error {
+	if backend < -1 {
+		return fmt.Errorf("phpserve: -backend must be >= 0 (or unset), got %d", backend)
+	}
+	if dbwait < 0 {
+		return fmt.Errorf("phpserve: -dbwait must be >= 0, got %v", dbwait)
+	}
+	return nil
+}
+
 // validateCacheFlags checks the -cache flag family; pages and zipf only
 // matter (and are only validated) when the cache is enabled.
 func validateCacheFlags(capacity, shards, pages int, ttl time.Duration, zipf float64) error {
@@ -948,12 +1015,27 @@ func main() {
 	traceBuf := flag.Int("tracebuf", 4096, "per-worker operation trace ring size (0 unbounded — leaks on a long-running server; -1 disables tracing)")
 	treeRing := flag.Int("treering", 64, "sampled span trees retained for /tracez (0 disables)")
 	profEpochs := flag.Int("profepochs", profile.DefaultLiveEpochs, "cumulative profile epochs retained; the /profilez window spans up to profepochs-1 scrapes")
+	fpm := flag.Bool("fpm", false, "run as a cluster backend process (FPM-style, behind phprouter): implies -backend 0 unless set")
+	backend := flag.Int("backend", -1, "cluster backend id stamped on X-Backend, /healthz, and access-log lines (-1 standalone)")
+	listen := flag.String("listen", "", "backend listen address; overrides -addr (the flag phprouter's spawner sets per backend)")
+	dbwait := flag.Duration("dbwait", 0, "simulated per-render database stall, held on the worker FPM-style (0 disables)")
 	flag.Parse()
 
 	if err := validateFlags(*workers, *warmup, *queue, *sample, *timeout, *drainTO); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := validateClusterFlags(*backend, *dbwait); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *fpm && *backend < 0 {
+		*backend = 0
+	}
+	if *listen != "" {
+		*addr = *listen
 	}
 	if err := validateCacheFlags(*cacheCap, *cacheShards, *pages, *cacheTTL, *zipf); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -997,6 +1079,9 @@ func main() {
 	srv := newServer(sched, col, *app, *config, *ctxSwitch)
 	srv.live = profile.NewLive(*profEpochs, time.Now())
 	srv.pprofEnabled = *pprofFlag
+	srv.backendID = *backend
+	srv.dbWait = *dbwait
+	col.SetBackend(srv.backendLabel())
 	if *cacheCap > 0 {
 		if !pool.SupportsPages() {
 			fmt.Fprintf(os.Stderr, "phpserve: -cache requires a workload with page identity; %s has none\n", *app)
@@ -1012,6 +1097,12 @@ func main() {
 			srv.cache.Capacity(), srv.cache.Shards(), *cacheTTL, *pages, *zipf)
 	}
 	fmt.Printf("phpserve: listening on %s (queue %d, timeout %v, sample rate %g", *addr, *queue, *timeout, *sample)
+	if *backend >= 0 {
+		fmt.Printf(", backend %d", *backend)
+	}
+	if *dbwait > 0 {
+		fmt.Printf(", dbwait %v", *dbwait)
+	}
 	if *pprofFlag {
 		fmt.Print(", pprof on")
 	}

@@ -846,3 +846,122 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestBackendIdentityStamping: in cluster mode (-fpm/-backend) the
+// backend id appears on X-Backend, /healthz, and every access-log line;
+// standalone servers log "-" and send no X-Backend header.
+func TestBackendIdentityStamping(t *testing.T) {
+	var buf bytes.Buffer
+	srv := testServer(t, 1, 2, 1, &buf)
+	srv.backendID = 3
+	srv.col.SetBackend(srv.backendLabel())
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Backend"); got != "3" {
+		t.Errorf("X-Backend = %q, want 3", got)
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthzResponse
+	if err := json.NewDecoder(hz.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if h.Backend != "3" {
+		t.Errorf("healthz backend = %q, want 3", h.Backend)
+	}
+
+	line := bytes.TrimSpace(buf.Bytes())
+	var raw map[string]any
+	if err := json.Unmarshal(line, &raw); err != nil {
+		t.Fatalf("access log line: %v", err)
+	}
+	if raw["backend"] != "3" {
+		t.Errorf("access log backend = %v, want \"3\"", raw["backend"])
+	}
+}
+
+// TestStandaloneBackendDefaults: no -backend means no X-Backend header,
+// "-" in healthz and the access log (the schema key is still present).
+func TestStandaloneBackendDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	srv := testServer(t, 1, 2, 1, &buf)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got, ok := resp.Header["X-Backend"]; ok {
+		t.Errorf("standalone server sent X-Backend %v", got)
+	}
+
+	var raw map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := raw["backend"]; !ok || got != "-" {
+		t.Errorf("access log backend = %v (present %v), want \"-\"", got, ok)
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthzResponse
+	if err := json.NewDecoder(hz.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if h.Backend != "-" {
+		t.Errorf("healthz backend = %q, want \"-\"", h.Backend)
+	}
+}
+
+// TestDBWaitPacesRenders: -dbwait holds the worker through the stall,
+// so request latency is bounded below by it.
+func TestDBWaitPacesRenders(t *testing.T) {
+	srv := testServer(t, 1, 2, 0, nil)
+	srv.dbWait = 40 * time.Millisecond
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	t0 := time.Now()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(t0); elapsed < srv.dbWait {
+		t.Errorf("request finished in %v, faster than the %v db stall", elapsed, srv.dbWait)
+	}
+}
+
+func TestValidateClusterFlags(t *testing.T) {
+	if err := validateClusterFlags(-1, 0); err != nil {
+		t.Errorf("standalone defaults rejected: %v", err)
+	}
+	if err := validateClusterFlags(2, 25*time.Millisecond); err != nil {
+		t.Errorf("valid cluster flags rejected: %v", err)
+	}
+	if err := validateClusterFlags(-2, 0); err == nil {
+		t.Error("bad -backend accepted")
+	}
+	if err := validateClusterFlags(0, -time.Second); err == nil {
+		t.Error("negative -dbwait accepted")
+	}
+}

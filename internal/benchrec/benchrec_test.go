@@ -80,6 +80,34 @@ func TestMatrixShape(t *testing.T) {
 	if cz.CacheHits+cz.CacheMisses+cz.CacheCoalesced != cz.Served {
 		t.Errorf("cache outcomes don't partition served: %+v", cz)
 	}
+
+	// Cluster sweep: the backend count and stall must be recorded (they
+	// gate comparability), every request must be served, and splitting
+	// the fixed cache budget across hash-partitioned backends must keep
+	// the aggregate hit ratio near the one-backend figure. The scaling
+	// claim itself (throughput up with backends) is wall-clock-dependent
+	// and is gated by bench-check against the committed record, not here.
+	single, _ := rec.Scenario("cluster_zipf_1")
+	if single.Backends != 1 || single.DBWaitMS <= 0 {
+		t.Errorf("cluster_zipf_1 config not recorded: backends %d dbwait %.1fms", single.Backends, single.DBWaitMS)
+	}
+	for _, name := range []string{"cluster_zipf_2", "cluster_zipf_4"} {
+		sc, ok := rec.Scenario(name)
+		if !ok {
+			t.Fatalf("scenario %s missing", name)
+		}
+		if sc.Workers != 1 || sc.Backends != sc.Clients || sc.CacheCapacity != single.CacheCapacity {
+			t.Errorf("%s config: %+v", name, sc)
+		}
+		drift := sc.CacheHitRatio - single.CacheHitRatio
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift > 0.05 {
+			t.Errorf("%s hit ratio %.3f vs single-backend %.3f: drift %.3f > 0.05",
+				name, sc.CacheHitRatio, single.CacheHitRatio, drift)
+		}
+	}
 }
 
 // TestMatrixDeterministic is the record-identity property: two runs

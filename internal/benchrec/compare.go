@@ -62,7 +62,7 @@ func Compare(base, fresh Record, tol Tolerances) ([]Regression, error) {
 		}
 		if b.Workers != f.Workers || b.Warmup != f.Warmup || b.Requests != f.Requests ||
 			b.Accelerated != f.Accelerated || b.CacheCapacity != f.CacheCapacity ||
-			b.ZipfPages != f.ZipfPages {
+			b.ZipfPages != f.ZipfPages || b.Backends != f.Backends || b.DBWaitMS != f.DBWaitMS {
 			return nil, fmt.Errorf("benchrec: scenario %q configuration drifted; commit a new baseline", b.Name)
 		}
 		if limit := b.ReqPerSec * (1 - tol.ThroughputDrop); f.ReqPerSec < limit {

@@ -56,7 +56,8 @@ type Record struct {
 // Scenario is one pinned workload configuration and what it measured.
 type Scenario struct {
 	// Name identifies the scenario within the matrix: "direct",
-	// "accel_off", "scheduler", or "cache_zipf".
+	// "accel_off", "scheduler", "cache_zipf", or the cluster sweep
+	// "cluster_zipf_<n>" at 1, 2, and 4 backends.
 	Name string `json:"name"`
 	// App is the workload application served (wordpress throughout).
 	App string `json:"app"`
@@ -80,6 +81,13 @@ type Scenario struct {
 	CacheCapacity int     `json:"cache_capacity"`
 	ZipfPages     int     `json:"zipf_pages"`
 	ZipfS         float64 `json:"zipf_s"`
+	// Backends is the cluster scenario's backend count (0 for
+	// single-process scenarios); CacheCapacity is then the TOTAL budget
+	// split across backends by key-range ownership.
+	Backends int `json:"backends"`
+	// DBWaitMS is the cluster scenario's simulated per-render database
+	// stall, held FPM-style on the worker (0 when disabled).
+	DBWaitMS float64 `json:"db_wait_ms"`
 
 	// ReqPerSec is measured throughput: served requests per wall second.
 	ReqPerSec float64 `json:"req_per_sec"`
@@ -220,5 +228,6 @@ func Write(dir string, rec Record) (string, error) {
 
 // ScenarioNames lists the matrix scenario names in matrix order.
 func ScenarioNames() []string {
-	return []string{"direct", "accel_off", "scheduler", "cache_zipf"}
+	return []string{"direct", "accel_off", "scheduler", "cache_zipf",
+		"cluster_zipf_1", "cluster_zipf_2", "cluster_zipf_4"}
 }

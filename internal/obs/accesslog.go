@@ -14,13 +14,26 @@ import (
 // bytes.Buffer in tests). Writes are serialized by an internal mutex so
 // concurrent workers never interleave lines.
 type AccessLog struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu      sync.Mutex
+	enc     *json.Encoder
+	backend string
 }
 
 // NewAccessLog builds an access log writing JSON lines to w.
 func NewAccessLog(w io.Writer) *AccessLog {
-	return &AccessLog{enc: json.NewEncoder(w)}
+	return &AccessLog{enc: json.NewEncoder(w), backend: "-"}
+}
+
+// SetBackend stamps every subsequent line's backend field with id — the
+// cluster-mode process identity ("0", "1", ...). Standalone processes
+// keep the default "-", so multi-process log merges stay unambiguous.
+func (l *AccessLog) SetBackend(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if id == "" {
+		id = "-"
+	}
+	l.backend = id
 }
 
 // maxLogFieldLen bounds request-controlled string fields (path, user
@@ -50,6 +63,7 @@ type LogEntry struct {
 	Time      string             `json:"ts"`
 	Request   uint64             `json:"request"`
 	Worker    int                `json:"worker"`
+	Backend   string             `json:"backend"`
 	Path      string             `json:"path,omitempty"`
 	UserAgent string             `json:"user_agent,omitempty"`
 	LatencyUS int64              `json:"latency_us"`
@@ -95,5 +109,6 @@ func (l *AccessLog) WriteMeta(sp Span, respBytes int, meta RequestMeta) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	e.Backend = l.backend
 	return l.enc.Encode(e)
 }

@@ -70,3 +70,59 @@ func TestTruncateFieldRuneBoundary(t *testing.T) {
 		t.Errorf("len = %d", len(got))
 	}
 }
+
+// TestAccessLogBackendFieldSchema is the regression test for the
+// multi-process log-line schema: every line carries a backend field —
+// "-" for standalone processes, the backend id in cluster mode — and
+// the raw JSON always includes the key so downstream parsers can rely
+// on it.
+func TestAccessLogBackendFieldSchema(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(&buf)
+	if err := l.WriteMeta(Span{Request: 1}, 0, RequestMeta{Path: "/"}); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := raw["backend"]; !ok || got != "-" {
+		t.Fatalf("standalone line backend = %v (present %v), want \"-\"", got, ok)
+	}
+
+	buf.Reset()
+	l.SetBackend("3")
+	if err := l.WriteMeta(Span{Request: 2}, 0, RequestMeta{Path: "/"}); err != nil {
+		t.Fatal(err)
+	}
+	var e LogEntry
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Backend != "3" {
+		t.Fatalf("cluster line backend = %q, want \"3\"", e.Backend)
+	}
+
+	// Sheds go through the same writer and must carry the id too.
+	buf.Reset()
+	c := NewCollector(0, &buf, nil)
+	c.SetBackend("7")
+	c.ObserveShed(RequestMeta{Status: 503, Outcome: "shed_overload"})
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Backend != "7" || e.Outcome != "shed_overload" {
+		t.Fatalf("shed line = %+v, want backend 7 outcome shed_overload", e)
+	}
+
+	// Empty id resets to the standalone marker rather than logging "".
+	l.SetBackend("")
+	buf.Reset()
+	_ = l.WriteMeta(Span{Request: 3}, 0, RequestMeta{})
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Backend != "-" {
+		t.Fatalf("reset backend = %q, want \"-\"", e.Backend)
+	}
+}

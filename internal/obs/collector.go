@@ -47,6 +47,15 @@ func NewCollector(rate float64, logW io.Writer, buckets []float64) *Collector {
 	return c
 }
 
+// SetBackend stamps the access log's backend field with this process's
+// cluster identity (see AccessLog.SetBackend). A nil-log collector
+// ignores it. Call before serving starts.
+func (c *Collector) SetBackend(id string) {
+	if c.log != nil {
+		c.log.SetBackend(id)
+	}
+}
+
 // ShouldSample reports whether the next request should be served through
 // the profiled path (Worker.ServeOneProfiled), advancing the sampling
 // counter.

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/vm"
+)
+
+func testClusterOpts(backends int) ClusterOptions {
+	return ClusterOptions{
+		Backends:          backends,
+		WorkersPerBackend: 1,
+		Config:            vm.Config{},
+		App:               "wordpress",
+		Seed:              7,
+		QueueDepth:        16,
+		Timeout:           30 * time.Second,
+		CacheCapacity:     64,
+		Pages:             128,
+		ZipfS:             1.0,
+	}
+}
+
+// TestClusterDisjointOwnershipAndDeterminism: the ring partitions the
+// page stream so no page is served by two backends, outcome counts are
+// exact, and a second identical cluster reproduces them bit-for-bit.
+func TestClusterDisjointOwnershipAndDeterminism(t *testing.T) {
+	run := func() (ClusterStats, *Cluster) {
+		opts := testClusterOpts(4)
+		// Generous capacity (the cache is sharded LRU, so bare
+		// capacity == distinct keys can still evict within an unlucky
+		// shard): with no eviction pressure, each distinct page misses
+		// exactly once, making ownership exact.
+		opts.CacheCapacity = opts.Pages * 8
+		cl, err := NewCluster(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Warm(2)
+		cs, err := cl.RunZipf(context.Background(), 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs, cl
+	}
+	cs, cl := run()
+
+	agg := cs.Aggregate
+	if agg.Served != 120 || agg.Submitted != 120 {
+		t.Fatalf("served %d submitted %d, want 120/120", agg.Served, agg.Submitted)
+	}
+	if agg.Shed() != 0 {
+		t.Fatalf("cluster run shed %d requests", agg.Shed())
+	}
+	if agg.CacheHits+agg.CacheMisses+agg.CacheCoalesced != agg.Served {
+		t.Fatalf("cache outcomes %d+%d+%d don't partition served %d",
+			agg.CacheHits, agg.CacheMisses, agg.CacheCoalesced, agg.Served)
+	}
+	if agg.CacheCoalesced != 0 {
+		t.Fatalf("serial per-backend serving coalesced %d requests", agg.CacheCoalesced)
+	}
+	if agg.CacheHits == 0 {
+		t.Fatal("Zipf stream produced no cache hits")
+	}
+
+	// Every backend's cache saw only pages the ring assigned to it, and
+	// per-backend cache stats agree with the harness's own counts.
+	served := 0
+	for i, pb := range cs.PerBackend {
+		st := cl.Backends[i].Cache.Stats()
+		if int(st.Hits) != pb.Load.CacheHits || int(st.Misses) != pb.Load.CacheMisses {
+			t.Fatalf("backend %d: cache stats %d/%d vs harness %d/%d",
+				i, st.Hits, st.Misses, pb.Load.CacheHits, pb.Load.CacheMisses)
+		}
+		// With capacity >= pages owned, every distinct page misses
+		// exactly once; the rest are hits.
+		if pb.Load.CacheMisses != pb.Pages {
+			t.Fatalf("backend %d: %d misses for %d distinct pages", i, pb.Load.CacheMisses, pb.Pages)
+		}
+		served += pb.Load.Served
+	}
+	if served != agg.Served {
+		t.Fatalf("per-backend served sums to %d, aggregate says %d", served, agg.Served)
+	}
+
+	// Determinism: a fresh identical cluster reproduces every count and
+	// every simulated cycle (the benchrec canonical-record property
+	// depends on the latter).
+	cs2, cl2 := run()
+	for i := range cs.PerBackend {
+		a, b := cs.PerBackend[i].Load, cs2.PerBackend[i].Load
+		if a.Served != b.Served || a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses {
+			t.Fatalf("backend %d not deterministic: %+v vs %+v", i, a, b)
+		}
+	}
+	// Compare via the dense category vector (deterministic summation
+	// order) — the same path benchrec's canonical records use.
+	if a, b := cl.MergedMeter().CategoryCyclesVec().Total(), cl2.MergedMeter().CategoryCyclesVec().Total(); a != b {
+		t.Fatalf("simulated totals differ across identical runs: %g vs %g", a, b)
+	}
+}
+
+// TestClusterAggregateHitRatioParity: splitting one capacity budget
+// across N hash-partitioned backends keeps the aggregate hit ratio
+// close to the single-backend ratio — the acceptance bound is 5
+// percentage points.
+func TestClusterAggregateHitRatioParity(t *testing.T) {
+	ratio := func(backends int) float64 {
+		cl, err := NewCluster(testClusterOpts(backends))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Warm(2)
+		cs, err := cl.RunZipf(context.Background(), 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs.Aggregate.CacheHitRatio()
+	}
+	single := ratio(1)
+	for _, n := range []int{2, 4} {
+		got := ratio(n)
+		diff := got - single
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.05 {
+			t.Fatalf("hit ratio at %d backends = %.3f, single = %.3f (drift %.3f > 0.05)", n, got, single, diff)
+		}
+	}
+}
+
+// TestClusterDBWaitOverlaps: with a per-render I/O stall, N backends
+// overlap their stalls, so 4 backends finish the same miss-heavy
+// stream in well under 4x one backend's serial stall time.
+func TestClusterDBWaitOverlaps(t *testing.T) {
+	// The stall must dominate render CPU for overlap to show: on a
+	// single host core the CPU part serializes no matter how many
+	// backends run, exactly like real FPM fleets sized for I/O-bound
+	// pages.
+	const dbWait = 20 * time.Millisecond
+	wall := func(backends int) time.Duration {
+		opts := testClusterOpts(backends)
+		opts.DBWait = dbWait
+		cl, err := NewCluster(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Warm(2)
+		cs, err := cl.RunZipf(context.Background(), 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Aggregate.Served != 60 {
+			t.Fatalf("served %d", cs.Aggregate.Served)
+		}
+		return cs.Aggregate.Wall
+	}
+	w1, w4 := wall(1), wall(4)
+	// The exact speedup depends on the straggler backend's share; even
+	// a conservative bound (>1.5x) proves the stalls overlap rather
+	// than serialize.
+	if speedup := float64(w1) / float64(w4); speedup < 1.5 {
+		t.Fatalf("4-backend speedup %.2fx (w1=%v w4=%v): stalls are not overlapping", speedup, w1, w4)
+	}
+}
+
+func TestClusterOptionValidation(t *testing.T) {
+	bad := []func(*ClusterOptions){
+		func(o *ClusterOptions) { o.Backends = 0 },
+		func(o *ClusterOptions) { o.WorkersPerBackend = 0 },
+		func(o *ClusterOptions) { o.CacheCapacity = 0 },
+		func(o *ClusterOptions) { o.Pages = 0 },
+		func(o *ClusterOptions) { o.DBWait = -time.Second },
+	}
+	for i, mutate := range bad {
+		opts := testClusterOpts(1)
+		mutate(&opts)
+		if _, err := NewCluster(opts); err == nil {
+			t.Fatalf("case %d: invalid options accepted", i)
+		}
+	}
+	cl, err := NewCluster(testClusterOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.RunZipf(context.Background(), 0); err == nil {
+		t.Fatal("zero-request run accepted")
+	}
+}

@@ -72,6 +72,10 @@ type LoadStats struct {
 	// a render, just not their own).
 	HitLatency  workload.LatencyStats
 	MissLatency workload.LatencyStats
+
+	// rawLatencies retains the individual served-request latencies so a
+	// cluster run can recompute percentiles across backends.
+	rawLatencies []time.Duration
 }
 
 // CacheHitRatio returns the fraction of served requests answered

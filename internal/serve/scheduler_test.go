@@ -410,10 +410,28 @@ func TestRunLoadServesAll(t *testing.T) {
 	checkPoolIntact(t, pool)
 }
 
-// TestRunLoadOverload: more clients than workers+queue forces overload
-// sheds, and the partition of outcomes covers every submission.
+// TestRunLoadOverload: submissions against a scheduler with no free
+// capacity shed overload (typed, counted, partition intact), and the
+// same scheduler serves again once capacity frees. The only slot is
+// held explicitly for the first run — on a single-CPU host 8 clients
+// racing a free worker can serialize perfectly and never collide, so
+// overload is forced rather than hoped for.
 func TestRunLoadOverload(t *testing.T) {
 	s := NewScheduler(testPool(t, 1), Config{QueueDepth: 0})
+
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	blockerDone := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), func(w *workload.Worker) error {
+			close(blocked)
+			<-release
+			return nil
+		})
+		blockerDone <- err
+	}()
+	<-blocked
+
 	ls := RunLoad(context.Background(), s, LoadOptions{Requests: 60, Clients: 8})
 	if ls.Submitted != 60 {
 		t.Fatalf("submitted %d, want 60", ls.Submitted)
@@ -421,11 +439,21 @@ func TestRunLoadOverload(t *testing.T) {
 	if ls.Served+ls.Shed() != ls.Submitted {
 		t.Errorf("outcomes don't partition: %+v", ls)
 	}
-	if ls.ShedOverload == 0 {
-		t.Errorf("8 clients on capacity 1 shed nothing: %+v", ls)
+	if ls.ShedOverload != 60 {
+		t.Errorf("60 submissions against a held slot shed %d, want 60: %+v", ls.ShedOverload, ls)
 	}
-	if ls.Served == 0 {
-		t.Errorf("overload starved everything: %+v", ls)
+
+	close(release)
+	if err := <-blockerDone; err != nil {
+		t.Fatalf("blocker request failed: %v", err)
+	}
+
+	ls2 := RunLoad(context.Background(), s, LoadOptions{Requests: 12, Clients: 8})
+	if ls2.Served+ls2.Shed() != ls2.Submitted {
+		t.Errorf("post-release outcomes don't partition: %+v", ls2)
+	}
+	if ls2.Served == 0 {
+		t.Errorf("overload starved everything after release: %+v", ls2)
 	}
 	checkPoolIntact(t, s.Pool())
 }

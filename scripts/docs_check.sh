@@ -71,6 +71,40 @@ if [ -f "$server" ] && [ -f "$opsdoc" ]; then
 	done
 fi
 
+# Router coverage: the phprouter binary gets the same endpoint and flag
+# treatment as phpserve — every route it registers and every flag it
+# defines must be documented in the operations guide's cluster section.
+router=cmd/phprouter/main.go
+if [ -f "$router" ] && [ -f "$opsdoc" ]; then
+	routes=$(sed -n 's/.*mux\.HandleFunc("\([^"]*\)".*/\1/p' "$router" | sort -u)
+	for route in $routes; do
+		if ! grep -qF "$route" "$opsdoc"; then
+			echo "docs-check: endpoint $route (from $router) is not documented in $opsdoc" >&2
+			status=1
+		fi
+	done
+	flags=$(sed -n 's/.*flag\.[A-Za-z0-9]*("\([^"]*\)".*/\1/p' "$router" | sort -u)
+	for f in $flags; do
+		if ! grep -qF -- "-$f" "$opsdoc"; then
+			echo "docs-check: flag -$f (from $router) is not documented in $opsdoc" >&2
+			status=1
+		fi
+	done
+fi
+
+# Router metrics coverage: every phprouter_* series name the router
+# binary emits must be documented, so a new series cannot land without
+# an operator-facing definition.
+if [ -f "$router" ] && [ -f "$opsdoc" ]; then
+	series=$(grep -o '"phprouter_[a-z_]*"' "$router" | tr -d '"' | sort -u)
+	for s in $series; do
+		if ! grep -qF -- "$s" "$opsdoc"; then
+			echo "docs-check: metric series $s (from $router) is not documented in $opsdoc" >&2
+			status=1
+		fi
+	done
+fi
+
 # Benchmark-record schema coverage: every JSON field the benchrec
 # record serializes must be documented (as `name`) in the operations
 # guide's "Benchmark trajectory" section, so a schema field cannot land
