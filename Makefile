@@ -55,7 +55,9 @@ check: build vet docs-check race
 ci: check
 	$(GO) test -race -count=1 ./internal/serve/
 	$(GO) test -race -count=1 ./internal/cache/
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/profile/
 	SPAN_OVERHEAD_GUARD=1 $(GO) test -run TestSpanOverheadGuard -count=1 .
 	SCHED_OVERHEAD_GUARD=1 $(GO) test -run TestSchedulerOverheadGuard -count=1 .
 	CACHE_OVERHEAD_GUARD=1 $(GO) test -run TestCacheOverheadGuard -count=1 .
 	BENCH_CHECK_GUARD=1 $(GO) test -run TestBenchCheckGuard -count=1 .
+	ROUTER_OBS_GUARD=1 $(GO) test -run TestRouterObsOverheadGuard -count=1 ./internal/serve/

@@ -282,6 +282,9 @@ loop:
 					Clients:        *concurrency,
 					CtxSwitchEvery: lg.ContextSwitchEvery,
 					Collector:      col,
+					// Explicit source: error samples carry greppable
+					// request IDs even when tracing is off.
+					IDs: obs.NewIDSource(),
 				}
 				if *cacheCap > 0 {
 					// Fresh cache and page sequence per row, same seed
@@ -327,6 +330,9 @@ loop:
 				fmtLatency(res.Latency.P99))
 			if *queue >= 0 {
 				fmt.Printf("  %-10s %s\n", "", schedLine(ls))
+				if line := errorLine(ls); line != "" {
+					fmt.Printf("  %-10s %s\n", "", line)
+				}
 			}
 			if rc != nil {
 				fmt.Printf("  %-10s %s\n", "", cacheLine(ls, rc))
@@ -478,7 +484,9 @@ func runRecord(dir, scale string, seed int64) error {
 		return err
 	}
 	fmt.Printf("recording benchmark matrix (scale %s, seed %d)...\n", scale, seed)
-	rec, err := benchrec.RunMatrix(benchrec.Options{Scale: scale, Seed: seed})
+	// Same 3-trial metric-wise best bench-check uses, so the committed
+	// baseline and every future fresh side estimate the same statistic.
+	rec, err := benchrec.RunMatrix(benchrec.Options{Scale: scale, Seed: seed, Trials: 3})
 	if err != nil {
 		return err
 	}
@@ -502,6 +510,21 @@ func schedLine(ls serve.LoadStats) string {
 	return fmt.Sprintf("sched: served %d/%d, shed %d (overload %d, timeout %d, canceled %d, draining %d), queue-wait p50 %s p95 %s p99 %s",
 		ls.Served, ls.Submitted, ls.Shed(), ls.ShedOverload, ls.ShedDeadline, ls.ShedCanceled, ls.ShedDraining,
 		fmtLatency(ls.QueueWait.P50), fmtLatency(ls.QueueWait.P95), fmtLatency(ls.QueueWait.P99))
+}
+
+// errorLine names a sample of failed submissions by correlation ID, so
+// an operator can grep the run's access log (or a cluster's logs) for
+// exactly those requests. Empty when nothing failed.
+func errorLine(ls serve.LoadStats) string {
+	if len(ls.ErrorSamples) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("errors (sampled ids):")
+	for _, es := range ls.ErrorSamples {
+		fmt.Fprintf(&b, "  %s=%v", es.ID, es.Err)
+	}
+	return b.String()
 }
 
 // cacheLine renders one cache-mode run's outcomes: the hit ratio, the

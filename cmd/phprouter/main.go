@@ -21,10 +21,21 @@
 //	          [-pages 512] [-zipf 1.0] [-seed 1] [-replicas 512]
 //	          [-maxinflight 32] [-health 500ms] [-healthtimeout 1s]
 //	          [-retrywait 60s] [-drain 30s]
+//	          [-accesslog path|-] [-sample 0.01] [-treering 64]
+//	          [-eventbuf 256] [-scrapetimeout 2s]
 //
-// Endpoints: / proxies renders; /metrics (phprouter_* series),
-// /healthz, /backends report router state; POST /restart rolls every
-// spawned backend through drain → restart → readmit under load.
+// Endpoints: / proxies renders; /metrics (phprouter_* series, cluster
+// aggregates included), /healthz, /backends report router state;
+// /tracez serves sampled router span trees with backend trees stitched
+// in; /clusterz serves the merged fleet view (aggregate hit ratio,
+// per-backend skew, cluster Fig. 1 profile headline); /eventz serves
+// the bounded cluster event timeline; POST /restart rolls every spawned
+// backend through drain → restart → readmit under load.
+//
+// Every proxied request carries an X-Request-Id (inbound one kept,
+// otherwise minted) that is forwarded to the backend and echoed to the
+// client, so one ID correlates the router access-log line, the backend
+// line, and the stitched trace tree.
 package main
 
 import (
@@ -68,6 +79,19 @@ type router struct {
 	restartMu sync.Mutex
 
 	drainGrace time.Duration
+
+	// events is the bounded cluster-event timeline behind /eventz and
+	// phprouter_events_total; serve.Router appends health transitions,
+	// the restart handler appends restart phases.
+	events *obs.EventRing
+	// treeRing retains sampled (and stitched) router span trees for
+	// /tracez; nil with -treering 0.
+	treeRing *obs.TreeRing
+	// scrapeMu guards the TTL-coalesced fleet scrape cache behind
+	// /clusterz and the phprouter_cluster_* gauges.
+	scrapeMu   sync.Mutex
+	lastScrape *serve.FleetScrape
+	scrapeTO   time.Duration
 }
 
 // handleProxy derives the request's cache key and forwards it through
@@ -159,8 +183,9 @@ func (rt *router) handleBackends(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleMetrics renders the phprouter_* series in the Prometheus text
-// format.
-func (rt *router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// format, including the cluster-level aggregates scraped from the
+// backends (see clusterMetrics).
+func (rt *router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rs := rt.r.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	e := obs.NewEncoder(w)
@@ -208,6 +233,7 @@ func (rt *router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Proxied request latency through the labelled backend.",
 			[]obs.Label{{Name: "backend", Value: b.ID}}, b.Latency)
 	}
+	rt.clusterMetrics(r.Context(), e, rs)
 	if err := e.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "phprouter: metrics write: %v\n", err)
 	}
@@ -251,6 +277,7 @@ func (rt *router) handleRestart(w http.ResponseWriter, r *http.Request) {
 	for _, p := range rt.sup.Procs() {
 		id := p.ID()
 		progress("backend %s: draining and evicting from ring", id)
+		rt.events.Add(time.Now(), obs.EventRestartPhase, id, "drain")
 		rt.r.SetBackendUp(id, false)
 		stopCtx, cancel := context.WithTimeout(r.Context(), rt.drainGrace)
 		err := p.Stop(stopCtx)
@@ -258,10 +285,12 @@ func (rt *router) handleRestart(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			progress("backend %s: %v", id, err)
 		}
+		rt.events.Add(time.Now(), obs.EventRestartPhase, id, "restart")
 		if err := p.Restart(); err != nil {
 			progress("backend %s: restart failed: %v", id, err)
 			return
 		}
+		rt.events.Add(time.Now(), obs.EventRestartPhase, id, "wait_healthy")
 		waitCtx, cancel := context.WithTimeout(r.Context(), rt.drainGrace+2*time.Minute)
 		err = rt.r.WaitHealthy(waitCtx, rt.addrs[id], 100*time.Millisecond)
 		cancel()
@@ -272,6 +301,7 @@ func (rt *router) handleRestart(w http.ResponseWriter, r *http.Request) {
 		rt.r.SetBackendUp(id, true)
 		progress("backend %s: healthy, readmitted to ring", id)
 	}
+	rt.events.Add(time.Now(), obs.EventRestartPhase, "", "complete")
 	progress("rolling restart complete")
 }
 
@@ -281,6 +311,9 @@ func (rt *router) handler() http.Handler {
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/backends", rt.handleBackends)
 	mux.HandleFunc("/metrics", rt.handleMetrics)
+	mux.HandleFunc("/tracez", rt.handleTracez)
+	mux.HandleFunc("/clusterz", rt.handleClusterz)
+	mux.HandleFunc("/eventz", rt.handleEventz)
 	mux.HandleFunc("/restart", rt.handleRestart)
 	return mux
 }
@@ -301,6 +334,11 @@ func main() {
 	healthTO := flag.Duration("healthtimeout", time.Second, "per-probe timeout")
 	retryWait := flag.Duration("retrywait", 60*time.Second, "startup budget for spawned backends to become healthy (covers warmup)")
 	drainTO := flag.Duration("drain", 30*time.Second, "grace for router drain on SIGTERM and per-backend drain during rolling restarts")
+	accessLog := flag.String("accesslog", "", "JSON-lines access log for sampled proxied requests and every shed (path, - for stdout, empty disables)")
+	sample := flag.Float64("sample", 0.01, "per-request router span-tree sampling rate in [0,1]")
+	treeRingSize := flag.Int("treering", 64, "sampled router span trees retained for /tracez, backend trees stitched in (0 disables)")
+	eventBuf := flag.Int("eventbuf", 256, "cluster events retained for /eventz")
+	scrapeTO := flag.Duration("scrapetimeout", 2*time.Second, "budget for one fleet scrape pass behind /clusterz and the phprouter_cluster_* gauges")
 	flag.Parse()
 
 	var external []string
@@ -316,16 +354,43 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := validateObsFlags(*sample, *treeRingSize, *eventBuf, *scrapeTO); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logW, logC, err := accessLogWriter(*accessLog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var alog *obs.AccessLog
+	if logW != nil {
+		alog = obs.NewAccessLog(logW)
+	}
+	events := obs.NewEventRing(*eventBuf)
+	var treeRing *obs.TreeRing
+	if *treeRingSize > 0 {
+		treeRing = obs.NewTreeRing(*treeRingSize)
+	}
 
 	rt := &router{
 		r: serve.NewRouter(serve.RouterConfig{
 			RingReplicas:  *replicas,
 			MaxInflight:   *maxInflight,
 			HealthTimeout: *healthTO,
+			SampleRate:    *sample,
+			TreeRing:      treeRing,
+			AccessLog:     alog,
+			Events:        events,
 		}),
 		start:      time.Now(),
 		addrs:      make(map[string]string),
 		drainGrace: *drainTO,
+		events:     events,
+		treeRing:   treeRing,
+		scrapeTO:   *scrapeTO,
 	}
 	if *pages > 0 {
 		keys, err := workload.NewZipfKeys(*seed, *zipf, *pages)
@@ -415,9 +480,29 @@ func main() {
 		rt.sup.StopAll(dctx)
 	}
 	rs := rt.r.Stats()
-	fmt.Printf("phprouter: drained: %d proxied, %d retries, shed %d (overload %d, no_backend %d, draining %d)\n",
+	fmt.Printf("phprouter: drained: %d proxied, %d retries, shed %d (overload %d, no_backend %d, draining %d), %d trees stitched (%d errors)\n",
 		rs.Requests(), rs.Retries, rs.ShedOverload+rs.ShedNoBackend+rs.ShedDraining,
-		rs.ShedOverload, rs.ShedNoBackend, rs.ShedDraining)
+		rs.ShedOverload, rs.ShedNoBackend, rs.ShedDraining, rs.Stitched, rs.StitchErrors)
+	if logC != nil {
+		logC.Close()
+	}
+}
+
+// validateObsFlags checks the observability flag family.
+func validateObsFlags(sample float64, treering, eventbuf int, scrapeTO time.Duration) error {
+	if sample < 0 || sample > 1 {
+		return fmt.Errorf("phprouter: -sample must be in [0,1], got %g", sample)
+	}
+	if treering < 0 {
+		return fmt.Errorf("phprouter: -treering must be >= 0, got %d", treering)
+	}
+	if eventbuf <= 0 {
+		return fmt.Errorf("phprouter: -eventbuf must be positive, got %d", eventbuf)
+	}
+	if scrapeTO <= 0 {
+		return fmt.Errorf("phprouter: -scrapetimeout must be positive, got %v", scrapeTO)
+	}
+	return nil
 }
 
 // validateRouterFlags fails fast on inconsistent flag values.

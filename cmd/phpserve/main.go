@@ -85,6 +85,11 @@ type server struct {
 	pprofEnabled   bool
 	start          time.Time
 
+	// ids mints request correlation IDs for requests that arrive without
+	// an X-Request-Id (standalone mode; behind phprouter the router's ID
+	// wins so one ID spans both processes).
+	ids *obs.IDSource
+
 	// backendID is this process's cluster identity (-fpm/-backend), or
 	// -1 standalone; it stamps the X-Backend header, /healthz, and the
 	// access log so multi-process setups can tell processes apart.
@@ -113,6 +118,7 @@ func newServer(sched *serve.Scheduler, col *obs.Collector, app, config string, c
 		sched:          sched,
 		pool:           sched.Pool(),
 		col:            col,
+		ids:            obs.NewIDSource(),
 		app:            app,
 		config:         config,
 		ctxSwitchEvery: ctxSwitchEvery,
@@ -137,6 +143,33 @@ func (s *server) stampBackend(w http.ResponseWriter) {
 	if s.backendID >= 0 {
 		w.Header().Set("X-Backend", strconv.Itoa(s.backendID))
 	}
+}
+
+// requestID resolves a render's correlation ID — the inbound
+// X-Request-Id (sanitized) when a router or client sent one, else a
+// locally minted ID — and echoes it on the response so the client (and
+// the router's access log, and this process's, and the trace tree) all
+// name the request the same way.
+func (s *server) requestID(w http.ResponseWriter, r *http.Request) string {
+	rid := obs.SanitizeRequestID(r.Header.Get(obs.HeaderRequestID))
+	if rid == "" {
+		rid = s.ids.Next()
+	}
+	w.Header().Set(obs.HeaderRequestID, rid)
+	return rid
+}
+
+// markSampled stamps a retained span tree with the request ID and
+// signals the upstream router via X-Trace-Sampled that a tree exists to
+// stitch. Must run before the response body is written: the collector
+// adds the tree to the ring first, so the router's post-response
+// /tracez fetch always finds it.
+func (s *server) markSampled(w http.ResponseWriter, tree *obs.Tree, rid string) {
+	if tree == nil {
+		return
+	}
+	tree.SetID(rid)
+	w.Header().Set(obs.HeaderTraceSampled, "1")
 }
 
 // dbStall simulates the page's database round trips while holding the
@@ -183,6 +216,7 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		s.handleRenderCached(w, r)
 		return
 	}
+	rid := s.requestID(w, r)
 	start := time.Now()
 	var page []byte
 	var sp obs.Span
@@ -208,6 +242,7 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	meta := obs.RequestMeta{
 		Path:      r.URL.RequestURI(),
 		UserAgent: r.UserAgent(),
+		RequestID: rid,
 		QueueWait: wait,
 	}
 	if err != nil {
@@ -219,6 +254,7 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	// explicit "queued" span before the collector retains it.
 	sp.Wall = time.Since(start)
 	sp.Tree.AddQueueSpan(wait)
+	s.markSampled(w, sp.Tree, rid)
 	meta.Status = http.StatusOK
 	s.col.ObserveHTTP(sp, len(page), meta)
 
@@ -234,6 +270,7 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 // get a synthetic zero-render "cache_hit" span tree carrying only the
 // fixed lookup cost.
 func (s *server) handleRenderCached(w http.ResponseWriter, r *http.Request) {
+	rid := s.requestID(w, r)
 	start := time.Now()
 	pageID := queryInt(r, "page", -1)
 	if pageID < 0 {
@@ -261,6 +298,7 @@ func (s *server) handleRenderCached(w http.ResponseWriter, r *http.Request) {
 	meta := obs.RequestMeta{
 		Path:      r.URL.RequestURI(),
 		UserAgent: r.UserAgent(),
+		RequestID: rid,
 		QueueWait: wait,
 	}
 	if err != nil {
@@ -287,6 +325,7 @@ func (s *server) handleRenderCached(w http.ResponseWriter, r *http.Request) {
 	}
 	sp.Wall = wall
 	sp.Tree.AddQueueSpan(wait)
+	s.markSampled(w, sp.Tree, rid)
 	meta.Status = http.StatusOK
 	s.col.ObserveHTTP(sp, len(body), meta)
 
@@ -741,47 +780,19 @@ func queryInt(r *http.Request, name string, def int) int {
 }
 
 // handleTracez exports the last sampled span trees from the bounded
-// ring. Parameters: n (last K trees, default 16, <=0 for all retained),
-// format=json (Chrome trace_event, default) | folded (flamegraph
-// stacks) | text (indented human-readable tree).
+// ring through the shared obs.ServeTracez handler. Parameters: n (last
+// K trees, default 16, <=0 for all retained), rid (filter to one
+// request's correlation ID — how the router fetches a backend tree for
+// stitching), format=json (Chrome trace_event, default) | folded
+// (flamegraph stacks) | text (indented tree) | tree (raw []*obs.Tree
+// JSON interchange).
 func (s *server) handleTracez(w http.ResponseWriter, r *http.Request) {
 	ring := s.col.TreeRing()
 	if ring == nil {
 		http.Error(w, "tracez: span-tree retention disabled (-treering 0)", http.StatusNotFound)
 		return
 	}
-	trees := ring.Last(queryInt(r, "n", 16))
-	switch format := r.URL.Query().Get("format"); format {
-	case "", "json":
-		w.Header().Set("Content-Type", "application/json")
-		obs.WriteTraceEvents(w, trees)
-	case "folded":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		obs.WriteFolded(w, trees)
-	case "text":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		writeTreeText(w, trees)
-	default:
-		http.Error(w, fmt.Sprintf("tracez: unknown format %q (want json, folded, or text)", format), http.StatusBadRequest)
-	}
-}
-
-// writeTreeText renders trees as indented span listings for quick
-// terminal inspection (curl /tracez?format=text).
-func writeTreeText(w io.Writer, trees []*obs.Tree) {
-	for _, t := range trees {
-		fmt.Fprintf(w, "request %d  worker %d  start %s  spans %d",
-			t.Request, t.Worker, t.Start.UTC().Format(time.RFC3339Nano), t.Root.NumSpans())
-		if t.Dropped > 0 {
-			fmt.Fprintf(w, "  dropped %d", t.Dropped)
-		}
-		fmt.Fprintln(w)
-		t.Root.Walk(func(sp *obs.TreeSpan, depth int) {
-			fmt.Fprintf(w, "%s%-24s %10s  %12.0f cycles  (self %.0f)\n",
-				strings.Repeat("  ", depth+1), sp.Name, sp.Dur.Round(time.Microsecond),
-				sp.Cycles, sp.SelfCycles())
-		})
-	}
+	obs.ServeTracez(w, r, ring)
 }
 
 // profilezResponse is the /profilez?format=json shape.

@@ -143,6 +143,44 @@ func TestMatrixDeterministic(t *testing.T) {
 	}
 }
 
+// TestMergeBestTrial: the trial fold keeps each wall-clock metric's
+// best observed value per scenario and rejects trials whose
+// deterministic remainder diverged.
+func TestMergeBestTrial(t *testing.T) {
+	base := matrixRecord(t)
+	trial := matrixRecord(t) // same underlying record: deterministic fields agree
+
+	best := base
+	best.Scenarios = append([]Scenario(nil), base.Scenarios...)
+	// Doctor the trial's wall-clock fields both ways on scenario 0:
+	// faster throughput and allocs must be taken, slower p99 must not.
+	trial.Scenarios = append([]Scenario(nil), trial.Scenarios...)
+	trial.Scenarios[0].ReqPerSec = base.Scenarios[0].ReqPerSec * 2
+	trial.Scenarios[0].AllocsPerOp = base.Scenarios[0].AllocsPerOp - 1
+	trial.Scenarios[0].P99US = base.Scenarios[0].P99US * 2
+	if err := mergeBestTrial(&best, trial); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := best.Scenarios[0].ReqPerSec, base.Scenarios[0].ReqPerSec*2; got != want {
+		t.Errorf("req/s not upgraded: got %g want %g", got, want)
+	}
+	if got, want := best.Scenarios[0].AllocsPerOp, base.Scenarios[0].AllocsPerOp-1; got != want {
+		t.Errorf("allocs not upgraded: got %g want %g", got, want)
+	}
+	if got, want := best.Scenarios[0].P99US, base.Scenarios[0].P99US; got != want {
+		t.Errorf("worse p99 leaked into best: got %g want %g", got, want)
+	}
+
+	// A deterministic-field divergence is a nondeterminism bug, not
+	// noise to merge over.
+	bad := base
+	bad.Scenarios = append([]Scenario(nil), base.Scenarios...)
+	bad.Scenarios[1].SimCyclesPerReq++
+	if err := mergeBestTrial(&best, bad); err == nil {
+		t.Fatal("merge accepted a trial with diverged deterministic fields")
+	}
+}
+
 func TestCanonicalZeroesTimingFields(t *testing.T) {
 	rec := matrixRecord(t)
 	can := rec.Canonical()
@@ -234,7 +272,7 @@ func TestCompareCatchesInjectedRegressions(t *testing.T) {
 	}
 	fresh.Scenarios[0].ReqPerSec *= 0.80 // −20% throughput: beyond −5%
 	fresh.Scenarios[1].P99US *= 1.50     // +50% p99: beyond +10%
-	fresh.Scenarios[2].AllocsPerOp += 1  // any allocs increase fails
+	fresh.Scenarios[2].AllocsPerOp += 1  // +1 alloc/op: beyond the 0.5 slack
 
 	regs, err := Compare(base, fresh, DefaultTolerances())
 	if err != nil {
@@ -277,6 +315,69 @@ func TestCompareCatchesInjectedRegressions(t *testing.T) {
 	}
 	if len(regs) != 0 {
 		t.Errorf("within-tolerance drift reported as regression: %v", regs)
+	}
+}
+
+// TestCompareCalibrationRelaxes: a calibrated host slowdown widens the
+// wall-clock limits by the measured factor (so a slower shared host
+// cannot fake a regression), while a *faster* fresh host never
+// tightens them — and uncalibrated records compare unnormalized.
+func TestCompareCalibrationRelaxes(t *testing.T) {
+	base := matrixRecord(t)
+	base.CalibOpsPerSec = 1000
+
+	// Fresh host measured 2x slower; every wall-clock metric 2x worse.
+	// Without calibration this fails throughput and p99 everywhere;
+	// with it, the doubled limits absorb the slowdown exactly.
+	fresh := base
+	fresh.CalibOpsPerSec = 500
+	fresh.Scenarios = append([]Scenario(nil), base.Scenarios...)
+	for i := range fresh.Scenarios {
+		fresh.Scenarios[i].ReqPerSec /= 2
+		fresh.Scenarios[i].P99US *= 2
+	}
+	regs, err := Compare(base, fresh, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("calibrated 2x slowdown reported as regression: %v", regs)
+	}
+
+	// The same numbers without calibration must fail.
+	uncal, uncalFresh := base, fresh
+	uncal.CalibOpsPerSec, uncalFresh.CalibOpsPerSec = 0, 0
+	regs, err = Compare(uncal, uncalFresh, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) == 0 {
+		t.Error("uncalibrated 2x slowdown compared clean")
+	}
+
+	// A genuine regression beyond the slowdown still trips.
+	bad := fresh
+	bad.Scenarios = append([]Scenario(nil), fresh.Scenarios...)
+	bad.Scenarios[0].ReqPerSec = base.Scenarios[0].ReqPerSec / 4
+	regs, err = Compare(base, bad, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "req_per_sec" {
+		t.Errorf("regression beyond calibrated slowdown not isolated: %v", regs)
+	}
+
+	// A faster fresh host (ratio > 1) must not tighten the gates:
+	// identical wall-clock numbers stay clean.
+	faster := base
+	faster.CalibOpsPerSec = 4000
+	faster.Scenarios = append([]Scenario(nil), base.Scenarios...)
+	regs, err = Compare(base, faster, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("faster host tightened the gate: %v", regs)
 	}
 }
 

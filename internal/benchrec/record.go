@@ -49,6 +49,15 @@ type Record struct {
 	Scale string `json:"scale"`
 	// Seed is the base RNG seed every scenario derives its streams from.
 	Seed int64 `json:"seed"`
+	// CalibOpsPerSec is the host-speed calibration: iterations/sec of a
+	// pinned pure-CPU spin loop measured alongside the matrix (best
+	// pass kept). Compare divides the committed value by the fresh one
+	// to cancel host speed out of the wall-clock gates — a shared host
+	// that got slower since record time relaxes the limits by exactly
+	// the measured factor, and can no longer fake a code regression.
+	// Zero in records written before calibration existed; those compare
+	// unnormalized.
+	CalibOpsPerSec float64 `json:"calib_ops_per_sec,omitempty"`
 	// Scenarios holds one entry per matrix scenario, in matrix order.
 	Scenarios []Scenario `json:"scenarios"`
 }
@@ -125,14 +134,16 @@ type Scenario struct {
 }
 
 // Canonical returns a copy of the record with every timing-dependent
-// field zeroed: CreatedAt and Seq on the record, and throughput, wall,
-// latency percentiles, and allocs/op on each scenario. Two runs with
+// field zeroed: CreatedAt, Seq, and the calibration on the record, and
+// throughput, wall, latency percentiles, and allocs/op on each
+// scenario. Two runs with
 // the same seed and scale must produce byte-identical canonical JSON —
 // the determinism property TestMatrixDeterministic enforces.
 func (r Record) Canonical() Record {
 	out := r
 	out.Seq = 0
 	out.CreatedAt = ""
+	out.CalibOpsPerSec = 0
 	out.Scenarios = make([]Scenario, len(r.Scenarios))
 	for i, sc := range r.Scenarios {
 		sc.ReqPerSec = 0

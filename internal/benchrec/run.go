@@ -3,6 +3,7 @@ package benchrec
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -67,6 +68,17 @@ type Options struct {
 	// Seed is the base RNG seed (default 1, the seed EXPERIMENTS.md
 	// figures use).
 	Seed int64
+	// Trials is how many times the whole matrix runs (<= 0 means 1).
+	// Wall-clock metrics (throughput, latency percentiles, allocs/op)
+	// keep the best value observed across trials, per scenario and
+	// metric; the deterministic fields must agree exactly across trials
+	// or RunMatrix errors. Contention on a shared host only ever slows
+	// a trial down, so the per-metric best is the estimate of the
+	// machine's unloaded speed — the same alternating best-of-trials
+	// defence the wall-clock overhead guards use. bench-record and
+	// bench-check both run 3 trials so the committed and fresh sides
+	// estimate the same statistic.
+	Trials int
 }
 
 func (o *Options) normalize() error {
@@ -79,6 +91,9 @@ func (o *Options) normalize() error {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
 	return nil
 }
 
@@ -90,8 +105,10 @@ func (o Options) counts() (int, int) {
 	return fullWarmup, fullMeasure
 }
 
-// RunMatrix runs the pinned scenario matrix and returns the resulting
-// record with Seq 0 (the caller assigns the trajectory position).
+// RunMatrix runs the pinned scenario matrix opts.Trials times, merges
+// the trials metric-wise best (see Options.Trials), and returns the
+// resulting record with Seq 0 (the caller assigns the trajectory
+// position).
 //
 // Determinism: every scenario drives the pool from a single closed-loop
 // client (or the pool's own statically partitioned loop), so the
@@ -102,6 +119,99 @@ func RunMatrix(opts Options) (Record, error) {
 	if err := opts.normalize(); err != nil {
 		return Record{}, err
 	}
+	best, err := runMatrixOnce(opts)
+	if err != nil {
+		return Record{}, err
+	}
+	best.CalibOpsPerSec = calibrate()
+	for trial := 1; trial < opts.Trials; trial++ {
+		rec, err := runMatrixOnce(opts)
+		if err != nil {
+			return Record{}, err
+		}
+		if err := mergeBestTrial(&best, rec); err != nil {
+			return Record{}, err
+		}
+		if c := calibrate(); c > best.CalibOpsPerSec {
+			best.CalibOpsPerSec = c
+		}
+	}
+	return best, nil
+}
+
+// calibSink defeats dead-code elimination of the calibration loop.
+var calibSink uint64
+
+// calibrate measures the host's current pure-CPU speed: a fixed xorshift
+// spin (no allocation, no memory traffic beyond one register-resident
+// word) timed over several short passes, best pass kept. The loop's
+// iterations/sec depend only on how much CPU the host actually grants,
+// which is exactly the factor Compare wants to cancel out of the
+// wall-clock gates.
+func calibrate() float64 {
+	const (
+		iters  = 1 << 23
+		passes = 3
+	)
+	var best float64
+	for p := 0; p < passes; p++ {
+		x := uint64(0x9E3779B97F4A7C15)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		elapsed := time.Since(start)
+		calibSink += x
+		if ops := iters / elapsed.Seconds(); ops > best {
+			best = ops
+		}
+	}
+	return best
+}
+
+// mergeBestTrial folds one trial into the running best: wall-clock
+// metrics keep their best observed value per scenario, and the
+// deterministic remainder must match exactly (a divergence means the
+// matrix itself went nondeterministic, which is a bug, not noise).
+func mergeBestTrial(best *Record, trial Record) error {
+	b, t := best.Canonical(), trial.Canonical()
+	if len(b.Scenarios) != len(t.Scenarios) {
+		return fmt.Errorf("benchrec: trial scenario count drifted: %d vs %d", len(b.Scenarios), len(t.Scenarios))
+	}
+	for i := range b.Scenarios {
+		if !reflect.DeepEqual(b.Scenarios[i], t.Scenarios[i]) {
+			return fmt.Errorf("benchrec: scenario %s is nondeterministic across trials:\n  %+v\nvs\n  %+v",
+				b.Scenarios[i].Name, b.Scenarios[i], t.Scenarios[i])
+		}
+	}
+	for i := range best.Scenarios {
+		bs, ts := &best.Scenarios[i], trial.Scenarios[i]
+		if ts.ReqPerSec > bs.ReqPerSec {
+			bs.ReqPerSec = ts.ReqPerSec
+		}
+		if ts.WallMS < bs.WallMS {
+			bs.WallMS = ts.WallMS
+		}
+		if ts.P50US < bs.P50US {
+			bs.P50US = ts.P50US
+		}
+		if ts.P95US < bs.P95US {
+			bs.P95US = ts.P95US
+		}
+		if ts.P99US < bs.P99US {
+			bs.P99US = ts.P99US
+		}
+		if ts.AllocsPerOp < bs.AllocsPerOp {
+			bs.AllocsPerOp = ts.AllocsPerOp
+		}
+	}
+	return nil
+}
+
+// runMatrixOnce runs every scenario once and assembles one record.
+func runMatrixOnce(opts Options) (Record, error) {
 	rec := Record{
 		Schema:    SchemaVersion,
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),

@@ -62,6 +62,7 @@ func truncateField(s string) string {
 type LogEntry struct {
 	Time      string             `json:"ts"`
 	Request   uint64             `json:"request"`
+	RequestID string             `json:"request_id,omitempty"`
 	Worker    int                `json:"worker"`
 	Backend   string             `json:"backend"`
 	Path      string             `json:"path,omitempty"`
@@ -72,6 +73,8 @@ type LogEntry struct {
 	Outcome   string             `json:"outcome,omitempty"`
 	Bytes     int                `json:"bytes"`
 	Sampled   bool               `json:"sampled"`
+	Rerouted  bool               `json:"rerouted,omitempty"`
+	ShedReason string            `json:"shed_reason,omitempty"`
 	Cycles    float64            `json:"cycles,omitempty"`
 	Breakdown map[string]float64 `json:"cycles_by_category,omitempty"`
 }
@@ -86,17 +89,20 @@ func (l *AccessLog) Write(sp Span, respBytes int) error {
 // fields are truncated so one request cannot bloat the log.
 func (l *AccessLog) WriteMeta(sp Span, respBytes int, meta RequestMeta) error {
 	e := LogEntry{
-		Time:      time.Now().UTC().Format(time.RFC3339Nano),
-		Request:   sp.Request,
-		Worker:    sp.Worker,
-		Path:      truncateField(meta.Path),
-		UserAgent: truncateField(meta.UserAgent),
-		LatencyUS: sp.Wall.Microseconds(),
-		QueueUS:   meta.QueueWait.Microseconds(),
-		Status:    meta.Status,
-		Outcome:   meta.Outcome,
-		Bytes:     respBytes,
-		Sampled:   sp.Sampled,
+		Time:       time.Now().UTC().Format(time.RFC3339Nano),
+		Request:    sp.Request,
+		RequestID:  meta.RequestID,
+		Worker:     sp.Worker,
+		Path:       truncateField(meta.Path),
+		UserAgent:  truncateField(meta.UserAgent),
+		LatencyUS:  sp.Wall.Microseconds(),
+		QueueUS:    meta.QueueWait.Microseconds(),
+		Status:     meta.Status,
+		Outcome:    meta.Outcome,
+		Bytes:      respBytes,
+		Sampled:    sp.Sampled,
+		Rerouted:   meta.Rerouted,
+		ShedReason: meta.ShedReason,
 	}
 	if sp.Sampled {
 		e.Cycles = sp.Cycles
@@ -110,5 +116,10 @@ func (l *AccessLog) WriteMeta(sp Span, respBytes int, meta RequestMeta) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e.Backend = l.backend
+	if meta.Backend != "" {
+		// A per-request backend (the router logging which backend served
+		// the proxied request) overrides the process-level identity.
+		e.Backend = meta.Backend
+	}
 	return l.enc.Encode(e)
 }

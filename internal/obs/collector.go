@@ -76,12 +76,27 @@ func (c *Collector) TreeRing() *TreeRing { return c.trees }
 type RequestMeta struct {
 	Path      string
 	UserAgent string
+	// RequestID is the cross-process correlation ID (X-Request-Id):
+	// minted by the router or the standalone server, echoed to the
+	// client, and stamped on sampled span trees so one ID ties the
+	// router log line, backend log line, and trace together.
+	RequestID string
+	// Backend, when non-empty, overrides the log's process-level
+	// backend field for this line — the router uses it to record which
+	// backend served each proxied request.
+	Backend string
 	// Status is the HTTP status the frontend answered with (0 is
 	// logged as omitted, for entries that predate status reporting).
 	Status int
 	// Outcome names a non-served lifecycle result ("shed_overload",
 	// "timeout", "draining"); empty for served requests.
 	Outcome string
+	// Rerouted marks requests the router answered from a ring-order
+	// fallback owner after the primary refused or shed.
+	Rerouted bool
+	// ShedReason carries the router-level shed reason ("overload",
+	// "no_backend", "draining") on shed lines; empty otherwise.
+	ShedReason string
 	// QueueWait is the time the request spent waiting for a worker
 	// before rendering (or before being shed).
 	QueueWait time.Duration

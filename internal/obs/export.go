@@ -31,6 +31,18 @@ type traceFile struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
+// WriteTreesJSON renders the trees verbatim as a JSON array — the
+// cross-process interchange form: the router's stitcher decodes it back
+// into []*Tree with no lossy conversion (format=tree on /tracez).
+func WriteTreesJSON(w io.Writer, trees []*Tree) error {
+	if trees == nil {
+		trees = []*Tree{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(trees)
+}
+
 // WriteTraceEvents renders the trees as Chrome trace_event JSON, one "X"
 // (complete) event per span. Timestamps are absolute wall-clock
 // microseconds so trees from different requests land on a shared

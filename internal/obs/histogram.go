@@ -52,6 +52,44 @@ type HistogramSnapshot struct {
 	Count  uint64
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) from the cumulative
+// bucket counts by linear interpolation within the containing bucket,
+// the standard Prometheus histogram_quantile estimate. Observations in
+// the +Inf bucket clamp to the highest finite bound (there is no upper
+// edge to interpolate toward), and an empty snapshot returns 0. It lets
+// a scraper report latency quantiles for a merged fleet histogram,
+// where no per-observation reservoir exists.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	for i, c := range s.Counts {
+		if float64(c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			prev := uint64(0)
+			if i > 0 {
+				prev = s.Counts[i-1]
+			}
+			inBucket := float64(c - prev)
+			if inBucket == 0 {
+				return s.Bounds[i]
+			}
+			return lower + (s.Bounds[i]-lower)*(rank-float64(prev))/inBucket
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Snapshot returns the cumulative view of the histogram's current state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{

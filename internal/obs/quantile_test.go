@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	// 10 observations in (0, 0.01], 80 in (0.01, 0.1], 10 in (0.1, 1].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 80; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	s := h.Snapshot()
+	// Median rank 50 falls in the second bucket: 0.01 + 0.09*(50-10)/80.
+	if got, want := s.Quantile(0.5), 0.01+0.09*40/80; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p50 = %g, want %g", got, want)
+	}
+	// p95 rank 95 falls in the third bucket: 0.1 + 0.9*(95-90)/10.
+	if got, want := s.Quantile(0.95), 0.1+0.9*5/10; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p95 = %g, want %g", got, want)
+	}
+	if got := s.Quantile(0); got != 0.01*0/10+0 && got > 0.01 {
+		t.Fatalf("p0 = %g, want within first bucket", got)
+	}
+	if got := s.Quantile(1); got != 1 {
+		t.Fatalf("p100 = %g, want 1", got)
+	}
+}
+
+func TestHistogramSnapshotQuantileEdges(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g", got)
+	}
+	h := NewHistogram([]float64{0.01, 0.1})
+	h.Observe(5) // +Inf bucket only
+	s := h.Snapshot()
+	// Everything is past the last finite bound: clamp there.
+	if got := s.Quantile(0.5); got != 0.1 {
+		t.Fatalf("overflow quantile = %g, want 0.1", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := s.Quantile(2); got != 0.1 {
+		t.Fatalf("q=2 -> %g", got)
+	}
+	// q=-1 clamps to 0; rank 0 lands in the empty first bucket, whose
+	// bound is the degenerate-interpolation answer.
+	if got := s.Quantile(-1); got != 0.01 {
+		t.Fatalf("q=-1 -> %g, want 0.01", got)
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// HeaderRequestID is the HTTP header carrying a request's correlation
+// ID across the router → backend boundary and back to the client. The
+// router mints one per request (unless the client supplied its own) and
+// the backend echoes it into its access log and sampled span tree, so a
+// single ID ties together the client response, the router log line, the
+// backend log line, and the stitched trace at /tracez.
+const HeaderRequestID = "X-Request-Id"
+
+// HeaderTraceSampled is the response header a backend sets when it
+// retained a span tree for the request, signalling the router that a
+// stitchable tree exists at the backend's /tracez?rid=<id>.
+const HeaderTraceSampled = "X-Trace-Sampled"
+
+// maxRequestIDLen bounds inbound request IDs: anything longer is
+// truncated so a hostile header cannot bloat logs or span trees.
+const maxRequestIDLen = 64
+
+// IDSource mints process-unique request IDs. Each source draws a random
+// 64-bit prefix at construction (crypto/rand, falling back to the clock
+// if the system entropy pool fails) and appends an atomic counter, so
+// IDs are unique across concurrent goroutines without locks and unique
+// across processes with overwhelming probability — and there is no
+// dependence on math/rand's global, lockable state.
+type IDSource struct {
+	prefix uint64
+	ctr    atomic.Uint64
+}
+
+// NewIDSource builds an ID source with a fresh random prefix.
+func NewIDSource() *IDSource {
+	var b [8]byte
+	var prefix uint64
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		prefix = binary.LittleEndian.Uint64(b[:])
+	} else {
+		prefix = uint64(time.Now().UnixNano())
+	}
+	return &IDSource{prefix: prefix}
+}
+
+// Next returns the next ID: 16 hex chars of process prefix, a dash, and
+// 8 hex chars of per-source sequence ("3fa85f64c91e07b2-0000002a").
+// Safe for concurrent use; a nil source returns "".
+func (s *IDSource) Next() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%016x-%08x", s.prefix, s.ctr.Add(1))
+}
+
+// SanitizeRequestID makes an inbound (client- or router-supplied)
+// request ID safe to log and echo: non-printable and JSON/label-hostile
+// bytes are replaced with '_' and the result is truncated to a bounded
+// length. An empty input stays empty (the caller should mint instead).
+func SanitizeRequestID(id string) string {
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	out := []byte(id)
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		if c < 0x21 || c > 0x7e || c == '"' || c == '\\' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

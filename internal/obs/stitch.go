@@ -1,0 +1,68 @@
+package obs
+
+// Cross-process trace stitching: a router that sampled a request can
+// fetch the backend's span tree for the same X-Request-Id and graft it
+// under its own proxy span, producing one timeline from socket through
+// router to backend VM. The graft rebases the backend tree's clock onto
+// the host tree's and propagates the backend's simulated cycle totals up
+// the host's ancestor chain, so the telescoping self-cycles invariant
+// (sum of self vectors == root inclusive vector) keeps holding on the
+// stitched tree: the router's own spans carry zero simulated cycles and
+// telescope to zero; every simulated cycle in the stitched tree belongs
+// to a backend span.
+
+// Graft attaches sub's root span as a child of the last span in
+// ancestors, which must be the chain from host.Root down to the attach
+// point (host.Root first). Sub's span offsets — relative to sub.Start —
+// are rebased onto host's clock; if the two processes' clocks disagree
+// enough that sub would begin before the attach span does, the subtree
+// is clamped to the attach span's start so viewers never show a backend
+// render beginning before its proxy call. Sub's inclusive cycle vector
+// is added to every ancestor, preserving the self-cycles telescoping
+// invariant. No-op when any argument is nil/empty.
+func Graft(host *Tree, ancestors []*TreeSpan, sub *Tree) {
+	if host == nil || host.Root == nil || sub == nil || sub.Root == nil || len(ancestors) == 0 {
+		return
+	}
+	attach := ancestors[len(ancestors)-1]
+	offset := sub.Start.Sub(host.Start)
+	if offset < attach.Start {
+		offset = attach.Start
+	}
+	sub.Root.shiftStart(offset)
+	attach.Children = append(attach.Children, sub.Root)
+	for _, a := range ancestors {
+		a.Categories = a.Categories.Add(sub.Root.Categories)
+		a.Cycles += sub.Root.Cycles
+	}
+	host.Dropped += sub.Dropped
+}
+
+// FindSpan returns the ancestor chain from the tree's root to the first
+// span (depth-first, start order) whose name matches, or nil when no
+// span matches. The returned slice is the ancestors argument Graft
+// expects.
+func FindSpan(t *Tree, name string) []*TreeSpan {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	var path []*TreeSpan
+	var found []*TreeSpan
+	var walk func(sp *TreeSpan)
+	walk = func(sp *TreeSpan) {
+		if found != nil {
+			return
+		}
+		path = append(path, sp)
+		if sp.Name == name {
+			found = append([]*TreeSpan(nil), path...)
+		} else {
+			for _, c := range sp.Children {
+				walk(c)
+			}
+		}
+		path = path[:len(path)-1]
+	}
+	walk(t.Root)
+	return found
+}

@@ -84,6 +84,11 @@ type Tree struct {
 	// Request is the server-assigned request sequence number (set by
 	// Collector.Observe, 0 until then).
 	Request uint64
+	// ID is the cross-process request correlation ID (X-Request-Id),
+	// empty for trees that predate ID propagation. It is what lets the
+	// router find this tree at the backend's /tracez?rid= and stitch it
+	// under its own proxy span.
+	ID string
 	// Worker is the pool worker that served the request.
 	Worker int
 	// Start is the wall-clock time the request began.
@@ -93,6 +98,15 @@ type Tree struct {
 	// Dropped counts Begin calls that exceeded the tree's span budget
 	// and were recorded only as this count.
 	Dropped int
+}
+
+// SetID stamps the tree with its request correlation ID. No-op on a nil
+// tree, which keeps the unsampled caller path branch-free.
+func (t *Tree) SetID(id string) {
+	if t == nil {
+		return
+	}
+	t.ID = id
 }
 
 // AddQueueSpan extends the tree backwards in time with a synthetic

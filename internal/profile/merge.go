@@ -1,0 +1,72 @@
+package profile
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Fleet aggregation of leaf-function profiles. Each backend in a cluster
+// owns a private meter and serves its own /profilez; the router scrapes
+// every backend's profile and merges them here into the cluster-wide
+// execution profile — the whole-fleet version of the paper's Fig. 1
+// flat distribution. Merging raw cycles by (function, category) and
+// recomputing the shares is exact: it equals the profile a single meter
+// would have produced had it observed the combined load.
+
+// RawEntry is one function's absolute cycle total, the merge currency
+// (fractions are not mergeable; cycles are).
+type RawEntry struct {
+	Name     string
+	Category sim.Category
+	Cycles   float64
+}
+
+// FromCycles builds a Profile from absolute per-function cycle totals,
+// summing duplicate (name, category) rows, sorting hottest-first with a
+// name tiebreak (the Meter.Functions order), and recomputing Frac/Cum.
+func FromCycles(entries []RawEntry) Profile {
+	type key struct {
+		name string
+		cat  sim.Category
+	}
+	sums := make(map[key]float64, len(entries))
+	for _, e := range entries {
+		sums[key{e.Name, e.Category}] += e.Cycles
+	}
+	p := Profile{Entries: make([]Entry, 0, len(sums))}
+	for k, cyc := range sums {
+		p.Entries = append(p.Entries, Entry{Name: k.name, Category: k.cat, Cycles: cyc})
+		p.Total += cyc
+	}
+	sort.Slice(p.Entries, func(i, j int) bool {
+		if p.Entries[i].Cycles != p.Entries[j].Cycles {
+			return p.Entries[i].Cycles > p.Entries[j].Cycles
+		}
+		return p.Entries[i].Name < p.Entries[j].Name
+	})
+	cum := 0.0
+	for i := range p.Entries {
+		if p.Total > 0 {
+			p.Entries[i].Frac = p.Entries[i].Cycles / p.Total
+		}
+		cum += p.Entries[i].Frac
+		p.Entries[i].Cum = cum
+	}
+	return p
+}
+
+// Merge folds profiles into one by summing per-(function, category)
+// cycles and recomputing shares. Merging per-backend profiles equals
+// profiling the combined load on one meter, so cluster-level Fig. 1
+// statistics (hottest fraction, functions-for-65%) read off the result
+// directly.
+func Merge(profiles ...Profile) Profile {
+	var raw []RawEntry
+	for _, p := range profiles {
+		for _, e := range p.Entries {
+			raw = append(raw, RawEntry{Name: e.Name, Category: e.Category, Cycles: e.Cycles})
+		}
+	}
+	return FromCycles(raw)
+}

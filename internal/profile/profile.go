@@ -102,9 +102,10 @@ func (p Profile) CategoryShares() map[sim.Category]float64 {
 	return out
 }
 
-// TopN returns the hottest n entries.
+// TopN returns the hottest n entries; n <= 0 returns every entry, which
+// is how a fleet scraper asks a backend for its complete profile.
 func (p Profile) TopN(n int) []Entry {
-	if n > len(p.Entries) {
+	if n <= 0 || n > len(p.Entries) {
 		n = len(p.Entries)
 	}
 	return p.Entries[:n]

@@ -36,7 +36,27 @@ type LoadOptions struct {
 	// PageKey draws the next request's page index (e.g. ZipfKeys.Next);
 	// it is what gives cached requests their popularity distribution.
 	PageKey func() int
+	// IDs mints per-request correlation IDs (the X-Request-Id form):
+	// every submission carries an ID, sampled access-log lines record
+	// it, and failed submissions retain it in LoadStats.ErrorSamples so
+	// operators can grep logs by ID. Nil with a Collector set gets a
+	// fresh source; nil without one disables minting entirely — with no
+	// observer there is nothing to correlate against, and the bare
+	// benchmark path must not pay an allocation per request for an ID
+	// nobody records.
+	IDs *obs.IDSource
 }
+
+// ErrorSample is one failed submission's correlation ID and error,
+// retained so a run's error report names greppable request IDs.
+type ErrorSample struct {
+	ID  string
+	Err error
+}
+
+// maxErrorSamples bounds LoadStats.ErrorSamples; overload runs shed
+// thousands of requests and a sample is all an operator needs.
+const maxErrorSamples = 8
 
 // LoadStats is what a scheduler-driven load run observed: per-outcome
 // counts and the queue-wait distribution. Simulated costs for the same
@@ -73,6 +93,10 @@ type LoadStats struct {
 	HitLatency  workload.LatencyStats
 	MissLatency workload.LatencyStats
 
+	// ErrorSamples retains the first maxErrorSamples failed submissions'
+	// correlation IDs and errors (see LoadOptions.IDs).
+	ErrorSamples []ErrorSample
+
 	// rawLatencies retains the individual served-request latencies so a
 	// cluster run can recompute percentiles across backends.
 	rawLatencies []time.Duration
@@ -106,6 +130,10 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 	if clients > opts.Requests {
 		clients = opts.Requests
 	}
+	ids := opts.IDs
+	if ids == nil && opts.Collector != nil {
+		ids = obs.NewIDSource()
+	}
 
 	var next int64 // next request index to claim; claims beyond Requests stop the client
 	var mu sync.Mutex
@@ -122,6 +150,10 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 				if atomic.AddInt64(&next, 1) > int64(opts.Requests) {
 					return
 				}
+				var rid string
+				if ids != nil {
+					rid = ids.Next()
+				}
 				var wait time.Duration
 				var err error
 				var outcome cache.Outcome
@@ -137,7 +169,7 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 								return nil, rerr
 							}
 							if opts.Collector != nil {
-								opts.Collector.Observe(sp, len(body))
+								opts.Collector.ObserveHTTP(sp, len(body), obs.RequestMeta{RequestID: rid})
 							}
 							if opts.CtxSwitchEvery > 0 && w.Served()%opts.CtxSwitchEvery == 0 {
 								w.Runtime().ContextSwitch()
@@ -153,7 +185,7 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 							if err != nil {
 								return err
 							}
-							opts.Collector.Observe(sp, len(page))
+							opts.Collector.ObserveHTTP(sp, len(page), obs.RequestMeta{RequestID: rid})
 						} else if _, err := w.ServeOneCtx(ctx); err != nil {
 							return err
 						}
@@ -192,6 +224,9 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 					ls.ShedCanceled++
 				case ErrDraining:
 					ls.ShedDraining++
+				}
+				if err != nil && ids != nil && len(ls.ErrorSamples) < maxErrorSamples {
+					ls.ErrorSamples = append(ls.ErrorSamples, ErrorSample{ID: rid, Err: err})
 				}
 				mu.Unlock()
 			}

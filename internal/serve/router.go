@@ -43,6 +43,22 @@ type RouterConfig struct {
 	Client *http.Client
 	// HealthTimeout bounds one /healthz probe (<= 0 selects 1s).
 	HealthTimeout time.Duration
+
+	// SampleRate is the fraction of proxied requests that record a
+	// router-side span tree in TreeRing — and, when the backend sampled
+	// the same request, stitch the backend's tree under the proxy span.
+	// 0 disables tree recording; request-ID propagation stays on.
+	SampleRate float64
+	// TreeRing retains sampled router trees for GET /tracez (nil
+	// disables tree recording regardless of SampleRate).
+	TreeRing *obs.TreeRing
+	// AccessLog, when non-nil, receives one JSON line per sampled proxy
+	// and per shed, carrying the router fields (request_id, backend,
+	// rerouted, shed_reason) alongside the phpserve line schema.
+	AccessLog *obs.AccessLog
+	// Events, when non-nil, records cluster lifecycle transitions
+	// (backend up/down, ring membership changes) for GET /eventz.
+	Events *obs.EventRing
 }
 
 // routerBackend is the router's view of one backend process.
@@ -70,6 +86,12 @@ type Router struct {
 	cfg    RouterConfig
 	client *http.Client
 
+	// ids mints X-Request-Id values for requests that arrive without
+	// one; sampler decides which proxies record a span tree. Both are
+	// concurrency-safe and live outside mu.
+	ids     *obs.IDSource
+	sampler *obs.Sampler
+
 	mu       sync.Mutex
 	ring     *cache.Ring
 	backends map[string]*routerBackend
@@ -80,6 +102,8 @@ type Router struct {
 	shedNoBackend int64
 	shedDraining  int64
 	retries       int64
+	stitched      int64 // backend trees grafted under a router proxy span
+	stitchErrors  int64 // stitch fetches that failed or found no tree
 }
 
 // NewRouter builds a router with no backends; register them with
@@ -95,6 +119,8 @@ func NewRouter(cfg RouterConfig) *Router {
 	return &Router{
 		cfg:      cfg,
 		client:   client,
+		ids:      obs.NewIDSource(),
+		sampler:  obs.NewSampler(cfg.SampleRate),
 		ring:     cache.NewRing(cfg.RingReplicas),
 		backends: make(map[string]*routerBackend),
 	}
@@ -115,6 +141,7 @@ func (r *Router) AddBackend(id, addr string) {
 	}
 	r.order = append(r.order, id)
 	r.ring.Add(id)
+	r.cfg.Events.Add(time.Now(), obs.EventRingChange, id, "joined ring")
 }
 
 // SetBackendUp flips a backend's health state, adjusting ring
@@ -130,10 +157,15 @@ func (r *Router) SetBackendUp(id string, up bool) bool {
 		return false
 	}
 	b.up = up
+	now := time.Now()
 	if up {
 		r.ring.Add(id)
+		r.cfg.Events.Add(now, obs.EventBackendUp, id, "")
+		r.cfg.Events.Add(now, obs.EventRingChange, id, "virtual nodes re-admitted")
 	} else {
 		r.ring.Remove(id)
+		r.cfg.Events.Add(now, obs.EventBackendDown, id, "")
+		r.cfg.Events.Add(now, obs.EventRingChange, id, "virtual nodes removed")
 	}
 	return true
 }
@@ -166,15 +198,20 @@ var errRerouted = errors.New("serve: attempt rerouted")
 // with typed 503s when the router is draining, the owner is at its
 // inflight cap, or no healthy backend remains.
 func (r *Router) Proxy(w http.ResponseWriter, req *http.Request, key string) {
+	po := r.beginProxyObs(w, req)
+	defer r.finishProxyObs(po)
+
 	r.mu.Lock()
 	if r.draining {
 		r.shedDraining++
 		r.mu.Unlock()
+		po.noteShed(RouterShedDraining)
 		shedHTTP(w, RouterShedDraining, "router draining")
 		return
 	}
 	candidates := r.ring.Owners(key, len(r.backends))
 	r.mu.Unlock()
+	po.noteRoute()
 
 	// Buffer a small request body once so reroutes can replay it; the
 	// workload is GET-only, so this path is a correctness guard, not a
@@ -187,8 +224,8 @@ func (r *Router) Proxy(w http.ResponseWriter, req *http.Request, key string) {
 
 	var lastStatus int
 	var lastBody []byte
-	for _, id := range candidates {
-		status, respBody, err := r.attempt(w, req, id, body)
+	for try, id := range candidates {
+		status, respBody, err := r.attempt(w, req, id, body, po, try)
 		if err == nil {
 			return // answered the client
 		}
@@ -201,6 +238,7 @@ func (r *Router) Proxy(w http.ResponseWriter, req *http.Request, key string) {
 	if lastStatus != 0 {
 		// Every candidate answered 503 (all draining/overloaded): relay
 		// the final backend's typed shed rather than inventing one.
+		po.noteRelayedShed(lastStatus)
 		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(lastStatus)
 		w.Write(lastBody)
@@ -209,6 +247,7 @@ func (r *Router) Proxy(w http.ResponseWriter, req *http.Request, key string) {
 	r.mu.Lock()
 	r.shedNoBackend++
 	r.mu.Unlock()
+	po.noteShed(RouterShedNoBackend)
 	shedHTTP(w, RouterShedNoBackend, "no healthy backend for key")
 }
 
@@ -217,7 +256,7 @@ func (r *Router) Proxy(w http.ResponseWriter, req *http.Request, key string) {
 // the caller should try the next candidate (with the 503 status/body
 // to relay if no candidate remains), and handles shed accounting for
 // the inflight cap internally.
-func (r *Router) attempt(w http.ResponseWriter, req *http.Request, id string, body []byte) (int, []byte, error) {
+func (r *Router) attempt(w http.ResponseWriter, req *http.Request, id string, body []byte, po *proxyObs, try int) (int, []byte, error) {
 	r.mu.Lock()
 	b, ok := r.backends[id]
 	if !ok || !b.up {
@@ -232,6 +271,7 @@ func (r *Router) attempt(w http.ResponseWriter, req *http.Request, id string, bo
 		// deliberate: rerouting overload would duplicate the owner's key
 		// range onto its neighbour's cache and melt the ring's affinity
 		// exactly when the cluster is hottest.
+		po.noteShed(RouterShedOverload)
 		shedHTTP(w, RouterShedOverload, "backend "+id+" at inflight cap")
 		return 0, nil, nil
 	}
@@ -239,9 +279,11 @@ func (r *Router) attempt(w http.ResponseWriter, req *http.Request, id string, bo
 	addr := b.addr
 	r.mu.Unlock()
 
+	spanStart := po.sinceStart()
 	t0 := time.Now()
 	resp, err := r.forward(req, addr, body)
 	elapsed := time.Since(t0)
+	po.noteAttempt(id, try, spanStart, elapsed)
 
 	r.mu.Lock()
 	b.inflight--
@@ -259,6 +301,7 @@ func (r *Router) attempt(w http.ResponseWriter, req *http.Request, id string, bo
 			r.bumpRetries()
 			return 0, nil, errRerouted
 		}
+		po.noteStatus(http.StatusBadGateway)
 		http.Error(w, "bad gateway: "+err.Error(), http.StatusBadGateway)
 		return 0, nil, nil
 	}
@@ -282,13 +325,21 @@ func (r *Router) attempt(w http.ResponseWriter, req *http.Request, id string, bo
 	r.mu.Unlock()
 
 	for k, vs := range resp.Header {
+		if k == obs.HeaderRequestID || k == obs.HeaderTraceSampled {
+			// The client's X-Request-Id was already set from the router's
+			// authoritative value; the trace-sampled handshake is
+			// router-internal signalling.
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
 	}
 	w.Header().Set("X-Routed-Backend", id)
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	n, _ := io.Copy(w, resp.Body)
+	po.noteServed(id, addr, try > 0, resp.StatusCode, int(n),
+		resp.Header.Get(obs.HeaderTraceSampled) == "1")
 	return 0, nil, nil
 }
 
@@ -463,6 +514,11 @@ type RouterStats struct {
 	ShedNoBackend int64
 	ShedDraining  int64
 	Retries       int64
+	// Stitched counts backend span trees grafted under a router proxy
+	// span; StitchErrors counts stitch fetches that failed or found no
+	// matching tree at the backend.
+	Stitched     int64
+	StitchErrors int64
 	// Backends holds per-backend rows in registration order.
 	Backends []BackendStats
 }
@@ -498,6 +554,8 @@ func (r *Router) Stats() RouterStats {
 		ShedNoBackend: r.shedNoBackend,
 		ShedDraining:  r.shedDraining,
 		Retries:       r.retries,
+		Stitched:      r.stitched,
+		StitchErrors:  r.stitchErrors,
 	}
 	for _, id := range r.order {
 		b := r.backends[id]

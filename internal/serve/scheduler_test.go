@@ -458,6 +458,55 @@ func TestRunLoadOverload(t *testing.T) {
 	checkPoolIntact(t, s.Pool())
 }
 
+// TestRunLoadErrorSamples: with an ID source set, shed submissions
+// retain bounded (ID, error) samples; with neither IDs nor a collector,
+// minting is off and no samples are recorded (the bare benchmark path
+// must stay allocation-free).
+func TestRunLoadErrorSamples(t *testing.T) {
+	s := NewScheduler(testPool(t, 1), Config{QueueDepth: 0})
+
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	blockerDone := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), func(w *workload.Worker) error {
+			close(blocked)
+			<-release
+			return nil
+		})
+		blockerDone <- err
+	}()
+	<-blocked
+
+	ls := RunLoad(context.Background(), s, LoadOptions{Requests: 30, Clients: 4, IDs: obs.NewIDSource()})
+	if ls.ShedOverload != 30 {
+		t.Fatalf("shed %d, want 30", ls.ShedOverload)
+	}
+	if len(ls.ErrorSamples) == 0 || len(ls.ErrorSamples) > maxErrorSamples {
+		t.Fatalf("error samples = %d, want 1..%d", len(ls.ErrorSamples), maxErrorSamples)
+	}
+	seen := map[string]bool{}
+	for _, es := range ls.ErrorSamples {
+		if es.ID == "" || es.Err != ErrOverloaded {
+			t.Fatalf("bad sample: %+v", es)
+		}
+		if seen[es.ID] {
+			t.Fatalf("duplicate sampled ID %s", es.ID)
+		}
+		seen[es.ID] = true
+	}
+
+	ls2 := RunLoad(context.Background(), s, LoadOptions{Requests: 10, Clients: 4})
+	if len(ls2.ErrorSamples) != 0 {
+		t.Fatalf("samples recorded without an ID source: %+v", ls2.ErrorSamples)
+	}
+
+	close(release)
+	if err := <-blockerDone; err != nil {
+		t.Fatalf("blocker request failed: %v", err)
+	}
+}
+
 // TestRunLoadCancelled: cancelling mid-run stops submissions and still
 // returns consistent partial stats.
 func TestRunLoadCancelled(t *testing.T) {

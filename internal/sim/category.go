@@ -67,6 +67,18 @@ func (c Category) String() string {
 	}
 }
 
+// CategoryByName maps a short name back to its Category — the inverse
+// of String, for decoding serialized profiles (a router rebuilding a
+// backend's /profilez JSON). Unknown names report false.
+func CategoryByName(name string) (Category, bool) {
+	for _, c := range Categories() {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return CatOther, false
+}
+
 // Categories lists every category in presentation order.
 func Categories() []Category {
 	return []Category{

@@ -228,6 +228,15 @@ func (v CategoryVec) Sub(o CategoryVec) CategoryVec {
 	return v
 }
 
+// Add returns v + o element-wise: merging two processes' category
+// vectors (e.g. grafting a backend's span tree under a router span).
+func (v CategoryVec) Add(o CategoryVec) CategoryVec {
+	for i := range v {
+		v[i] += o[i]
+	}
+	return v
+}
+
 // Total sums the vector across categories.
 func (v CategoryVec) Total() float64 {
 	var t float64

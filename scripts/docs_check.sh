@@ -74,19 +74,21 @@ fi
 # Router coverage: the phprouter binary gets the same endpoint and flag
 # treatment as phpserve — every route it registers and every flag it
 # defines must be documented in the operations guide's cluster section.
-router=cmd/phprouter/main.go
-if [ -f "$router" ] && [ -f "$opsdoc" ]; then
-	routes=$(sed -n 's/.*mux\.HandleFunc("\([^"]*\)".*/\1/p' "$router" | sort -u)
+# The binary spans several files (main.go, clusterobs.go), so every
+# non-test .go file in the package is scanned.
+router_src=$(ls cmd/phprouter/*.go 2>/dev/null | grep -v '_test\.go$')
+if [ -n "$router_src" ] && [ -f "$opsdoc" ]; then
+	routes=$(sed -n 's/.*mux\.HandleFunc("\([^"]*\)".*/\1/p' $router_src | sort -u)
 	for route in $routes; do
 		if ! grep -qF "$route" "$opsdoc"; then
-			echo "docs-check: endpoint $route (from $router) is not documented in $opsdoc" >&2
+			echo "docs-check: endpoint $route (from cmd/phprouter) is not documented in $opsdoc" >&2
 			status=1
 		fi
 	done
-	flags=$(sed -n 's/.*flag\.[A-Za-z0-9]*("\([^"]*\)".*/\1/p' "$router" | sort -u)
+	flags=$(sed -n 's/.*flag\.[A-Za-z0-9]*("\([^"]*\)".*/\1/p' $router_src | sort -u)
 	for f in $flags; do
 		if ! grep -qF -- "-$f" "$opsdoc"; then
-			echo "docs-check: flag -$f (from $router) is not documented in $opsdoc" >&2
+			echo "docs-check: flag -$f (from cmd/phprouter) is not documented in $opsdoc" >&2
 			status=1
 		fi
 	done
@@ -95,11 +97,23 @@ fi
 # Router metrics coverage: every phprouter_* series name the router
 # binary emits must be documented, so a new series cannot land without
 # an operator-facing definition.
-if [ -f "$router" ] && [ -f "$opsdoc" ]; then
-	series=$(grep -o '"phprouter_[a-z_]*"' "$router" | tr -d '"' | sort -u)
+if [ -n "$router_src" ] && [ -f "$opsdoc" ]; then
+	series=$(grep -oh '"phprouter_[a-z_]*"' $router_src | tr -d '"' | sort -u)
 	for s in $series; do
 		if ! grep -qF -- "$s" "$opsdoc"; then
-			echo "docs-check: metric series $s (from $router) is not documented in $opsdoc" >&2
+			echo "docs-check: metric series $s (from cmd/phprouter) is not documented in $opsdoc" >&2
+			status=1
+		fi
+	done
+fi
+
+# Server metrics coverage: the same rule for every phpserve_* series the
+# server binary emits.
+if [ -f "$server" ] && [ -f "$opsdoc" ]; then
+	series=$(grep -o '"phpserve_[a-z_]*"' "$server" | tr -d '"' | sort -u)
+	for s in $series; do
+		if ! grep -qF -- "$s" "$opsdoc"; then
+			echo "docs-check: metric series $s (from $server) is not documented in $opsdoc" >&2
 			status=1
 		fi
 	done
