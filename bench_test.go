@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/benchrec"
 	"repro/internal/cache"
 	"repro/internal/core/hashtable"
@@ -575,12 +576,16 @@ func TestBenchCheckGuard(t *testing.T) {
 	doctored.Scenarios[0].ReqPerSec *= 0.5
 	doctored.Scenarios[1].P99US *= 2
 	doctored.Scenarios[2].AllocsPerOp++
+	// +0.2 allocs/op sits between the serve slack (0.1) and the direct
+	// slack (0.5): it must trip on a scheduler-driven scenario, proving
+	// the tighter gate is actually applied there.
+	doctored.Scenarios[3].AllocsPerOp += 0.2
 	regs, err = benchrec.Compare(rec, doctored, benchrec.DefaultTolerances())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(regs) != 3 {
-		t.Fatalf("injected 3 regressions, gate caught %d:\n%s", len(regs),
+	if len(regs) != 4 {
+		t.Fatalf("injected 4 regressions, gate caught %d:\n%s", len(regs),
 			benchrec.RenderTable(rec, doctored, regs))
 	}
 
@@ -592,5 +597,101 @@ func TestBenchCheckGuard(t *testing.T) {
 	jb, _ := again.Canonical().MarshalIndent()
 	if string(ja) != string(jb) {
 		t.Error("canonical record not reproducible across runs")
+	}
+}
+
+// --- CI guards: per-layer allocation budgets ---
+
+// allocGuardVMConfig is the accelerated serving configuration the
+// allocation guards measure under — the same shape benchrec records.
+func allocGuardVMConfig() vm.Config {
+	return vm.Config{Mitigations: sim.AllMitigations(), Features: isa.AllAccelerators(), TraceCapacity: 4096}
+}
+
+// TestArenaResetAllocGuard pins the arena reuse contract: once an arena
+// has grown to a request's working-set size, Reset+carve cycles touch
+// the Go heap zero times. Budget: 0 allocs per cycle. Env-gated with
+// the other guards (`make ci` sets ALLOC_GUARD=1) — not because it is
+// wall-clock noisy, but to keep the default test run's GC churn down.
+func TestArenaResetAllocGuard(t *testing.T) {
+	if os.Getenv("ALLOC_GUARD") != "1" {
+		t.Skip("set ALLOC_GUARD=1 to run the allocation-budget guards (make ci does)")
+	}
+	a := arena.New(0, 0)
+	for i := 0; i < 4; i++ { // warm to steady-state capacity
+		a.Make(4096)
+		a.Reset()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		a.Make(1024)
+		a.Make(4096)
+		buf := a.Buf(512)
+		_ = append(buf, 'x')
+		a.Reset()
+	})
+	t.Logf("arena reset cycle: %.2f allocs", allocs)
+	if allocs > 0 {
+		t.Errorf("warm arena reset cycle allocates %.2f times, want 0", allocs)
+	}
+}
+
+// TestRenderBufferAllocGuard bounds a steady-state uncached render —
+// the full page through the pooled output buffer, request arena, and
+// recycled VM structures. Measured ~45 allocs/request on the
+// accelerated WordPress page (down from ~1750 before the arena
+// refactor); the budget of 120 leaves headroom for small drift while
+// still catching any layer losing its reuse (each regression class —
+// boxing, chain rebuild, map churn — costs hundreds per request).
+func TestRenderBufferAllocGuard(t *testing.T) {
+	if os.Getenv("ALLOC_GUARD") != "1" {
+		t.Skip("set ALLOC_GUARD=1 to run the allocation-budget guards (make ci does)")
+	}
+	pool, err := workload.NewPool(1, allocGuardVMConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Run(workload.LoadGenerator{Warmup: 100}, 0)
+	const requests = 200
+	allocs := testing.AllocsPerRun(1, func() {
+		pool.Run(workload.LoadGenerator{Requests: requests}, 0)
+	}) / requests
+	t.Logf("steady-state render: %.2f allocs/request", allocs)
+	if allocs > 120 {
+		t.Errorf("steady-state render allocates %.2f times/request, budget 120", allocs)
+	}
+}
+
+// TestCachedHitAllocGuard bounds the cached-hit serve path: admission,
+// cache lookup, and the read-only entry return, never touching a
+// worker. Measured 4 allocs/hit — the per-request context.WithTimeout
+// machinery — so the budget of 10 catches any reintroduced per-hit
+// copying or key/stat churn.
+func TestCachedHitAllocGuard(t *testing.T) {
+	if os.Getenv("ALLOC_GUARD") != "1" {
+		t.Skip("set ALLOC_GUARD=1 to run the allocation-budget guards (make ci does)")
+	}
+	pool, err := workload.NewPoolSharedSeed(1, allocGuardVMConfig(), "wordpress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Run(workload.LoadGenerator{Warmup: 50}, 0)
+	s := serve.NewScheduler(pool, serve.Config{QueueDepth: 8, Timeout: 30 * time.Second})
+	defer s.Drain(context.Background())
+	c := cache.New(cache.Config{Capacity: 16})
+	render := func(w *workload.Worker) ([]byte, error) {
+		body, _, err := w.ServePageSpanCtx(context.Background(), 7, false)
+		return body, err
+	}
+	if _, out, _, err := s.DoCached(context.Background(), c, "page:7", render); err != nil || out != cache.Miss {
+		t.Fatalf("prime render: outcome %v err %v", out, err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, out, _, err := s.DoCached(context.Background(), c, "page:7", render); err != nil || out != cache.Hit {
+			t.Fatalf("expected hit: outcome %v err %v", out, err)
+		}
+	})
+	t.Logf("cached hit: %.2f allocs", allocs)
+	if allocs > 10 {
+		t.Errorf("cached hit allocates %.2f times, budget 10", allocs)
 	}
 }

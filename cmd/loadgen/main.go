@@ -68,6 +68,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -272,6 +273,7 @@ loop:
 			var res workload.Result
 			var ls serve.LoadStats
 			var rc *cache.Cache
+			var memBefore, memAfter runtime.MemStats
 			if *queue >= 0 {
 				// Scheduler mode: warm directly, then drive the measured
 				// phase through the full request lifecycle.
@@ -299,10 +301,25 @@ loop:
 					opts.Cache = rc
 					opts.PageKey = keys.Next
 				}
+				// Bracket only the measured phase with GC'd MemStats reads
+				// so the breakdown's memory line reports steady-state Go
+				// allocations per request, not warmup or setup churn.
+				runtime.GC()
+				runtime.ReadMemStats(&memBefore)
 				ls = serve.RunLoad(ctx, sched, opts)
+				runtime.GC()
+				runtime.ReadMemStats(&memAfter)
 				res = pool.GatherResult(ls.Wall)
 			} else {
-				res = pool.RunCtx(ctx, lg, *concurrency)
+				// Split warmup from the measured phase (RunCtx resets
+				// between them anyway) so the memory line brackets only
+				// steady-state requests.
+				pool.RunCtx(ctx, workload.LoadGenerator{Warmup: lg.Warmup, ContextSwitchEvery: lg.ContextSwitchEvery}, 0)
+				runtime.GC()
+				runtime.ReadMemStats(&memBefore)
+				res = pool.RunCtx(ctx, workload.LoadGenerator{Requests: lg.Requests, ContextSwitchEvery: lg.ContextSwitchEvery}, *concurrency)
+				runtime.GC()
+				runtime.ReadMemStats(&memAfter)
 			}
 			if ctx.Err() != nil {
 				interrupted = true
@@ -339,6 +356,7 @@ loop:
 			}
 			if *breakdown {
 				fmt.Printf("  %-10s %s\n", "", breakdownLine(res))
+				fmt.Printf("  %-10s %s\n", "", memLine(res, memBefore, memAfter))
 				fmt.Printf("  %-10s %s\n", "", fig1Line(pool))
 			}
 		}
@@ -486,7 +504,7 @@ func runRecord(dir, scale string, seed int64) error {
 	fmt.Printf("recording benchmark matrix (scale %s, seed %d)...\n", scale, seed)
 	// Same 3-trial metric-wise best bench-check uses, so the committed
 	// baseline and every future fresh side estimate the same statistic.
-	rec, err := benchrec.RunMatrix(benchrec.Options{Scale: scale, Seed: seed, Trials: 3})
+	rec, err := benchrec.RunMatrix(benchrec.Options{Scale: scale, Seed: seed, Trials: 5})
 	if err != nil {
 		return err
 	}
@@ -578,6 +596,19 @@ func breakdownLine(res workload.Result) string {
 		fmt.Fprintf(&b, "  %s %.1f%%", c, 100*share)
 	}
 	return b.String()
+}
+
+// memLine renders the measured phase's Go-heap allocation rate — the
+// operational check on the arena-backed serve path (near zero in steady
+// state). Deltas come from GC'd MemStats reads bracketing the phase.
+func memLine(res workload.Result, before, after runtime.MemStats) string {
+	if res.Requests == 0 {
+		return "memory: n/a"
+	}
+	n := float64(res.Requests)
+	return fmt.Sprintf("memory: %.2f allocs/req, %.0f B/req heap",
+		float64(after.Mallocs-before.Mallocs)/n,
+		float64(after.TotalAlloc-before.TotalAlloc)/n)
 }
 
 // fmtLatency renders a latency compactly (µs below 10ms, ms above).

@@ -26,7 +26,7 @@
 //
 //	phpserve [-addr :8080] [-app wordpress] [-config accelerated]
 //	         [-workers 4] [-seed 1] [-warmup 300] [-ctxswitch 64]
-//	         [-queue 64] [-timeout 0] [-drain 30s]
+//	         [-queue 64] [-timeout 0] [-drain 30s] [-arenacap 0]
 //	         [-cache 0] [-cachettl 0] [-cacheshards 16]
 //	         [-pages 512] [-zipf 1.0]
 //	         [-sample 0.01] [-accesslog path|-] [-pprof] [-tracebuf 4096]
@@ -54,6 +54,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
 	"os/signal"
 	"strconv"
 	"strings"
@@ -102,8 +103,25 @@ type server struct {
 	// cache and pageKeys are non-nil only with -cache: the response
 	// cache in front of the pool and the server-side Zipf sampler that
 	// assigns each request its page identity (unless ?page= overrides).
+	// keyTable holds the precomputed "page:N" cache-key strings for the
+	// configured page universe so the cached hot path never concatenates
+	// a key per request (?page= beyond the table still falls back).
 	cache    *cache.Cache
 	pageKeys *workload.ZipfKeys
+	keyTable []string
+
+	// memMu guards the MemStats baseline behind the
+	// phpserve_go_allocs_per_request gauges: each /metrics scrape reports
+	// the Go-heap allocation rate over the requests served since the
+	// previous scrape, measured after the Pool.Snapshot barrier so
+	// in-flight renders are included in both deltas.
+	memMu           sync.Mutex
+	prevMallocs     uint64
+	prevTotalAlloc  uint64
+	prevRequests    int64
+	memInitialized  bool
+	allocsPerReq    float64
+	allocBytesPerRq float64
 
 	// live is the windowed flat profile behind /profilez and the
 	// phpserve_profile_* gauges. Every scrape rotates a new epoch from a
@@ -207,6 +225,14 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
+// respBufs recycles uncached-path response buffers. A render's bytes
+// are worker-owned and invalidated as soon as the scheduler releases
+// the worker, so the handler copies them into a pooled buffer while the
+// worker is still held, writes the response from the copy, and returns
+// the buffer for the next request — no per-request allocation, no
+// aliasing of recycled render memory.
+var respBufs = sync.Pool{New: func() any { b := make([]byte, 0, 32<<10); return &b }}
+
 func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -218,9 +244,11 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	}
 	rid := s.requestID(w, r)
 	start := time.Now()
-	var page []byte
+	bufp := respBufs.Get().(*[]byte)
+	defer respBufs.Put(bufp)
 	var sp obs.Span
 	wait, err := s.sched.Do(r.Context(), func(wk *workload.Worker) error {
+		var page []byte
 		var err error
 		if s.col.ShouldSample() {
 			page, sp, err = wk.ServeOneProfiledCtx(r.Context())
@@ -233,6 +261,9 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		if err := s.dbStall(r.Context()); err != nil {
 			return err
 		}
+		// Copy before anything else can touch the worker: page aliases
+		// its recycled render buffers.
+		*bufp = append((*bufp)[:0], page...)
 		if s.ctxSwitchEvery > 0 && wk.Served()%s.ctxSwitchEvery == 0 {
 			wk.Runtime().ContextSwitch()
 		}
@@ -256,11 +287,11 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	sp.Tree.AddQueueSpan(wait)
 	s.markSampled(w, sp.Tree, rid)
 	meta.Status = http.StatusOK
-	s.col.ObserveHTTP(sp, len(page), meta)
+	s.col.ObserveHTTP(sp, len(*bufp), meta)
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	s.stampBackend(w)
-	w.Write(page)
+	w.Write(*bufp)
 }
 
 // handleRenderCached is the -cache render path: the request gets a page
@@ -279,7 +310,7 @@ func (s *server) handleRenderCached(w http.ResponseWriter, r *http.Request) {
 	sampled := s.col.ShouldSample()
 
 	var sp obs.Span
-	body, outcome, wait, err := s.sched.DoCached(r.Context(), s.cache, "page:"+strconv.Itoa(pageID),
+	body, outcome, wait, err := s.sched.DoCached(r.Context(), s.cache, s.pageKey(pageID),
 		func(wk *workload.Worker) ([]byte, error) {
 			b, rsp, rerr := wk.ServePageSpanCtx(r.Context(), pageID, sampled)
 			if rerr != nil {
@@ -735,6 +766,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Operation trace events recorded, by kind, since warmup.", kinds...)
 	}
 
+	// Go-heap allocation rates over the inter-scrape window: the
+	// operational view of the arena-per-request serve path (near zero in
+	// steady state; a jump means a new allocation crept onto it).
+	allocsPR, allocBytesPR := s.goMemGauges(snap.Requests)
+	e.Gauge("phpserve_go_allocs_per_request",
+		"Go heap allocations per served request since the previous /metrics scrape.",
+		obs.Sample{Labels: base, Value: finite(allocsPR)})
+	e.Gauge("phpserve_go_alloc_bytes_per_request",
+		"Go heap bytes allocated per served request since the previous /metrics scrape.",
+		obs.Sample{Labels: base, Value: finite(allocBytesPR)})
+
 	// The paper's Fig. 1 headline numbers as live gauges, computed over
 	// the same windowed profile /profilez reports.
 	lp, _ := s.observeLive(ps.Meter)
@@ -752,6 +794,38 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Sampled request span trees ever retained in the /tracez ring.",
 			obs.Sample{Labels: base, Value: float64(s.col.TreeRing().Total())})
 	}
+}
+
+// pageKey returns the cache key for a page identity, from the
+// precomputed table for the configured page universe (the hot path; the
+// Zipf sampler only draws ids inside it) or by concatenation for an
+// out-of-range ?page= override.
+func (s *server) pageKey(id int) string {
+	if id >= 0 && id < len(s.keyTable) {
+		return s.keyTable[id]
+	}
+	return "page:" + strconv.Itoa(id)
+}
+
+// goMemGauges reports Go heap allocation rates — allocations and bytes
+// per served request — over the window since the previous /metrics
+// scrape. The caller reads MemStats after the Pool.Snapshot barrier, so
+// renders in flight at scrape time are in both the allocation and the
+// request delta. The first scrape establishes the baseline (and reports
+// 0); a scrape window with no served requests repeats the last value
+// rather than dividing by zero.
+func (s *server) goMemGauges(requests int64) (allocsPerReq, bytesPerReq float64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	if dr := requests - s.prevRequests; s.memInitialized && dr > 0 {
+		s.allocsPerReq = float64(ms.Mallocs-s.prevMallocs) / float64(dr)
+		s.allocBytesPerRq = float64(ms.TotalAlloc-s.prevTotalAlloc) / float64(dr)
+	}
+	s.prevMallocs, s.prevTotalAlloc, s.prevRequests = ms.Mallocs, ms.TotalAlloc, requests
+	s.memInitialized = true
+	return s.allocsPerReq, s.allocBytesPerRq
 }
 
 // observeLive rotates a fresh epoch into the live profile from an
@@ -1015,6 +1089,7 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth beyond the worker count (0 sheds whenever all workers are busy)")
 	timeout := flag.Duration("timeout", 0, "per-request deadline from admission (0 disables; expired requests get 504)")
 	drainTO := flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight requests on SIGTERM/SIGINT")
+	arenaCap := flag.Int("arenacap", 0, "per-worker request-arena bytes retained across requests (0 retains everything; lower trades allocation churn for idle footprint)")
 	cacheCap := flag.Int("cache", 0, "response cache capacity in entries (0 disables the cache)")
 	cacheTTL := flag.Duration("cachettl", 0, "response cache entry time-to-live (0 never expires)")
 	cacheShards := flag.Int("cacheshards", cache.DefaultShards, "response cache shard count (rounded up to a power of two)")
@@ -1060,6 +1135,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.TraceCapacity = *traceBuf
+	if *arenaCap < 0 {
+		fmt.Fprintf(os.Stderr, "phpserve: -arenacap must be >= 0, got %d\n", *arenaCap)
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg.ArenaRetain = *arenaCap
 	// Cache mode needs page identity to be worker-independent, so every
 	// worker renders from the same seed; without the cache, workers keep
 	// their historical per-worker seeds (seed+i) for varied traffic.
@@ -1103,6 +1184,10 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		srv.keyTable = make([]string, *pages)
+		for i := range srv.keyTable {
+			srv.keyTable[i] = "page:" + strconv.Itoa(i)
 		}
 		fmt.Printf("phpserve: response cache on: %d entries, %d shards, ttl %v, %d pages, zipf %g\n",
 			srv.cache.Capacity(), srv.cache.Shards(), *cacheTTL, *pages, *zipf)

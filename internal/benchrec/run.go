@@ -76,8 +76,11 @@ type Options struct {
 	// a trial down, so the per-metric best is the estimate of the
 	// machine's unloaded speed — the same alternating best-of-trials
 	// defence the wall-clock overhead guards use. bench-record and
-	// bench-check both run 3 trials so the committed and fresh sides
-	// estimate the same statistic.
+	// bench-check both run 5 trials so the committed and fresh sides
+	// estimate the same statistic. (Three trials sufficed while the
+	// serve path allocated ~1700 objects/request; the arena/recycling
+	// work made requests fast enough that tail percentiles over a
+	// 200-request window need the larger sample to stabilize.)
 	Trials int
 }
 
@@ -255,9 +258,12 @@ func runMatrixOnce(opts Options) (Record, error) {
 
 // vmConfig builds the scenario VM config: mitigations always on (the
 // paper's §3 baseline for the serving experiments), accelerators per
-// the on/off sweep.
+// the on/off sweep. The trace is bounded: benchmark scenarios never
+// read the event ring (per-kind totals stay exact past eviction), and
+// an unbounded ring's growth dominated the recorded allocs/op without
+// informing any metric.
 func vmConfig(accelerated bool) vm.Config {
-	cfg := vm.Config{Mitigations: sim.AllMitigations()}
+	cfg := vm.Config{Mitigations: sim.AllMitigations(), TraceCapacity: 4096}
 	if accelerated {
 		cfg.Features = isa.AllAccelerators()
 	}

@@ -14,10 +14,15 @@
 // contributes exactly the lookup cost, a miss contributes the lookup
 // cost plus the full render charged on the worker that performed it.
 //
-// The cache owns its stored bytes: entries hold a private copy of the
-// filled value, and every GetOrFill return hands the caller its own
-// copy. Callers may mutate what they get back (append a footer, rewrite
-// headers in place) without corrupting what every future hit sees.
+// Ownership contract: a successful fill TRANSFERS its returned slice to
+// the cache — the filler must hand over stable bytes it will never
+// write again (render paths that recycle buffers copy before handing
+// over; serve.DoCached does exactly that while it still holds the
+// rendering worker). In exchange, every GetOrFill return — hit, miss,
+// or coalesced — is the cache-owned slice itself, which callers must
+// treat as READ-ONLY. This makes the steady-state hit path
+// allocation-free: no per-hit defensive copy, because the stored bytes
+// can never change underneath a reader.
 package cache
 
 import (
@@ -148,17 +153,13 @@ type entry struct {
 }
 
 // flight is one in-progress fill other callers for the same key wait
-// on. val is a private snapshot published for the waiters (each waiter
-// returns its own copy of it), never the slice handed to the filling
-// caller, so the leader mutating its response cannot race or corrupt a
-// waiter's. waiters counts the coalesced callers (guarded by the
-// shard's mu while the flight is registered); the snapshot is only made
-// when someone is actually waiting.
+// on. val is the fill's returned slice — stable, cache-owned bytes
+// under the ownership contract — published to the waiters when the
+// flight completes; like every GetOrFill return it is read-only.
 type flight struct {
-	done    chan struct{}
-	val     []byte
-	err     error
-	waiters int
+	done chan struct{}
+	val  []byte
+	err  error
 }
 
 // shard is one independently locked slice of the key space.
@@ -261,13 +262,14 @@ func (c *Cache) shard(key string) *shard {
 // context's error without disturbing the fill. Fill errors are returned
 // to the filling caller and every waiter, and nothing is cached.
 //
-// The returned slice is the caller's own copy on the Hit and Coalesced
-// paths, and the fill's own return value on the Miss path (the cache
-// stores a private copy of it) — so no caller ever holds bytes aliased
-// to the live cache entry or to another request's response.
+// The returned slice is cache-owned on every path and must be treated
+// as read-only (see the package ownership contract); a successful
+// fill's return transfers to the cache, so the filler must hand over
+// stable bytes it will never write again.
 //
 // Every call charges the fixed lookup cost to the cache's meter, so a
-// hit costs exactly that and nothing else in the simulated totals.
+// hit costs exactly that — and allocates nothing — in the simulated
+// totals and on the Go heap alike.
 func (c *Cache) GetOrFill(ctx context.Context, key string, fill func() ([]byte, error)) ([]byte, Outcome, error) {
 	c.chargeLookup()
 	sh := c.shard(key)
@@ -278,7 +280,7 @@ func (c *Cache) GetOrFill(ctx context.Context, key string, fill func() ([]byte, 
 		if e.expires.IsZero() || c.now().Before(e.expires) {
 			sh.lru.MoveToFront(el)
 			sh.hits++
-			val := cloneBytes(e.val)
+			val := e.val
 			sh.mu.Unlock()
 			return val, Hit, nil
 		}
@@ -287,11 +289,10 @@ func (c *Cache) GetOrFill(ctx context.Context, key string, fill func() ([]byte, 
 	}
 	if f, ok := sh.flights[key]; ok {
 		sh.coalesced++
-		f.waiters++
 		sh.mu.Unlock()
 		select {
 		case <-f.done:
-			return cloneBytes(f.val), Coalesced, f.err
+			return f.val, Coalesced, f.err
 		case <-ctx.Done():
 			return nil, Coalesced, ctx.Err()
 		}
@@ -303,19 +304,15 @@ func (c *Cache) GetOrFill(ctx context.Context, key string, fill func() ([]byte, 
 
 	body, ferr := fill()
 
-	// Unregister the flight and store before publishing to waiters: the
-	// waiter set is frozen once the flight is gone from the map, so
-	// f.waiters is stable after this critical section.
+	// Ownership of body transfers to the cache here: the entry and the
+	// waiters publish the same stable slice.
 	sh.mu.Lock()
 	delete(sh.flights, key)
 	if ferr == nil {
 		sh.insertLocked(key, body, c.entryExpiry())
 	}
-	waiters := f.waiters
 	sh.mu.Unlock()
-	if waiters > 0 {
-		f.val = cloneBytes(body)
-	}
+	f.val = body
 	f.err = ferr
 	close(f.done)
 	return body, Miss, ferr
@@ -330,21 +327,10 @@ func (c *Cache) entryExpiry() time.Time {
 	return c.now().Add(c.ttl)
 }
 
-// cloneBytes returns a caller-owned copy of b (nil stays nil).
-func cloneBytes(b []byte) []byte {
-	if b == nil {
-		return nil
-	}
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
-}
-
-// insertLocked stores (or refreshes) key with a private copy of val —
-// the caller keeps its slice, the cache keeps its own — evicting LRU
+// insertLocked stores (or refreshes) key with val, whose ownership the
+// caller has transferred to the cache (no copy is made), evicting LRU
 // entries past the shard capacity. Caller holds sh.mu.
 func (sh *shard) insertLocked(key string, val []byte, expires time.Time) {
-	val = cloneBytes(val)
 	if el, ok := sh.entries[key]; ok {
 		e := el.Value.(*entry)
 		sh.bytes += int64(len(val)) - int64(len(e.val))

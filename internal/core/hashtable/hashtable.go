@@ -137,6 +137,10 @@ type Table struct {
 	cfg     Config
 	entries []entry
 	rtt     map[uint64]*rttEntry
+	// rttFree recycles rttEntry structures (and their back-pointer
+	// backing) as maps die and are born; request-scoped arrays otherwise
+	// allocate a fresh tracking entry per map.
+	rttFree []*rttEntry
 	clock   uint64
 	stats   Stats
 }
@@ -299,7 +303,7 @@ func (t *Table) Free(m *hashmap.Map) FreeResult {
 			}
 		}
 	}
-	delete(t.rtt, m.ID())
+	t.recycleRTT(m.ID())
 	return res
 }
 
@@ -363,7 +367,7 @@ func (t *Table) OnRemoteCoherence(m *hashmap.Map) {
 				}
 			}
 		}
-		delete(t.rtt, m.ID())
+		t.recycleRTT(m.ID())
 	}
 }
 
@@ -494,13 +498,33 @@ func (t *Table) invalidate(i int) {
 	*e = entry{rttPos: -1}
 }
 
+// recycleRTT removes the map's tracking entry and pushes it on the free
+// list for the next rttTrack to reuse.
+func (t *Table) recycleRTT(id uint64) {
+	if re := t.rtt[id]; re != nil {
+		re.back = re.back[:0]
+		re.writePtr = 0
+		re.overflow = false
+		re.m = nil
+		t.rttFree = append(t.rttFree, re)
+	}
+	delete(t.rtt, id)
+}
+
 // rttTrack records a back pointer for the newly installed entry through
 // the map's RTT write pointer, returning the slot used (or -1 after
 // overflow).
 func (t *Table) rttTrack(m *hashmap.Map, tableIdx int) int {
 	re := t.rtt[m.ID()]
 	if re == nil {
-		re = &rttEntry{back: make([]int32, 0, 8), m: m}
+		if n := len(t.rttFree); n > 0 {
+			re = t.rttFree[n-1]
+			t.rttFree[n-1] = nil
+			t.rttFree = t.rttFree[:n-1]
+			re.m = m
+		} else {
+			re = &rttEntry{back: make([]int32, 0, 8), m: m}
+		}
 		t.rtt[m.ID()] = re
 	}
 	if re.overflow {

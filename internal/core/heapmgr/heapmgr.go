@@ -85,10 +85,11 @@ func (s Stats) MallocHitRate() float64 {
 // Manager is the hardware heap manager bound to the software slab
 // allocator it stays lazily coherent with.
 type Manager struct {
-	cfg   Config
-	sw    *heap.Allocator
-	lists [][]uint64 // per small class; index 0 is the head end
-	stats Stats
+	cfg     Config
+	sw      *heap.Allocator
+	lists   [][]uint64 // per small class; index 0 is the head end
+	scratch []uint64   // prefetch prepend staging, reused across refills
+	stats   Stats
 }
 
 // New builds a manager over the given software allocator.
@@ -133,8 +134,7 @@ func (h *Manager) Malloc(size int) (heap.Block, MallocResult) {
 	if len(h.lists[c]) == 0 {
 		// Zero flag raised: the software handler pulls the next free block
 		// from the software heap manager.
-		addrs := h.sw.PopFree(c, 1)
-		h.lists[c] = append(h.lists[c], addrs...)
+		h.lists[c] = h.sw.PopFree(c, 1, h.lists[c])
 	} else {
 		res.Hit = true
 		h.stats.MallocHits++
@@ -151,10 +151,15 @@ func (h *Manager) Malloc(size int) (heap.Block, MallocResult) {
 			n = room
 		}
 		if n > 0 {
-			addrs := h.sw.PopFree(c, n)
-			h.lists[c] = append(addrs, h.lists[c]...) // tail end
+			// Refilled blocks go at the tail end (the front of the slice)
+			// ahead of whatever survived; staged through h.scratch so the
+			// prepend reuses the list's own backing instead of allocating.
+			h.scratch = append(h.scratch[:0], h.lists[c]...)
+			refilled := h.sw.PopFree(c, n, h.lists[c][:0])
+			got := len(refilled)
+			h.lists[c] = append(refilled, h.scratch...)
 			h.stats.Prefetches++
-			h.stats.PrefetchedBl += int64(len(addrs))
+			h.stats.PrefetchedBl += int64(got)
 			res.Prefetch = true
 		}
 	}

@@ -18,7 +18,8 @@ import (
 // of the underlying shadow scan. Apart from the inserted padding spaces,
 // the result text equals an ordinary ReplaceAll.
 func (a *Accel) ShadowReplace(re *regex.Regex, content []byte, repl []byte, hv *HV) ([]byte, *HV, int, int) {
-	ms, examined := a.Shadow(re, content, hv)
+	ms, examined := a.shadowAppend(a.shadowMS[:0], re, content, hv)
+	a.shadowMS = ms
 	if len(ms) == 0 {
 		if hv != nil && hv.Covers(len(content)) {
 			return content, hv, 0, examined
@@ -29,8 +30,12 @@ func (a *Accel) ShadowReplace(re *regex.Regex, content []byte, repl []byte, hv *
 	seg := a.cfg.SegSize
 	nseg := (len(content) + seg - 1) / seg
 
-	// Mark segments touched by any match.
-	touched := make([]bool, nseg)
+	// Mark segments touched by any match (reused scratch).
+	if cap(a.touched) < nseg {
+		a.touched = make([]bool, nseg)
+	}
+	touched := a.touched[:nseg]
+	clear(touched)
 	for _, m := range ms {
 		lo := m.Start / seg
 		hi := lo
@@ -42,8 +47,10 @@ func (a *Accel) ShadowReplace(re *regex.Regex, content []byte, repl []byte, hv *
 		}
 	}
 
-	var out []byte
-	var flags []bool
+	// Worst case the output holds the content, every replacement, and
+	// up to a segment of padding per match group.
+	out := a.buf(len(content) + len(ms)*(len(repl)+seg))
+	flags := a.flags[:0]
 	mi := 0
 	for s := 0; s < nseg; {
 		lo := s * seg
@@ -66,8 +73,8 @@ func (a *Accel) ShadowReplace(re *regex.Regex, content []byte, repl []byte, hv *
 		if hi > len(content) {
 			hi = len(content)
 		}
-		// Apply the replacements inside [lo, hi).
-		var edited []byte
+		// Apply the replacements inside [lo, hi) (reused scratch).
+		edited := a.edited[:0]
 		prev := lo
 		for mi < len(ms) && ms[mi].Start < hi {
 			m := ms[mi]
@@ -90,8 +97,10 @@ func (a *Accel) ShadowReplace(re *regex.Regex, content []byte, repl []byte, hv *
 		for i := 0; i < (len(edited)+seg-1)/seg; i++ {
 			flags = append(flags, sub[i/64]&(1<<uint(i%64)) != 0)
 		}
+		a.edited = edited
 		s = e + 1
 	}
+	a.flags = flags
 
 	bits := make([]uint64, (len(flags)+63)/64)
 	for i, f := range flags {

@@ -127,7 +127,7 @@ func TestShadowFindsMatchesNearFlags(t *testing.T) {
 	}
 	// The quoted span sits in one flagged segment; the candidate windows
 	// around it are far smaller than the content.
-	full, fullScanned := a.fullScan(shadow, content)
+	full, fullScanned := a.fullScan(nil, shadow, content)
 	if len(full) != 1 {
 		t.Fatalf("full scan matches = %v", full)
 	}

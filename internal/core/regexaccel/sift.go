@@ -83,12 +83,66 @@ func (s Stats) SkipFraction() float64 {
 	return float64(s.BytesSkippedSift+s.BytesSkippedReuse) / float64(s.BytesPresented)
 }
 
-// Accel is the regexp accelerator front end.
+// Accel is the regexp accelerator front end. Like the string
+// accelerator it is a single-owner per-core structure, which makes its
+// private scratch buffers safe to reuse across operations.
 type Accel struct {
 	cfg   Config
 	reuse []reuseEntry
 	clock uint64
 	stats Stats
+	mem   strlib.Allocator
+	// ShadowReplace scratch, reused across calls.
+	touched []bool
+	flags   []bool
+	edited  []byte
+	wins    []window
+	// Match-range scratch: sieveMS backs Sieve results, shadowMS backs
+	// the shadow scan inside ShadowReplace. Both are consumed before the
+	// next call on this (single-owner) accelerator.
+	sieveMS  []regex.MatchRange
+	shadowMS []regex.MatchRange
+	// meta memoizes per-regexp sift eligibility and margin — both are
+	// pure functions of the (immutable) FSM, and recomputing them walks
+	// the DFA with fresh visit bookkeeping on every shadow scan.
+	meta map[*regex.Regex]siftMeta
+}
+
+// siftMeta is the memoized per-regexp sifting analysis.
+type siftMeta struct {
+	siftable bool
+	margin   int // maxRegularPrefix result (-1 when unbounded)
+}
+
+// siftInfo returns (computing once) the regexp's sift eligibility and
+// regular-prefix margin.
+func (a *Accel) siftInfo(re *regex.Regex) siftMeta {
+	if m, ok := a.meta[re]; ok {
+		return m
+	}
+	p := maxRegularPrefix(re.FSM(), strlib.IsRegular)
+	m := siftMeta{
+		margin:   p,
+		siftable: re.RequiresSpecial(strlib.IsRegular) && p >= 0 && p <= a.cfg.MaxRegularPrefix,
+	}
+	if a.meta == nil {
+		a.meta = make(map[*regex.Regex]siftMeta)
+	}
+	a.meta[re] = m
+	return m
+}
+
+// SetMem routes edited-content allocation through m — typically the
+// owning core's request arena. Results then follow m's lifetime; see
+// strlib.Allocator.
+func (a *Accel) SetMem(m strlib.Allocator) { a.mem = m }
+
+// buf allocates a zero-length, capacity-c result slice.
+func (a *Accel) buf(c int) []byte {
+	if a.mem != nil {
+		return a.mem.Buf(c)
+	}
+	return make([]byte, 0, c)
 }
 
 // New builds the accelerator.
@@ -148,9 +202,12 @@ func (h *HV) nextFlagged(s int) int {
 // accelerator's classification rows. hvGen lets the caller route HV
 // generation through its straccel instance; passing nil uses the software
 // reference.
+// The returned matches alias a reused scratch slice, valid until the
+// next Sieve call on this accelerator.
 func (a *Accel) Sieve(re *regex.Regex, content []byte, hvGen func([]byte, int) []uint64) ([]regex.MatchRange, *HV) {
 	a.stats.SieveScans++
-	ms := re.FindAll(content)
+	a.sieveMS = re.FindAllAppend(a.sieveMS[:0], content)
+	ms := a.sieveMS
 	var bits []uint64
 	if hvGen != nil {
 		bits = hvGen(content, a.cfg.SegSize)
@@ -165,11 +222,7 @@ func (a *Accel) Sieve(re *regex.Regex, content []byte, hvGen func([]byte, int) [
 // the number of regular characters a match can start with must be
 // bounded (so candidate start positions stay near flagged segments).
 func (a *Accel) Siftable(re *regex.Regex) bool {
-	if !re.RequiresSpecial(strlib.IsRegular) {
-		return false
-	}
-	p := maxRegularPrefix(re.FSM(), strlib.IsRegular)
-	return p >= 0 && p <= a.cfg.MaxRegularPrefix
+	return a.siftInfo(re).siftable
 }
 
 // Shadow scans content under the hint vector. Match attempts start only
@@ -179,19 +232,25 @@ func (a *Accel) Siftable(re *regex.Regex) bool {
 // Results are identical to a full scan — only the work differs. It
 // returns the matches and the number of bytes actually examined.
 func (a *Accel) Shadow(re *regex.Regex, content []byte, hv *HV) ([]regex.MatchRange, int) {
+	return a.shadowAppend(nil, re, content, hv)
+}
+
+// shadowAppend is Shadow appending matches into dst — ShadowReplace
+// passes the accelerator's reused scratch.
+func (a *Accel) shadowAppend(dst []regex.MatchRange, re *regex.Regex, content []byte, hv *HV) ([]regex.MatchRange, int) {
 	a.stats.ShadowScans++
 	a.stats.BytesPresented += int64(len(content))
 	if hv == nil || !hv.Covers(len(content)) || !a.Siftable(re) {
 		a.stats.NonSiftable++
-		return a.fullScan(re, content)
+		return a.fullScan(dst, re, content)
 	}
-	margin := maxRegularPrefix(re.FSM(), strlib.IsRegular)
+	margin := a.siftInfo(re).margin
 	if margin < 0 {
 		margin = 0
 	}
 	windows := a.candidateWindows(hv, margin, len(content))
 
-	var out []regex.MatchRange
+	out := dst
 	examined := 0 // engine scanned-byte metric over the windows
 	pos := 0      // next allowed match start (non-overlap rule)
 	for _, w := range windows {
@@ -229,8 +288,8 @@ func (a *Accel) Shadow(re *regex.Regex, content []byte, hv *HV) ([]regex.MatchRa
 
 // fullScan is the unsifted scan, reporting the same engine scanned-byte
 // metric a plain FindAll would cost.
-func (a *Accel) fullScan(re *regex.Regex, content []byte) ([]regex.MatchRange, int) {
-	var out []regex.MatchRange
+func (a *Accel) fullScan(dst []regex.MatchRange, re *regex.Regex, content []byte) ([]regex.MatchRange, int) {
+	out := dst
 	examined := 0
 	pos := 0
 	for pos <= len(content) {
@@ -256,8 +315,10 @@ type window struct{ start, end int }
 
 // candidateWindows merges [segStart-margin, segEnd) ranges of flagged
 // segments into disjoint windows.
+// The returned slice aliases the accelerator's reusable scratch; it is
+// only valid until the next candidateWindows call.
 func (a *Accel) candidateWindows(hv *HV, margin, n int) []window {
-	var ws []window
+	ws := a.wins[:0]
 	for s := hv.nextFlagged(0); s >= 0; s = hv.nextFlagged(s + 1) {
 		lo := s*hv.segSize - margin
 		hi := (s + 1) * hv.segSize
@@ -275,6 +336,7 @@ func (a *Accel) candidateWindows(hv *HV, margin, n int) []window {
 		}
 		ws = append(ws, window{lo, hi})
 	}
+	a.wins = ws
 	return ws
 }
 

@@ -10,7 +10,16 @@ package straccel
 func (a *Accel) NL2BR(subject []byte) []byte {
 	a.stats.Ops++
 	a.chargeBlocks(len(subject), 2)
-	var out []byte
+	breaks := 0
+	for i := 0; i < len(subject); i++ {
+		if subject[i] == '\n' || subject[i] == '\r' {
+			breaks++
+			if subject[i] == '\r' && i+1 < len(subject) && subject[i+1] == '\n' {
+				i++
+			}
+		}
+	}
+	out := a.buf(len(subject) + breaks*len("<br />"))
 	for i := 0; i < len(subject); i++ {
 		c := subject[i]
 		if c == '\r' || c == '\n' {
@@ -48,7 +57,14 @@ func (a *Accel) chargeBlocks(n, nRows int) {
 // double quote, backslash, and NUL; output logic emits the escape pairs.
 func (a *Accel) AddSlashes(subject []byte) []byte {
 	a.stats.Ops++
-	var out []byte
+	extra := 0
+	for _, c := range subject {
+		switch c {
+		case '\'', '"', '\\', 0:
+			extra++
+		}
+	}
+	out := a.buf(len(subject) + extra)
 	for base := 0; base < len(subject); base += a.cfg.BlockBytes {
 		end := base + a.cfg.BlockBytes
 		if end > len(subject) {
@@ -112,7 +128,7 @@ func (a *Accel) ApplyConfigured(subject []byte) ([]byte, bool) {
 		return nil, false
 	}
 	a.stats.Ops++
-	out := make([]byte, len(subject))
+	out := a.mk(len(subject))
 	for base := 0; base < len(subject); base += a.cfg.BlockBytes {
 		end := base + a.cfg.BlockBytes
 		if end > len(subject) {

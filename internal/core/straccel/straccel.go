@@ -118,17 +118,44 @@ type Stats struct {
 }
 
 // Accel is the string accelerator. Not safe for concurrent use; it is a
-// per-core structure.
+// per-core structure — which is also what makes its private scratch
+// buffers (diagonal state) safe to reuse across operations.
 type Accel struct {
 	cfg   Config
 	cur   MatrixConfig
 	stats Stats
 	sw    strlib.Lib // reference implementation for software fallback
+	mem   strlib.Allocator
+	diag  []bool // matchScan diagonal state, reused across scans
 }
 
 // New builds an accelerator.
 func New(cfg Config) *Accel {
 	return &Accel{cfg: cfg.sanitized()}
+}
+
+// SetMem routes result-string allocation (here and in the software
+// fallback) through m — typically the owning core's request arena.
+// Results then follow m's lifetime; see strlib.Allocator.
+func (a *Accel) SetMem(m strlib.Allocator) {
+	a.mem = m
+	a.sw.Mem = m
+}
+
+// mk allocates a length-n result slice via the configured allocator.
+func (a *Accel) mk(n int) []byte {
+	if a.mem != nil {
+		return a.mem.Make(n)
+	}
+	return make([]byte, n)
+}
+
+// buf allocates a zero-length, capacity-c result slice.
+func (a *Accel) buf(c int) []byte {
+	if a.mem != nil {
+		return a.mem.Buf(c)
+	}
+	return make([]byte, 0, c)
 }
 
 // Config returns the accelerator configuration.
@@ -182,8 +209,12 @@ func (a *Accel) matchScan(subject, pattern []byte) int {
 	// Diagonal state: diag[k] means the first k pattern bytes matched
 	// ending at the previous byte; buffered across blocks (wrap-around).
 	m := len(pattern)
-	diag := make([]bool, m) // diag[k]: k leading pattern bytes matched so far
-	diag0 := true           // zero-length prefix always matches
+	if cap(a.diag) < m {
+		a.diag = make([]bool, m)
+	}
+	diag := a.diag[:m] // diag[k]: k leading pattern bytes matched so far
+	clear(diag)
+	diag0 := true // zero-length prefix always matches
 	for base := 0; base < len(subject); base += a.cfg.BlockBytes {
 		end := base + a.cfg.BlockBytes
 		if end > len(subject) {
@@ -252,7 +283,7 @@ func (a *Accel) ToLower(subject []byte) []byte {
 
 func (a *Accel) caseConvert(subject []byte, lo, hi byte, delta int) []byte {
 	a.stats.Ops++
-	out := make([]byte, len(subject))
+	out := a.mk(len(subject))
 	for base := 0; base < len(subject); base += a.cfg.BlockBytes {
 		end := base + a.cfg.BlockBytes
 		if end > len(subject) {
@@ -285,7 +316,7 @@ func (a *Accel) Translate(subject, from, to []byte) ([]byte, bool) {
 		return a.sw.Translate(subject, from, to), false
 	}
 	a.stats.Ops++
-	out := make([]byte, len(subject))
+	out := a.mk(len(subject))
 	for base := 0; base < len(subject); base += a.cfg.BlockBytes {
 		end := base + a.cfg.BlockBytes
 		if end > len(subject) {
@@ -350,7 +381,7 @@ func (a *Accel) Replace(subject, old, new []byte) ([]byte, int, bool) {
 		return out, n, false
 	}
 	a.stats.Ops++
-	var out []byte
+	out := a.buf(len(subject))
 	count := 0
 	pos := 0
 	for pos < len(subject) {
@@ -372,7 +403,20 @@ func (a *Accel) Replace(subject, old, new []byte) ([]byte, int, bool) {
 // them, and the shifting logic splices the entities into the output.
 func (a *Accel) HTMLSpecialChars(subject []byte) []byte {
 	a.stats.Ops++
-	var out []byte
+	// Pre-size exactly (host-side pass; simulated charges are unchanged)
+	// so the result never grows out of its allocator.
+	extra := 0
+	for _, c := range subject {
+		switch c {
+		case '&':
+			extra += len("&amp;") - 1
+		case '<', '>':
+			extra += len("&lt;") - 1
+		case '"':
+			extra += len("&quot;") - 1
+		}
+	}
+	out := a.buf(len(subject) + extra)
 	for base := 0; base < len(subject); base += a.cfg.BlockBytes {
 		end := base + a.cfg.BlockBytes
 		if end > len(subject) {

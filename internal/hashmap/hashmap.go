@@ -166,6 +166,42 @@ func newIndex(n int) []int32 {
 // together with the key (§4.2).
 func (m *Map) ID() uint64 { return m.id }
 
+// Reset returns the map to its freshly-constructed state under a new
+// identity, reusing the entry and index backing arrays. The result is
+// observationally identical to NewWithID(id, obs) — the index shrinks
+// back to the minimum size so probe and growth behavior replays exactly —
+// which is what lets a runtime recycle request-scoped array structures
+// without perturbing the simulated hash-table behavior. The caller must
+// guarantee no accelerator state still references the old identity
+// (i.e. the map was freed through the hardware hash table first).
+func (m *Map) Reset(id uint64) {
+	m.id = id
+	// Clear interface values so recycled maps don't pin old values live.
+	for i := range m.entries {
+		m.entries[i] = entry{}
+	}
+	m.entries = m.entries[:0]
+	if len(m.index) != 1<<minLgSize {
+		m.index = m.index[:0]
+		if cap(m.index) >= 1<<minLgSize {
+			m.index = m.index[:1<<minLgSize]
+		} else {
+			m.index = make([]int32, 1<<minLgSize)
+		}
+	}
+	for i := range m.index {
+		m.index[i] = emptySlot
+	}
+	m.mask = 1<<minLgSize - 1
+	m.size = 0
+	m.refs = 1
+	m.stale = false
+	m.rebuilt = 0
+	m.nextIntKey = 0
+	m.nextSeq = 0
+	m.unordered = false
+}
+
 // Size returns the number of live key/value pairs.
 func (m *Map) Size() int { return m.size }
 

@@ -191,10 +191,12 @@ func (a *Allocator) Free(b Block) {
 	}
 }
 
-// PopFree removes and returns up to n segment addresses from class c's
-// free list. This is the refill source the hardware heap manager's
-// prefetcher pulls from (§4.3). It refills from a fresh chunk if empty.
-func (a *Allocator) PopFree(c int, n int) []uint64 {
+// PopFree removes up to n segment addresses from class c's free list and
+// appends them to dst, returning the extended slice (append semantics —
+// steady-state callers pass a reused buffer and pay no allocation). This
+// is the refill source the hardware heap manager's prefetcher pulls from
+// (§4.3). It refills from a fresh chunk if empty.
+func (a *Allocator) PopFree(c int, n int, dst []uint64) []uint64 {
 	if len(a.free[c]) < n {
 		a.refill(c)
 	}
@@ -202,10 +204,9 @@ func (a *Allocator) PopFree(c int, n int) []uint64 {
 	if n > len(fl) {
 		n = len(fl)
 	}
-	out := make([]uint64, n)
-	copy(out, fl[len(fl)-n:])
+	dst = append(dst, fl[len(fl)-n:]...)
 	a.free[c] = fl[:len(fl)-n]
-	return out
+	return dst
 }
 
 // PushFree returns segment addresses to class c's free list; the hardware

@@ -144,7 +144,7 @@ func TestRefillObserved(t *testing.T) {
 
 func TestPopPushFree(t *testing.T) {
 	a := NewAllocator(nil, 0)
-	addrs := a.PopFree(2, 8)
+	addrs := a.PopFree(2, 8, nil)
 	if len(addrs) != 8 {
 		t.Fatalf("PopFree returned %d addrs", len(addrs))
 	}
@@ -164,7 +164,7 @@ func TestPopPushFree(t *testing.T) {
 
 func TestMarkLiveMarkDead(t *testing.T) {
 	a := NewAllocator(nil, 0)
-	addrs := a.PopFree(0, 1)
+	addrs := a.PopFree(0, 1, nil)
 	a.MarkLive(addrs[0], 0)
 	if a.LiveCount() != 1 {
 		t.Errorf("MarkLive not reflected")
@@ -177,7 +177,7 @@ func TestMarkLiveMarkDead(t *testing.T) {
 
 func TestMarkLiveDoublePanics(t *testing.T) {
 	a := NewAllocator(nil, 0)
-	addrs := a.PopFree(0, 1)
+	addrs := a.PopFree(0, 1, nil)
 	a.MarkLive(addrs[0], 0)
 	defer func() {
 		if recover() == nil {

@@ -103,6 +103,20 @@ func New(meter *sim.Meter, feats Features, sampleEvery int) *CPU {
 // Features returns the core's accelerator feature set.
 func (c *CPU) Features() Features { return c.feats }
 
+// SetMem routes string-result allocation — the software library's and
+// every configured accelerator's — through m, typically the owning
+// runtime's per-request arena. Results then follow m's lifetime; the
+// simulated charges are unchanged.
+func (c *CPU) SetMem(m strlib.Allocator) {
+	c.Lib.Mem = m
+	if c.SA != nil {
+		c.SA.SetMem(m)
+	}
+	if c.RA != nil {
+		c.RA.SetMem(m)
+	}
+}
+
 // MapRebuilds returns how many stale-index rebuilds have occurred across
 // every hash map created on this core (hashmap.Map.Rebuilds, aggregated).
 // The paper notes these coherence events are exceedingly rare; the
@@ -121,6 +135,15 @@ func (c *CPU) at(fn string, cat sim.Category) {
 func (c *CPU) NewMap() *hashmap.Map {
 	c.nextMapID++
 	return hashmap.NewWithID(c.nextMapID, (*mapObs)(c))
+}
+
+// ResetMap recycles a previously freed map under the next map ID this
+// core would have assigned, exactly as if NewMap had built it fresh. The
+// map must already have been freed through HashFree so the hardware hash
+// table holds no state under its old identity.
+func (c *CPU) ResetMap(m *hashmap.Map) {
+	c.nextMapID++
+	m.Reset(c.nextMapID)
 }
 
 // --- phpval.Accounting ---

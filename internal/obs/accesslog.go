@@ -1,8 +1,9 @@
 package obs
 
 import (
-	"encoding/json"
 	"io"
+	"math"
+	"strconv"
 	"sync"
 	"time"
 
@@ -12,16 +13,21 @@ import (
 // AccessLog writes one JSON object per logged request — sampled renders
 // plus every shed — to an injectable io.Writer (a file in production, a
 // bytes.Buffer in tests). Writes are serialized by an internal mutex so
-// concurrent workers never interleave lines.
+// concurrent workers never interleave lines. Lines are encoded by hand
+// with strconv.Append* into a buffer reused across calls (guarded by
+// the same mutex), so a log write costs no per-call reflection or
+// intermediate allocations; the emitted object matches LogEntry
+// field-for-field.
 type AccessLog struct {
 	mu      sync.Mutex
-	enc     *json.Encoder
+	w       io.Writer
+	buf     []byte
 	backend string
 }
 
 // NewAccessLog builds an access log writing JSON lines to w.
 func NewAccessLog(w io.Writer) *AccessLog {
-	return &AccessLog{enc: json.NewEncoder(w), backend: "-"}
+	return &AccessLog{w: w, backend: "-"}
 }
 
 // SetBackend stamps every subsequent line's backend field with id — the
@@ -46,7 +52,7 @@ const maxLogFieldLen = 256
 // cut fields with a trailing ellipsis. Truncation counts bytes, backing
 // up over a split UTF-8 rune so the output stays valid JSON text.
 func truncateField(s string) string {
-	if len(s) <= maxLogFieldLen {
+	if s == "" || len(s) <= maxLogFieldLen {
 		return s
 	}
 	cut := maxLogFieldLen
@@ -56,9 +62,11 @@ func truncateField(s string) string {
 	return s[:cut] + "…"
 }
 
-// LogEntry is the JSON shape of one access-log line. Cycle fields are
-// present only on sampled spans; latency is reported in microseconds to
-// match /stats. Path and UserAgent are truncated to maxLogFieldLen.
+// LogEntry is the JSON shape of one access-log line (the decode side;
+// the writer emits the same fields without going through reflection).
+// Cycle fields are present only on sampled spans; latency is reported
+// in microseconds to match /stats. Path and UserAgent are truncated to
+// maxLogFieldLen.
 type LogEntry struct {
 	Time      string             `json:"ts"`
 	Request   uint64             `json:"request"`
@@ -79,6 +87,52 @@ type LogEntry struct {
 	Breakdown map[string]float64 `json:"cycles_by_category,omitempty"`
 }
 
+// appendJSONString appends s as a quoted JSON string, escaping the
+// characters encoding/json escapes by default (quotes, backslashes,
+// control characters, and the HTML-sensitive <, >, &) so hand-encoded
+// lines stay drop-in compatible with the reflective encoder's output.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+			continue
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		case '\t':
+			b = append(b, '\\', 't')
+		default:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xF])
+		}
+		start = i + 1
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// appendJSONFloat appends f the way encoding/json renders floats:
+// shortest decimal form, scientific notation only for extreme
+// magnitudes.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	return strconv.AppendFloat(b, f, format, -1, 64)
+}
+
 // Write emits one line for the span. Unsampled spans log only identity
 // and latency; sampled spans add the per-category cycle breakdown.
 func (l *AccessLog) Write(sp Span, respBytes int) error {
@@ -88,38 +142,87 @@ func (l *AccessLog) Write(sp Span, respBytes int) error {
 // WriteMeta is Write plus HTTP request metadata. Request-controlled
 // fields are truncated so one request cannot bloat the log.
 func (l *AccessLog) WriteMeta(sp Span, respBytes int, meta RequestMeta) error {
-	e := LogEntry{
-		Time:       time.Now().UTC().Format(time.RFC3339Nano),
-		Request:    sp.Request,
-		RequestID:  meta.RequestID,
-		Worker:     sp.Worker,
-		Path:       truncateField(meta.Path),
-		UserAgent:  truncateField(meta.UserAgent),
-		LatencyUS:  sp.Wall.Microseconds(),
-		QueueUS:    meta.QueueWait.Microseconds(),
-		Status:     meta.Status,
-		Outcome:    meta.Outcome,
-		Bytes:      respBytes,
-		Sampled:    sp.Sampled,
-		Rerouted:   meta.Rerouted,
-		ShedReason: meta.ShedReason,
-	}
-	if sp.Sampled {
-		e.Cycles = sp.Cycles
-		e.Breakdown = make(map[string]float64, sim.NumCategories)
-		for _, c := range sim.Categories() {
-			if v := sp.Categories[c]; v != 0 {
-				e.Breakdown[c.String()] = v
-			}
-		}
-	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	e.Backend = l.backend
+	b := l.buf[:0]
+	b = append(b, `{"ts":"`...)
+	b = time.Now().UTC().AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","request":`...)
+	b = strconv.AppendUint(b, sp.Request, 10)
+	if meta.RequestID != "" {
+		b = append(b, `,"request_id":`...)
+		b = appendJSONString(b, meta.RequestID)
+	}
+	b = append(b, `,"worker":`...)
+	b = strconv.AppendInt(b, int64(sp.Worker), 10)
+	b = append(b, `,"backend":`...)
+	backend := l.backend
 	if meta.Backend != "" {
 		// A per-request backend (the router logging which backend served
 		// the proxied request) overrides the process-level identity.
-		e.Backend = meta.Backend
+		backend = meta.Backend
 	}
-	return l.enc.Encode(e)
+	b = appendJSONString(b, backend)
+	if meta.Path != "" {
+		b = append(b, `,"path":`...)
+		b = appendJSONString(b, truncateField(meta.Path))
+	}
+	if meta.UserAgent != "" {
+		b = append(b, `,"user_agent":`...)
+		b = appendJSONString(b, truncateField(meta.UserAgent))
+	}
+	b = append(b, `,"latency_us":`...)
+	b = strconv.AppendInt(b, sp.Wall.Microseconds(), 10)
+	if us := meta.QueueWait.Microseconds(); us != 0 {
+		b = append(b, `,"queue_us":`...)
+		b = strconv.AppendInt(b, us, 10)
+	}
+	if meta.Status != 0 {
+		b = append(b, `,"status":`...)
+		b = strconv.AppendInt(b, int64(meta.Status), 10)
+	}
+	if meta.Outcome != "" {
+		b = append(b, `,"outcome":`...)
+		b = appendJSONString(b, meta.Outcome)
+	}
+	b = append(b, `,"bytes":`...)
+	b = strconv.AppendInt(b, int64(respBytes), 10)
+	b = append(b, `,"sampled":`...)
+	b = strconv.AppendBool(b, sp.Sampled)
+	if meta.Rerouted {
+		b = append(b, `,"rerouted":true`...)
+	}
+	if meta.ShedReason != "" {
+		b = append(b, `,"shed_reason":`...)
+		b = appendJSONString(b, meta.ShedReason)
+	}
+	if sp.Sampled {
+		if sp.Cycles != 0 {
+			b = append(b, `,"cycles":`...)
+			b = appendJSONFloat(b, sp.Cycles)
+		}
+		first := true
+		for _, c := range sim.Categories() {
+			v := sp.Categories[c]
+			if v == 0 {
+				continue
+			}
+			if first {
+				b = append(b, `,"cycles_by_category":{`...)
+				first = false
+			} else {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, c.String())
+			b = append(b, ':')
+			b = appendJSONFloat(b, v)
+		}
+		if !first {
+			b = append(b, '}')
+		}
+	}
+	b = append(b, '}', '\n')
+	l.buf = b
+	_, err := l.w.Write(b)
+	return err
 }

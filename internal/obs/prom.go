@@ -34,8 +34,14 @@ type Quantile struct {
 // The encoder is deliberately snapshot-oriented: the serving layer keeps
 // plain counters and histograms on the hot path and renders them here
 // only at scrape time, so exposition cost is never paid per request.
+// Lines are assembled with strconv.Append* into a buffer the encoder
+// reuses across series, so a scrape's exposition cost is bounded by the
+// write path, not by per-line string assembly. An Encoder is
+// single-goroutine, like the scrape handler that owns it.
 type Encoder struct {
 	w   io.Writer
+	buf []byte  // per-line assembly buffer, reused
+	lbl []Label // scratch for derived label sets (le=, quantile=)
 	err error
 }
 
@@ -45,67 +51,119 @@ func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
 // Err returns the first write error, if any.
 func (e *Encoder) Err() error { return e.err }
 
-func (e *Encoder) printf(s string) {
-	if e.err != nil {
-		return
-	}
-	_, e.err = io.WriteString(e.w, s)
-}
-
 // escapeHelp escapes a HELP string: backslash and newline.
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
-// escapeLabel escapes a label value: backslash, double quote, newline.
-func escapeLabel(s string) string {
-	s = strings.ReplaceAll(s, `\`, `\\`)
-	s = strings.ReplaceAll(s, `"`, `\"`)
-	return strings.ReplaceAll(s, "\n", `\n`)
+// appendEscapedLabel appends a label value escaping backslash, double
+// quote, and newline per the exposition format.
+func appendEscapedLabel(b []byte, s string) []byte {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' && c != '"' && c != '\n' {
+			continue
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		}
+		start = i + 1
+	}
+	return append(b, s[start:]...)
 }
 
-// formatValue renders a sample value ("+Inf"/"-Inf"/"NaN" spelled the
+// appendValue appends a sample value ("+Inf"/"-Inf"/"NaN" spelled the
 // way the exposition format requires).
-func formatValue(v float64) string {
+func appendValue(b []byte, v float64) []byte {
 	switch {
 	case math.IsInf(v, 1):
-		return "+Inf"
+		return append(b, "+Inf"...)
 	case math.IsInf(v, -1):
-		return "-Inf"
+		return append(b, "-Inf"...)
 	case math.IsNaN(v):
-		return "NaN"
+		return append(b, "NaN"...)
 	}
-	return strconv.FormatFloat(v, 'g', -1, 64)
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
 }
 
-// labelString renders {a="b",c="d"}, or "" for no labels.
-func labelString(labels []Label) string {
+// formatValue renders a sample value as a string (the parse-side tests
+// and merge keys still want the string form).
+func formatValue(v float64) string {
+	return string(appendValue(nil, v))
+}
+
+// appendLabelBlock appends {a="b",c="d"}, or nothing for no labels.
+func appendLabelBlock(b []byte, labels []Label) []byte {
 	if len(labels) == 0 {
-		return ""
+		return b
 	}
-	var b strings.Builder
-	b.WriteByte('{')
+	b = append(b, '{')
 	for i, l := range labels {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		b.WriteString(l.Name)
-		b.WriteString(`="`)
-		b.WriteString(escapeLabel(l.Value))
-		b.WriteByte('"')
+		b = append(b, l.Name...)
+		b = append(b, '=', '"')
+		b = appendEscapedLabel(b, l.Value)
+		b = append(b, '"')
 	}
-	b.WriteByte('}')
-	return b.String()
+	return append(b, '}')
+}
+
+// labelString renders {a="b",c="d"}, or "" for no labels — the merge
+// identity used by the parse side.
+func labelString(labels []Label) string {
+	return string(appendLabelBlock(nil, labels))
+}
+
+func (e *Encoder) write(b []byte) {
+	e.buf = b
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
 }
 
 func (e *Encoder) header(name, help, typ string) {
-	e.printf("# HELP " + name + " " + escapeHelp(help) + "\n")
-	e.printf("# TYPE " + name + " " + typ + "\n")
+	b := e.buf[:0]
+	b = append(b, "# HELP "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, escapeHelp(help)...)
+	b = append(b, '\n')
+	b = append(b, "# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	b = append(b, '\n')
+	e.write(b)
 }
 
 func (e *Encoder) series(name string, labels []Label, v float64) {
-	e.printf(name + labelString(labels) + " " + formatValue(v) + "\n")
+	b := e.buf[:0]
+	b = append(b, name...)
+	b = appendLabelBlock(b, labels)
+	b = append(b, ' ')
+	b = appendValue(b, v)
+	b = append(b, '\n')
+	e.write(b)
+}
+
+// derived builds labels + one extra pair in the encoder's scratch label
+// slice (valid until the next derived call — series consumes it
+// synchronously).
+func (e *Encoder) derived(labels []Label, name, value string) []Label {
+	e.lbl = append(e.lbl[:0], labels...)
+	e.lbl = append(e.lbl, Label{name, value})
+	return e.lbl
 }
 
 // Counter writes one counter family with the given samples.
@@ -131,11 +189,9 @@ func (e *Encoder) Gauge(name, help string, samples ...Sample) {
 func (e *Encoder) Histogram(name, help string, labels []Label, s HistogramSnapshot) {
 	e.header(name, help, "histogram")
 	for i, b := range s.Bounds {
-		le := append(append([]Label(nil), labels...), Label{"le", formatValue(b)})
-		e.series(name+"_bucket", le, float64(s.Counts[i]))
+		e.series(name+"_bucket", e.derived(labels, "le", formatValue(b)), float64(s.Counts[i]))
 	}
-	inf := append(append([]Label(nil), labels...), Label{"le", "+Inf"})
-	e.series(name+"_bucket", inf, float64(s.Count))
+	e.series(name+"_bucket", e.derived(labels, "le", "+Inf"), float64(s.Count))
 	e.series(name+"_sum", labels, s.Sum)
 	e.series(name+"_count", labels, float64(s.Count))
 }
@@ -146,8 +202,7 @@ func (e *Encoder) Histogram(name, help string, labels []Label, s HistogramSnapsh
 func (e *Encoder) Summary(name, help string, labels []Label, quantiles []Quantile, sum float64, count uint64) {
 	e.header(name, help, "summary")
 	for _, q := range quantiles {
-		ql := append(append([]Label(nil), labels...), Label{"quantile", formatValue(q.Q)})
-		e.series(name, ql, q.Value)
+		e.series(name, e.derived(labels, "quantile", formatValue(q.Q)), q.Value)
 	}
 	e.series(name+"_sum", labels, sum)
 	e.series(name+"_count", labels, float64(count))

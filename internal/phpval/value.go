@@ -69,6 +69,14 @@ func NewStr(b []byte) *Str { return &Str{Bytes: b, refCount: 1} }
 // NewStrCopy builds a counted string from a Go string.
 func NewStrCopy(s string) *Str { return &Str{Bytes: []byte(s), refCount: 1} }
 
+// Reset re-initializes the string in place to hold b (not copied) with a
+// fresh reference count — the recycling hook for VMs that pool string
+// headers per request instead of allocating a new one per NewStr.
+func (s *Str) Reset(b []byte) {
+	s.Bytes = b
+	s.refCount = 1
+}
+
 // Len returns the string length in bytes.
 func (s *Str) Len() int { return len(s.Bytes) }
 

@@ -20,6 +20,12 @@ import (
 // way, which keeps the number of requests inside the scheduler bounded
 // exactly as for Do.
 //
+// The returned body is the cache-owned entry on every outcome and must
+// be treated as read-only (the cache package's ownership contract);
+// the fill path copies the render output to stable heap bytes while it
+// still holds the worker, so recycled render buffers can never alias a
+// live cache entry.
+//
 // The returned duration is the time the request waited for a worker
 // (zero for hits and coalesced waiters). Error mapping matches Do:
 // deadline expiry anywhere — at admission, queued, or while waiting on
@@ -75,7 +81,20 @@ func (s *Scheduler) DoCached(ctx context.Context, c *cache.Cache, key string, re
 			return nil, aerr
 		}
 		defer s.pool.Release(w)
-		return render(w)
+		page, rerr := render(w)
+		if rerr != nil || page == nil {
+			return nil, rerr
+		}
+		// The single defensive copy of the serve path: render's return
+		// aliases the worker's recycled buffers, valid only while the
+		// worker is held — so copy to stable heap bytes here, before the
+		// deferred Release lets another request reuse them. Ownership of
+		// the copy transfers to the cache, which is also why it must be
+		// a plain allocation, never a pooled buffer: an evicted entry
+		// may still have live readers, and only the GC can tell.
+		stable := make([]byte, len(page))
+		copy(stable, page)
+		return stable, nil
 	})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {

@@ -244,44 +244,62 @@ func TestDoCachedCanceledMapsToErrCanceled(t *testing.T) {
 	}
 }
 
-// TestDoCachedHitIsPrivateCopy is the aliasing regression test: bytes
-// returned by DoCached must be the caller's to mutate (phpserve hands
-// them to ResponseWriter.Write and middleware may transform them in
-// place). Before the fix a hit aliased the live cache entry, so one
-// handler's mutation corrupted every later hit for the page.
-func TestDoCachedHitIsPrivateCopy(t *testing.T) {
+// TestDoCachedEntryStableAcrossRecycle is the aliasing regression test
+// for the pooled render path: the render buffer a worker hands back is
+// recycled on the very next request through that worker, so the cache
+// entry must be a stable copy taken before the worker is released.
+// Render unrelated pages through the same single worker (forcing buffer
+// reuse), scribble over a previously returned body, then re-read its
+// key — the stored entry must be byte-for-byte the original render.
+// Run under -race this also catches any write to a recycled buffer
+// racing a concurrent hit reader.
+func TestDoCachedEntryStableAcrossRecycle(t *testing.T) {
 	pool := cachedPool(t, 1)
 	s := NewScheduler(pool, Config{QueueDepth: 4})
 	c := cache.New(cache.Config{Capacity: 16})
 	ctx := context.Background()
 
-	first, _, _, err := s.DoCached(ctx, c, "page:7", renderPage(7))
-	if err != nil {
-		t.Fatal(err)
+	// Capture the raw render output — the worker-owned, recycled slice —
+	// alongside what DoCached stores.
+	var raw []byte
+	captureRender := func(w *workload.Worker) ([]byte, error) {
+		body, _, err := w.ServePageSpanCtx(ctx, 7, false)
+		raw = body
+		return body, err
+	}
+
+	first, out, _, err := s.DoCached(ctx, c, "page:7", captureRender)
+	if err != nil || out != cache.Miss {
+		t.Fatalf("first lookup = %v, %v; want Miss, nil", out, err)
 	}
 	want := append([]byte(nil), first...)
-	// A handler scribbling over the miss-path bytes it was handed must
-	// not reach into the stored entry either.
-	for i := range first {
-		first[i] = 'X'
+
+	// Drive other pages through the same (only) worker so its recycled
+	// output buffer and arena are reused for different content. If the
+	// cache entry aliased the worker's buffers these renders would
+	// overwrite it in place.
+	for p := 8; p < 12; p++ {
+		if _, _, _, err := s.DoCached(ctx, c, "page:"+strconv.Itoa(p), renderPage(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Mutate the raw render buffer itself — the slice the fill closure
+	// saw before copying, now recycled — and confirm the stored entry is
+	// untouched. This is the direct regression for the pre-copy bug,
+	// where the entry aliased exactly these bytes.
+	if raw != nil {
+		for i := range raw {
+			raw[i] = 'X'
+		}
 	}
 
 	hit, out, _, err := s.DoCached(ctx, c, "page:7", renderPage(7))
 	if err != nil || out != cache.Hit {
-		t.Fatalf("second lookup = %v, %v; want Hit, nil", out, err)
+		t.Fatalf("re-read = %v, %v; want Hit, nil", out, err)
 	}
 	if !bytes.Equal(hit, want) {
-		t.Fatal("miss-path mutation corrupted the cached entry")
-	}
-	for i := range hit {
-		hit[i] = 'Y'
-	}
-	again, out, _, err := s.DoCached(ctx, c, "page:7", renderPage(7))
-	if err != nil || out != cache.Hit {
-		t.Fatalf("third lookup = %v, %v; want Hit, nil", out, err)
-	}
-	if !bytes.Equal(again, want) {
-		t.Fatal("hit-path mutation corrupted the cached entry")
+		t.Fatal("cache entry changed after the worker's render buffer was recycled and scribbled on")
 	}
 }
 

@@ -139,6 +139,14 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 	var mu sync.Mutex
 	var ls LoadStats
 	var waits, lats, hitLats, missLats []time.Duration
+	// Sized up front so the append-under-mutex in the hot loop never
+	// reallocates mid-run.
+	waits = make([]time.Duration, 0, opts.Requests)
+	lats = make([]time.Duration, 0, opts.Requests)
+	if opts.Cache != nil {
+		hitLats = make([]time.Duration, 0, opts.Requests)
+		missLats = make([]time.Duration, 0, opts.Requests)
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -146,11 +154,58 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-client loop state is hoisted so the render callbacks
+			// below are allocated once per client, not once per request:
+			// the closures read page/rid through these variables, which
+			// are only rewritten between (synchronous) submissions.
+			var (
+				page     int
+				rid      string
+				pageKeys []string // lazy page-index -> "page:N" table; Zipf traffic repays it fast
+			)
+			keyFor := func(p int) string {
+				for p >= len(pageKeys) {
+					pageKeys = append(pageKeys, "")
+				}
+				if pageKeys[p] == "" {
+					pageKeys[p] = "page:" + strconv.Itoa(p)
+				}
+				return pageKeys[p]
+			}
+			cachedRender := func(w *workload.Worker) ([]byte, error) {
+				profile := opts.Collector != nil && opts.Collector.ShouldSample()
+				body, sp, rerr := w.ServePageSpanCtx(ctx, page, profile)
+				if rerr != nil {
+					return nil, rerr
+				}
+				if opts.Collector != nil {
+					opts.Collector.ObserveHTTP(sp, len(body), obs.RequestMeta{RequestID: rid})
+				}
+				if opts.CtxSwitchEvery > 0 && w.Served()%opts.CtxSwitchEvery == 0 {
+					w.Runtime().ContextSwitch()
+				}
+				return body, nil
+			}
+			plainRender := func(w *workload.Worker) error {
+				if opts.Collector != nil {
+					page, sp, err := w.ServeSpanCtx(ctx, opts.Collector.ShouldSample())
+					if err != nil {
+						return err
+					}
+					opts.Collector.ObserveHTTP(sp, len(page), obs.RequestMeta{RequestID: rid})
+				} else if _, err := w.ServeOneCtx(ctx); err != nil {
+					return err
+				}
+				if opts.CtxSwitchEvery > 0 && w.Served()%opts.CtxSwitchEvery == 0 {
+					w.Runtime().ContextSwitch()
+				}
+				return nil
+			}
 			for ctx.Err() == nil {
 				if atomic.AddInt64(&next, 1) > int64(opts.Requests) {
 					return
 				}
-				var rid string
+				rid = ""
 				if ids != nil {
 					rid = ids.Next()
 				}
@@ -159,41 +214,13 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 				var outcome cache.Outcome
 				var lat time.Duration
 				if opts.Cache != nil {
-					page := opts.PageKey()
+					page = opts.PageKey()
 					t0 := time.Now()
-					_, outcome, wait, err = s.DoCached(ctx, opts.Cache, "page:"+strconv.Itoa(page),
-						func(w *workload.Worker) ([]byte, error) {
-							profile := opts.Collector != nil && opts.Collector.ShouldSample()
-							body, sp, rerr := w.ServePageSpanCtx(ctx, page, profile)
-							if rerr != nil {
-								return nil, rerr
-							}
-							if opts.Collector != nil {
-								opts.Collector.ObserveHTTP(sp, len(body), obs.RequestMeta{RequestID: rid})
-							}
-							if opts.CtxSwitchEvery > 0 && w.Served()%opts.CtxSwitchEvery == 0 {
-								w.Runtime().ContextSwitch()
-							}
-							return body, nil
-						})
+					_, outcome, wait, err = s.DoCached(ctx, opts.Cache, keyFor(page), cachedRender)
 					lat = time.Since(t0)
 				} else {
 					t0 := time.Now()
-					wait, err = s.Do(ctx, func(w *workload.Worker) error {
-						if opts.Collector != nil {
-							page, sp, err := w.ServeSpanCtx(ctx, opts.Collector.ShouldSample())
-							if err != nil {
-								return err
-							}
-							opts.Collector.ObserveHTTP(sp, len(page), obs.RequestMeta{RequestID: rid})
-						} else if _, err := w.ServeOneCtx(ctx); err != nil {
-							return err
-						}
-						if opts.CtxSwitchEvery > 0 && w.Served()%opts.CtxSwitchEvery == 0 {
-							w.Runtime().ContextSwitch()
-						}
-						return nil
-					})
+					wait, err = s.Do(ctx, plainRender)
 					lat = time.Since(t0)
 				}
 				mu.Lock()

@@ -71,16 +71,48 @@ type Observer interface {
 	OnStringOp(op Op, subjectBytes int)
 }
 
-// Lib is the string library bound to an optional cost observer. The zero
-// value is usable (no accounting).
+// Allocator supplies backing memory for the byte slices the library
+// returns — typically a request-scoped arena owned by the calling
+// worker. Results allocated through it inherit the allocator's
+// lifetime: with an arena they are valid only until the owner's next
+// reset, so callers that keep bytes across requests must copy them out.
+type Allocator interface {
+	// Make returns a zeroed slice of length n.
+	Make(n int) []byte
+	// Buf returns a zero-length slice with at least the given capacity.
+	Buf(capacity int) []byte
+}
+
+// Lib is the string library bound to an optional cost observer and an
+// optional result allocator. The zero value is usable (no accounting,
+// ordinary heap allocation).
 type Lib struct {
 	Obs Observer
+	Mem Allocator
 }
 
 func (l *Lib) emit(op Op, n int) {
 	if l.Obs != nil {
 		l.Obs.OnStringOp(op, n)
 	}
+}
+
+// mk allocates a length-n result slice via Mem, or the heap without one.
+func (l *Lib) mk(n int) []byte {
+	if l.Mem != nil {
+		return l.Mem.Make(n)
+	}
+	return make([]byte, n)
+}
+
+// buf allocates a zero-length, capacity-c result slice via Mem, or the
+// heap without one. Appending past c migrates the data to the ordinary
+// heap — correct, just no longer arena-managed.
+func (l *Lib) buf(c int) []byte {
+	if l.Mem != nil {
+		return l.Mem.Buf(c)
+	}
+	return make([]byte, 0, c)
 }
 
 // Find returns the byte index of the first occurrence of pattern in
@@ -133,11 +165,11 @@ func findRef(subject, pattern []byte) int {
 func (l *Lib) Replace(subject, old, new []byte) ([]byte, int) {
 	l.emit(OpReplace, len(subject))
 	if len(old) == 0 {
-		out := make([]byte, len(subject))
+		out := l.mk(len(subject))
 		copy(out, subject)
 		return out, 0
 	}
-	var out []byte
+	out := l.buf(len(subject))
 	count := 0
 	i := 0
 	for i <= len(subject)-len(old) {
@@ -219,7 +251,7 @@ func inSet(c byte, set []byte) bool {
 // ToUpper returns an upper-cased copy (ASCII, PHP strtoupper).
 func (l *Lib) ToUpper(subject []byte) []byte {
 	l.emit(OpToUpper, len(subject))
-	out := make([]byte, len(subject))
+	out := l.mk(len(subject))
 	for i, c := range subject {
 		if c >= 'a' && c <= 'z' {
 			c -= 'a' - 'A'
@@ -232,7 +264,7 @@ func (l *Lib) ToUpper(subject []byte) []byte {
 // ToLower returns a lower-cased copy (ASCII, PHP strtolower).
 func (l *Lib) ToLower(subject []byte) []byte {
 	l.emit(OpToLower, len(subject))
-	out := make([]byte, len(subject))
+	out := l.mk(len(subject))
 	for i, c := range subject {
 		if c >= 'A' && c <= 'Z' {
 			c += 'a' - 'A'
@@ -256,7 +288,7 @@ func (l *Lib) Translate(subject, from, to []byte) []byte {
 	for i := range from {
 		tbl[from[i]] = to[i]
 	}
-	out := make([]byte, len(subject))
+	out := l.mk(len(subject))
 	for i, c := range subject {
 		out[i] = tbl[c]
 	}
@@ -268,7 +300,19 @@ func (l *Lib) Translate(subject, from, to []byte) []byte {
 // differences).
 func (l *Lib) HTMLSpecialChars(subject []byte) []byte {
 	l.emit(OpHTMLSpecial, len(subject))
-	var out []byte
+	// Pre-size exactly so the result never grows out of its allocator.
+	extra := 0
+	for _, c := range subject {
+		switch c {
+		case '&':
+			extra += len("&amp;") - 1
+		case '<', '>':
+			extra += len("&lt;") - 1
+		case '"':
+			extra += len("&quot;") - 1
+		}
+	}
+	out := l.buf(len(subject) + extra)
 	for _, c := range subject {
 		switch c {
 		case '&':
@@ -290,7 +334,14 @@ func (l *Lib) HTMLSpecialChars(subject []byte) []byte {
 // addslashes).
 func (l *Lib) AddSlashes(subject []byte) []byte {
 	l.emit(OpAddSlashes, len(subject))
-	var out []byte
+	extra := 0
+	for _, c := range subject {
+		switch c {
+		case '\'', '"', '\\', 0:
+			extra++
+		}
+	}
+	out := l.buf(len(subject) + extra)
 	for _, c := range subject {
 		switch c {
 		case '\'', '"', '\\':
@@ -308,7 +359,16 @@ func (l *Lib) AddSlashes(subject []byte) []byte {
 // a single break.
 func (l *Lib) NL2BR(subject []byte) []byte {
 	l.emit(OpNL2BR, len(subject))
-	var out []byte
+	breaks := 0
+	for i := 0; i < len(subject); i++ {
+		if subject[i] == '\n' || subject[i] == '\r' {
+			breaks++
+			if subject[i] == '\r' && i+1 < len(subject) && subject[i+1] == '\n' {
+				i++
+			}
+		}
+	}
+	out := l.buf(len(subject) + breaks*len("<br />"))
 	for i := 0; i < len(subject); i++ {
 		c := subject[i]
 		if c == '\r' || c == '\n' {
@@ -333,7 +393,7 @@ func (l *Lib) Concat(parts ...[]byte) []byte {
 		total += len(p)
 	}
 	l.emit(OpConcat, total)
-	out := make([]byte, 0, total)
+	out := l.buf(total)
 	for _, p := range parts {
 		out = append(out, p...)
 	}

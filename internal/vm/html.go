@@ -103,6 +103,15 @@ func (r *Runtime) NewOutputBuffer(fn string) *OutputBuffer {
 	return &OutputBuffer{r: r, fn: fn}
 }
 
+// Reset re-arms the buffer for a new response attributed to fn,
+// retaining its capacity — the render-output recycling hook. Bytes
+// returned by earlier Bytes() calls become invalid (they alias the
+// buffer about to be overwritten).
+func (o *OutputBuffer) Reset(fn string) {
+	o.fn = fn
+	o.buf = o.buf[:0]
+}
+
 // Write appends raw bytes.
 func (o *OutputBuffer) Write(b []byte) {
 	o.r.recStr(o.fn, strlib.OpConcat, len(b))
@@ -168,17 +177,43 @@ type Chain struct {
 	r     *Runtime
 	steps []ChainStep
 	res   []*regex.Regex
+	repl  [][]byte // replacement bytes, converted once at build time
 }
 
 // NewChain compiles a chain through the regexp manager.
 func (r *Runtime) NewChain(fn string, steps []ChainStep) (*Chain, error) {
-	c := &Chain{r: r, steps: steps}
-	for _, s := range steps {
+	return r.RefreshChain(nil, fn, steps)
+}
+
+// RefreshChain is NewChain reusing a previously built chain's structure:
+// the regexp-manager lookups (and their simulated cost) run exactly as
+// in NewChain, but the Go-side slices are rebuilt in place. Passing nil
+// builds a fresh chain. A caller that re-derives the same chain every
+// request — the dataflow analysis runs per invocation even though its
+// result is stable — keeps one Chain per runtime and refreshes it.
+func (r *Runtime) RefreshChain(c *Chain, fn string, steps []ChainStep) (*Chain, error) {
+	if c == nil {
+		c = &Chain{}
+	}
+	c.r = r
+	c.steps = steps
+	c.res = c.res[:0]
+	sameRepl := len(c.repl) == len(steps)
+	for i, s := range steps {
 		re, err := r.Regex(fn, s.Pattern)
 		if err != nil {
 			return nil, err
 		}
 		c.res = append(c.res, re)
+		if sameRepl && string(c.repl[i]) != s.Repl {
+			sameRepl = false
+		}
+	}
+	if !sameRepl {
+		c.repl = c.repl[:0]
+		for _, s := range steps {
+			c.repl = append(c.repl, []byte(s.Repl))
+		}
 	}
 	return c, nil
 }
@@ -201,7 +236,7 @@ func (c *Chain) Apply(fn string, content []byte) ([]byte, int) {
 	for i, re := range c.res {
 		var n int
 		var newHV *isa.HV
-		content, newHV, n = c.r.cpu.RegexShadowReplace(fn, re, content, []byte(c.steps[i].Repl), hv)
+		content, newHV, n = c.r.cpu.RegexShadowReplace(fn, re, content, c.repl[i], hv)
 		hv = newHV
 		total += n
 	}

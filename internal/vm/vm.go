@@ -12,6 +12,7 @@
 package vm
 
 import (
+	"repro/internal/arena"
 	"repro/internal/hashmap"
 	"repro/internal/heap"
 	"repro/internal/isa"
@@ -36,12 +37,33 @@ type Config struct {
 	// HeapSampleEvery sets the allocator timeline sampling period for
 	// Fig. 8 (0 disables).
 	HeapSampleEvery int
+	// ArenaRetain bounds the request arena's chunk bytes retained across
+	// BeginRequest resets (0 = retain everything; phpserve exposes it as
+	// -arenacap). The arena itself is always on — it backs every string
+	// result the runtime produces, mirroring PHP's request-scoped memory.
+	ArenaRetain int
 }
 
 // Runtime is one simulated PHP execution context (one worker).
+//
+// Memory ownership: every byte slice the runtime's string operations
+// return (EscapeHTML, Replace, Concat, chain Apply, ...) is carved from
+// a per-request arena that BeginRequest resets. Such results are valid
+// only until the owner's next BeginRequest; anything that must outlive
+// the request must be copied to the ordinary heap first.
 type Runtime struct {
 	cpu *isa.CPU
 	rec *trace.Recorder
+	// mem is the request arena backing string results; reset by
+	// BeginRequest.
+	mem *arena.Arena
+	// strFree recycles Str handles request to request (PHP's strong
+	// request-scoped reuse, §4.3); FreeStr pushes, NewStr pops.
+	strFree []*Str
+	// arrFree recycles Array structures the same way; FreeArray pushes
+	// (after the accelerator has invalidated the map), NewArray pops and
+	// resets the map under a fresh identity.
+	arrFree []*Array
 
 	// spans is the current request's span-tree builder. It is non-nil
 	// only while a sampled request is being served (the worker attaches
@@ -64,13 +86,18 @@ func New(cfg Config) *Runtime {
 	meter := sim.NewMeter(cfg.Model)
 	meter.Mit = cfg.Mitigations
 	cpu := isa.New(meter, cfg.Features, cfg.HeapSampleEvery)
-	r := &Runtime{cpu: cpu}
+	r := &Runtime{cpu: cpu, mem: arena.New(0, cfg.ArenaRetain)}
+	cpu.SetMem(r.mem)
 	if cfg.TraceCapacity >= 0 {
 		r.rec = trace.NewRecorder(cfg.TraceCapacity)
 	}
 	r.regexMgr = cpu.NewMap()
 	return r
 }
+
+// Arena exposes the request arena so the owning worker can carve
+// request-lifetime scratch from it (same reset discipline applies).
+func (r *Runtime) Arena() *arena.Arena { return r.mem }
 
 // CPU exposes the simulated core.
 func (r *Runtime) CPU() *isa.CPU { return r.cpu }
@@ -106,8 +133,11 @@ func (r *Runtime) record(e trace.Event) {
 }
 
 // BeginRequest marks a request boundary in the trace and returns its
-// sequence number.
+// sequence number. It also resets the request arena: every byte slice a
+// string operation returned during the previous request becomes invalid
+// here (its backing memory will be handed out again).
 func (r *Runtime) BeginRequest() uint64 {
+	r.mem.Reset()
 	r.requestSeq++
 	r.record(trace.Event{Kind: trace.KindRequest, Fn: "request", A: r.requestSeq})
 	return r.requestSeq
@@ -141,16 +171,32 @@ func (a *Array) Map() *hashmap.Map { return a.m }
 func (a *Array) Size() int { return a.m.Size() }
 
 // NewArray allocates a PHP array (the map structure itself comes from the
-// heap, as in the VM).
+// heap, as in the VM). The structure is recycled from the runtime's free
+// list when one is available: the simulated work — heap Malloc, map
+// identity assignment, trace event — is identical either way, only the Go
+// allocation is saved.
 func (r *Runtime) NewArray(fn string) *Array {
 	b := r.cpu.Malloc(fn, 96) // MixedArray header-sized allocation
-	a := &Array{m: r.cpu.NewMap(), block: b}
+	var a *Array
+	if n := len(r.arrFree); n > 0 {
+		a = r.arrFree[n-1]
+		r.arrFree[n-1] = nil
+		r.arrFree = r.arrFree[:n-1]
+		r.cpu.ResetMap(a.m)
+		a.block = b
+		a.freed = false
+	} else {
+		a = &Array{m: r.cpu.NewMap(), block: b}
+	}
 	r.record(trace.Event{Kind: trace.KindAlloc, Fn: fn, A: b.Addr, B: uint64(b.Size)})
 	return a
 }
 
 // FreeArray deallocates the array: the accelerator invalidates its
-// entries through the RTT and the heap reclaims the structure.
+// entries through the RTT and the heap reclaims the structure. The Go
+// structure goes on the runtime's free list — the *Array must not be
+// used after this call (the freed flag catches double frees, and a
+// recycled structure would otherwise alias a later array).
 func (r *Runtime) FreeArray(fn string, a *Array) {
 	if a.freed {
 		panic("vm: double free of array")
@@ -159,6 +205,7 @@ func (r *Runtime) FreeArray(fn string, a *Array) {
 	r.record(trace.Event{Kind: trace.KindFree, Fn: fn, A: a.block.Addr, B: uint64(a.block.Size)})
 	r.cpu.HashFree(fn, a.m)
 	r.cpu.Free(fn, a.block)
+	r.arrFree = append(r.arrFree, a)
 }
 
 // AGet reads a key. dynamic marks dynamic key names that software methods
@@ -211,9 +258,10 @@ func (r *Runtime) Extract(fn string, dst *Array, src *Array) int {
 // --- Strings (counted, heap-backed) ---
 
 // Str is a PHP string handle: counted bytes plus the heap block backing
-// them.
+// them. Handles are recycled through the runtime's free list, so a
+// handle is only valid between its NewStr and the matching FreeStr.
 type Str struct {
-	val   *phpval.Str
+	val   phpval.Str
 	block heap.Block
 	freed bool
 }
@@ -224,15 +272,27 @@ func (s *Str) Bytes() []byte { return s.val.Bytes }
 // Len returns the byte length.
 func (s *Str) Len() int { return s.val.Len() }
 
-// NewStr allocates a PHP string object holding b (not copied).
+// NewStr allocates a PHP string object holding b (not copied). The
+// handle comes from the runtime's free list when one is available —
+// the simulated Malloc charge is identical either way.
 func (r *Runtime) NewStr(fn string, b []byte) *Str {
 	size := len(b) + 16 // header + payload
 	blk := r.cpu.Malloc(fn, size)
 	r.record(trace.Event{Kind: trace.KindAlloc, Fn: fn, A: blk.Addr, B: uint64(size)})
-	return &Str{val: phpval.NewStr(b), block: blk}
+	var s *Str
+	if n := len(r.strFree); n > 0 {
+		s = r.strFree[n-1]
+		r.strFree = r.strFree[:n-1]
+	} else {
+		s = &Str{}
+	}
+	s.val.Reset(b)
+	s.block = blk
+	s.freed = false
+	return s
 }
 
-// FreeStr releases a string object.
+// FreeStr releases a string object and recycles its handle.
 func (r *Runtime) FreeStr(fn string, s *Str) {
 	if s.freed {
 		panic("vm: double free of string")
@@ -240,6 +300,7 @@ func (r *Runtime) FreeStr(fn string, s *Str) {
 	s.freed = true
 	r.record(trace.Event{Kind: trace.KindFree, Fn: fn, A: s.block.Addr, B: uint64(s.block.Size)})
 	r.cpu.Free(fn, s.block)
+	r.strFree = append(r.strFree, s)
 }
 
 // --- Regex manager ---

@@ -11,6 +11,13 @@ import (
 
 // App is a synthetic web application: a deterministic request generator
 // over a vm.Runtime.
+//
+// Memory ownership: the returned body is backed by memory the app and
+// its runtime recycle between requests (the reusable output buffer and
+// the runtime's request arena). It is valid only until the next render
+// on the same app/runtime pair — in pool terms, only while the serving
+// worker is held. Callers that keep a body longer (caches, response
+// writers that outlive the worker) must copy it first.
 type App interface {
 	// Name returns the workload name (wordpress, drupal, mediawiki, ...).
 	Name() string
@@ -23,7 +30,8 @@ type App interface {
 // always produces the same bytes regardless of request history. That
 // stable identity is what makes a response cache key meaningful —
 // ServeRequest is exactly ServePage over an internally advancing page
-// sequence. Every built-in workload implements it.
+// sequence. Every built-in workload implements it. The App ownership
+// contract applies: the returned bytes are recycled by the next render.
 type PageApp interface {
 	App
 	// ServePage renders the page with the given index.
@@ -53,6 +61,28 @@ type params struct {
 	jitUops      float64        // per-request uops in the hottest JIT function
 }
 
+// boxedInts pre-boxes the integers the render path stores into arrays.
+// The Go runtime interns boxed values below 256 only; page- and
+// item-derived indexes go well past that, and boxing one per store shows
+// up as the hottest allocation site in a steady-state render. Indexes
+// beyond the table fall back to a plain (allocating) box.
+var boxedInts = func() []any {
+	vals := make([]any, 8192)
+	for i := range vals {
+		vals[i] = i
+	}
+	return vals
+}()
+
+// boxInt returns i as an interface value without allocating when i is
+// within the pre-boxed table.
+func boxInt(i int) any {
+	if i >= 0 && i < len(boxedInts) {
+		return boxedInts[i]
+	}
+	return i
+}
+
 // appBase implements the request flow shared by the three PHP apps.
 type appBase struct {
 	p      params
@@ -62,6 +92,19 @@ type appBase struct {
 	reqSeq int
 
 	dbCache *vm.Array // persistent metadata cache (the "database")
+
+	// ob is the reusable render output buffer (reset per request); obRT
+	// remembers which runtime it charges so a fresh buffer is built if
+	// the app is ever driven on a different runtime.
+	ob   *vm.OutputBuffer
+	obRT *vm.Runtime
+	// renderFn and buildTagFn are the prefix-derived attribution names,
+	// concatenated once instead of per request.
+	renderFn   string
+	buildTagFn string
+	// chain is the texturize chain structure, refreshed (not rebuilt)
+	// each render; the per-request regexp-manager lookups still run.
+	chain *vm.Chain
 }
 
 // Name returns the workload name.
@@ -96,9 +139,21 @@ func (a *appBase) ServePage(rt *vm.Runtime, page int) []byte {
 // renderPage is the shared request flow: every place the legacy path
 // used the advancing reqSeq now derives from the explicit page index, so
 // ServeRequest(n-th call) and ServePage(n) are bit-for-bit identical.
+// The returned bytes alias the app's reusable output buffer and are
+// valid only until the next render (see the App contract).
 func (a *appBase) renderPage(rt *vm.Runtime, page int) []byte {
 	rt.BeginRequest()
-	ob := rt.NewOutputBuffer(a.p.prefix + "render_page")
+	if a.renderFn == "" {
+		a.renderFn = a.p.prefix + "render_page"
+		a.buildTagFn = a.p.prefix + "build_tag"
+	}
+	if a.ob == nil || a.obRT != rt {
+		a.ob = rt.NewOutputBuffer(a.renderFn)
+		a.obRT = rt
+	} else {
+		a.ob.Reset(a.renderFn)
+	}
+	ob := a.ob
 
 	a.ensureDBCache(rt)
 	rt.BeginSpan("load_config")
@@ -135,8 +190,8 @@ func (a *appBase) ensureDBCache(rt *vm.Runtime) {
 	fn := pick(a.cat.hash, 1)
 	a.dbCache = rt.NewArray(fn)
 	for i := 0; i < 48; i++ {
-		k := hashmap.StrKey(fmt.Sprintf("meta_%s_%d", pick(templateVars, i), i))
-		rt.ASet(fn, a.dbCache, k, []byte(a.corpus.Author(i)), true)
+		k := hashmap.StrKey(metaKeys[i])
+		rt.ASet(fn, a.dbCache, k, a.corpus.AuthorBytesVal(i), true)
 	}
 }
 
@@ -148,7 +203,7 @@ func (a *appBase) loadConfiguration(rt *vm.Runtime, page int) {
 	for i := 0; i < a.p.optionReads; i++ {
 		k := hashmap.StrKey(pick(optionKeys, i))
 		if i%7 == 0 {
-			rt.ASet(fn, opts, k, i, false)
+			rt.ASet(fn, opts, k, boxInt(i), false)
 		} else {
 			rt.AGet(pick(a.cat.hash, i), opts, k, false)
 		}
@@ -158,7 +213,7 @@ func (a *appBase) loadConfiguration(rt *vm.Runtime, page int) {
 	src := rt.NewArray("extract_locals")
 	for i := 0; i < a.p.symtabOps; i++ {
 		k := hashmap.StrKey(pick(templateVars, page+i))
-		rt.ASet(pick(a.cat.hash, i+3), src, k, a.corpus.Author(i), true)
+		rt.ASet(pick(a.cat.hash, i+3), src, k, a.corpus.AuthorVal(i), true)
 	}
 	rt.Extract("extract_locals", sym, src)
 	for i := 0; i < a.p.symtabOps; i++ {
@@ -199,9 +254,9 @@ func (a *appBase) renderItem(rt *vm.Runtime, ob *vm.OutputBuffer, idx int) {
 	attrs := rt.NewArray(heapFn)
 	for j := 0; j < a.p.attrsPerItem; j++ {
 		rt.ASet(pick(a.cat.hash, idx+j), attrs, hashmap.StrKey(pick(attrKeys, j)),
-			[]byte(a.corpus.Author(idx+j)), true)
+			a.corpus.AuthorBytesVal(idx+j), true)
 	}
-	tag := rt.BuildTag(a.p.prefix+"build_tag", "a", attrs, titleStr.Bytes())
+	tag := rt.BuildTag(a.buildTagFn, "a", attrs, titleStr.Bytes())
 	ob.Write(tag)
 	rt.FreeArray(heapFn, attrs)
 	rt.FreeStr(heapFn, titleStr)
@@ -210,9 +265,9 @@ func (a *appBase) renderItem(rt *vm.Runtime, ob *vm.OutputBuffer, idx int) {
 	// mostly reads with periodic cache refreshes, landing the SET ratio
 	// in the paper's 15-25% band.
 	for j := 0; j < a.p.metaReads; j++ {
-		k := hashmap.StrKey(fmt.Sprintf("meta_%s_%d", pick(templateVars, idx+j), (idx+j)%48))
+		k := hashmap.StrKey(metaKeys[(idx+j)%len(metaKeys)])
 		if j%8 == 7 {
-			rt.ASet(pick(a.cat.hash, idx+j), a.dbCache, k, idx, true)
+			rt.ASet(pick(a.cat.hash, idx+j), a.dbCache, k, boxInt(idx), true)
 		} else {
 			rt.AGet(pick(a.cat.hash, idx+j), a.dbCache, k, true)
 		}
@@ -225,10 +280,11 @@ func (a *appBase) renderItem(rt *vm.Runtime, ob *vm.OutputBuffer, idx int) {
 		rt.FreeStr(pick(a.cat.heap, idx+j), z)
 	}
 
-	// Shortcode and needle scans over the body (strpos-style).
-	body := append([]byte(nil), a.corpus.Post(idx)...)
+	// Shortcode and needle scans over the body (strpos-style). The body
+	// is never mutated in place, so it can alias the corpus directly.
+	body := a.corpus.Post(idx)
 	for j := 0; j < a.p.stringOps; j++ {
-		rt.Find(pick(a.cat.str, idx+j), body, []byte(shortcodes[j%len(shortcodes)]))
+		rt.Find(pick(a.cat.str, idx+j), body, shortcodeBytes[j%len(shortcodeBytes)])
 	}
 
 	// Body: the texturize chain runs over the excerpt; the whole body is
@@ -238,10 +294,16 @@ func (a *appBase) renderItem(rt *vm.Runtime, ob *vm.OutputBuffer, idx int) {
 		if ex <= 0 || ex > len(body) {
 			ex = len(body)
 		}
-		ch, err := rt.NewChain("wptexturize", a.p.chain)
+		ch, err := rt.RefreshChain(a.chain, "wptexturize", a.p.chain)
+		a.chain = ch
 		if err == nil {
 			excerpt, _ := ch.Apply("wptexturize", body[:ex])
-			body = append(excerpt, body[ex:]...)
+			// Splice the texturized excerpt and the untouched tail into
+			// one request-arena slice.
+			merged := rt.Arena().Buf(len(excerpt) + len(body) - ex)
+			merged = append(merged, excerpt...)
+			merged = append(merged, body[ex:]...)
+			body = merged
 		}
 	}
 	body = rt.EscapeHTML("htmlspecialchars", body)
@@ -306,3 +368,25 @@ var attrKeys = []string{"href", "title", "class", "rel", "id", "data-idx"}
 var shortcodes = []string{
 	"[gallery", "[caption", "[embed", "<!--more-->", "{{Infobox", "[[Category:",
 }
+
+// shortcodeBytes is the byte view of shortcodes, converted once so the
+// per-item needle scans do not re-convert per call.
+var shortcodeBytes = func() [][]byte {
+	out := make([][]byte, len(shortcodes))
+	for i, s := range shortcodes {
+		out[i] = []byte(s)
+	}
+	return out
+}()
+
+// metaKeys precomputes every "meta_<var>_<n>" key the metadata paths
+// can produce: the (templateVars, n%48) pattern repeats with period
+// lcm(len(templateVars), 48), which 48*len(templateVars) is always a
+// multiple of. Index with n % len(metaKeys).
+var metaKeys = func() []string {
+	keys := make([]string, 48*len(templateVars))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("meta_%s_%d", pick(templateVars, i), i%48)
+	}
+	return keys
+}()

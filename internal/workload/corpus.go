@@ -23,6 +23,18 @@ type Corpus struct {
 	Titles   [][]byte
 	Authors  []string
 	Comments [][]byte
+
+	// authorBytes and authorURLs are precomputed read-only views of
+	// Authors, so the render hot path never re-converts or re-concats
+	// them per request. Callers must not mutate the returned slices.
+	authorBytes [][]byte
+	authorURLs  [][]byte
+	// authorVals and authorByteVals are the same authors pre-boxed as
+	// interface values: storing a string or []byte into a PHP array
+	// through an interface{} parameter otherwise allocates the box on
+	// every store.
+	authorVals     []any
+	authorByteVals []any
 }
 
 // NewCorpus builds a corpus of n posts with the given approximate body
@@ -35,6 +47,10 @@ func NewCorpus(seed int64, n, bodyLen int) *Corpus {
 		c.Titles = append(c.Titles, c.genText(40, 0.02))
 		c.Authors = append(c.Authors, fmt.Sprintf("author%c%d", 'a'+i%26, i%37))
 		c.Comments = append(c.Comments, c.genText(bodyLen/4, 0.12))
+		c.authorBytes = append(c.authorBytes, []byte(c.Authors[i]))
+		c.authorURLs = append(c.authorURLs, []byte("https://localhost/?author="+c.Authors[i]))
+		c.authorVals = append(c.authorVals, c.Authors[i])
+		c.authorByteVals = append(c.authorByteVals, c.authorBytes[i])
 	}
 	return c
 }
@@ -74,13 +90,25 @@ func (c *Corpus) Title(i int) []byte { return c.Titles[i%len(c.Titles)] }
 // Author returns post i's author name.
 func (c *Corpus) Author(i int) string { return c.Authors[i%len(c.Authors)] }
 
+// AuthorBytes returns post i's author name as read-only bytes
+// (precomputed; callers must not mutate).
+func (c *Corpus) AuthorBytes(i int) []byte { return c.authorBytes[i%len(c.authorBytes)] }
+
+// AuthorVal returns post i's author name pre-boxed as an interface
+// value, for storing into arrays without a per-store allocation.
+func (c *Corpus) AuthorVal(i int) any { return c.authorVals[i%len(c.authorVals)] }
+
+// AuthorBytesVal is AuthorBytes pre-boxed the same way.
+func (c *Corpus) AuthorBytesVal(i int) any { return c.authorByteVals[i%len(c.authorByteVals)] }
+
 // Comment returns comment i.
 func (c *Corpus) Comment(i int) []byte { return c.Comments[i%len(c.Comments)] }
 
-// AuthorURL builds the Fig. 13-style URL whose last field changes between
-// requests — the content reuse opportunity.
+// AuthorURL returns the Fig. 13-style URL whose last field changes
+// between requests — the content reuse opportunity. The bytes are
+// precomputed and read-only.
 func (c *Corpus) AuthorURL(i int) []byte {
-	return []byte("https://localhost/?author=" + c.Author(i))
+	return c.authorURLs[i%len(c.authorURLs)]
 }
 
 // catalog holds leaf-function name pools per activity so the cost meter

@@ -68,10 +68,10 @@ func run(dir, against, freshPath string, selftest bool) error {
 		}
 	} else {
 		fmt.Printf("comparing against %s (scale %s, seed %d); running fresh matrix...\n", against, base.Scale, base.Seed)
-		// 3 trials, metric-wise best: the fresh side estimates the same
+		// 5 trials, metric-wise best: the fresh side estimates the same
 		// unloaded-machine statistic the committed record did, so host
 		// contention during any single trial cannot fake a regression.
-		fresh, err = benchrec.RunMatrix(benchrec.Options{Scale: base.Scale, Seed: base.Seed, Trials: 3})
+		fresh, err = benchrec.RunMatrix(benchrec.Options{Scale: base.Scale, Seed: base.Seed, Trials: 5})
 		if err != nil {
 			return err
 		}
@@ -113,14 +113,17 @@ func runSelftest() error {
 	doctored.Scenarios[0].ReqPerSec *= 0.5
 	doctored.Scenarios[1].P99US *= 2
 	doctored.Scenarios[2].AllocsPerOp++
+	// Between the serve slack (0.1) and the direct slack (0.5): must
+	// trip the tighter gate on a scheduler-driven scenario.
+	doctored.Scenarios[3].AllocsPerOp += 0.2
 	regs, err = benchrec.Compare(rec, doctored, benchrec.DefaultTolerances())
 	if err != nil {
 		return err
 	}
-	if len(regs) != 3 {
+	if len(regs) != 4 {
 		fmt.Print(benchrec.RenderTable(rec, doctored, regs))
-		return fmt.Errorf("injected 3 regressions, gate caught %d", len(regs))
+		return fmt.Errorf("injected 4 regressions, gate caught %d", len(regs))
 	}
-	fmt.Println("bench-check selftest: clean pass on identical records, all 3 injected regressions caught")
+	fmt.Println("bench-check selftest: clean pass on identical records, all 4 injected regressions caught")
 	return nil
 }
