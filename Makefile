@@ -60,5 +60,6 @@ ci: check
 	SCHED_OVERHEAD_GUARD=1 $(GO) test -run TestSchedulerOverheadGuard -count=1 .
 	CACHE_OVERHEAD_GUARD=1 $(GO) test -run TestCacheOverheadGuard -count=1 .
 	BENCH_CHECK_GUARD=1 $(GO) test -run TestBenchCheckGuard -count=1 .
+	TIER_DETERMINISM_GUARD=1 $(GO) test -run TestTierDeterminismGuard -count=1 .
 	ALLOC_GUARD=1 $(GO) test -run 'TestArenaResetAllocGuard|TestRenderBufferAllocGuard|TestCachedHitAllocGuard' -count=1 .
 	ROUTER_OBS_GUARD=1 $(GO) test -run TestRouterObsOverheadGuard -count=1 ./internal/serve/

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	phpi [-accel] [-stats] script.php
+//	phpi [-accel] [-stats] [-tier interp|auto|bytecode] [-requests n] script.php
 //	echo '<?php echo strtoupper("hi");' | phpi -
 package main
 
@@ -25,14 +25,21 @@ func main() {
 	accel := flag.Bool("accel", true, "run with the four accelerators")
 	stats := flag.Bool("stats", false, "print the simulation cost report after the output")
 	topN := flag.Int("profile", 0, "also print the hottest N leaf functions")
+	tier := flag.String("tier", "interp", "execution tier: interp, auto (profile-guided promotion), or bytecode")
+	requests := flag.Int("requests", 1, "run the script n times (only the last run's output prints; lets -tier auto cross its promotion window)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: phpi [-accel] [-stats] script.php  (use - for stdin)")
+		fmt.Fprintln(os.Stderr, "usage: phpi [-accel] [-stats] [-tier interp|auto|bytecode] script.php  (use - for stdin)")
+		os.Exit(2)
+	}
+
+	mode, err := php.ParseTierMode(*tier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phpi:", err)
 		os.Exit(2)
 	}
 
 	var src []byte
-	var err error
 	if flag.Arg(0) == "-" {
 		src, err = io.ReadAll(os.Stdin)
 	} else {
@@ -49,15 +56,40 @@ func main() {
 	}
 	rt := vm.New(cfg)
 
-	out, err := php.RunScript(rt, string(src))
+	prog, err := php.Parse(string(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phpi:", err)
 		os.Exit(1)
+	}
+	in := php.New(rt, prog)
+	if mode != php.TierInterp {
+		if err := in.EnableTier(nil, mode, php.DefaultTierPolicy()); err != nil {
+			fmt.Fprintln(os.Stderr, "phpi:", err)
+			os.Exit(1)
+		}
+	}
+
+	n := *requests
+	if n < 1 {
+		n = 1
+	}
+	var out []byte
+	for i := 0; i < n; i++ {
+		out, err = in.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phpi:", err)
+			os.Exit(1)
+		}
 	}
 	os.Stdout.Write(out)
 
 	if *stats {
 		fmt.Fprintf(os.Stderr, "\n--- simulation ---\n%s", rt.Meter().Report())
+		if snap := in.TierSnapshot(); snap.Enabled {
+			fmt.Fprintf(os.Stderr, "--- tier (%s) ---\nrequests %d  bytecode calls %d  interp calls %d  promotions %d\nic hits %d  ic misses %d  type-stable %d  type misses %d\n",
+				snap.Mode, snap.Requests, snap.BytecodeCalls, snap.InterpCalls, snap.Promotions,
+				snap.ICHits, snap.ICMisses, snap.TypeStableHits, snap.TypeMisses)
+		}
 	}
 	if *topN > 0 {
 		p := profile.FromMeter(rt.Meter())

@@ -22,6 +22,14 @@
 // windowed flat profile on /profilez, and optional net/http/pprof
 // endpoints.
 //
+// Scripted workloads (apps backed by actual PHP source, e.g.
+// phpscript-blog) additionally support a bytecode execution tier:
+// -tier selects interp, auto (profile-guided promotion of hot
+// functions to bytecode mid-run), or bytecode, and /tierz plus the
+// phpserve_tier_* metric series expose per-function promotion state,
+// call counts per tier, and inline-cache effectiveness aggregated
+// across the pool.
+//
 // Usage:
 //
 //	phpserve [-addr :8080] [-app wordpress] [-config accelerated]
@@ -30,7 +38,7 @@
 //	         [-cache 0] [-cachettl 0] [-cacheshards 16]
 //	         [-pages 512] [-zipf 1.0]
 //	         [-sample 0.01] [-accesslog path|-] [-pprof] [-tracebuf 4096]
-//	         [-treering 64] [-profepochs 16]
+//	         [-treering 64] [-profepochs 16] [-tier interp|auto|bytecode]
 //
 // Endpoints:
 //
@@ -39,6 +47,7 @@
 //	GET /metrics      Prometheus text-format metrics
 //	GET /tracez       last sampled span trees (trace_event JSON, folded, text)
 //	GET /profilez     live windowed flat profile (table, folded, JSON)
+//	GET /tierz        bytecode-tier state for scripted workloads (table, JSON)
 //	GET /healthz      readiness: queue depth and drain state (503 while draining)
 //	GET /debug/pprof/ Go profiling (only with -pprof)
 package main
@@ -65,6 +74,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/php"
 	"repro/internal/profile"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -85,6 +95,11 @@ type server struct {
 	ctxSwitchEvery int
 	pprofEnabled   bool
 	start          time.Time
+
+	// tier is the configured script execution tier ("" when the tier
+	// plane is off — non-scripted workload or no -tier flag). Set once
+	// at startup; /tierz and the phpserve_tier_* series activate on it.
+	tier string
 
 	// ids mints request correlation IDs for requests that arrive without
 	// an X-Request-Id (standalone mode; behind phprouter the router's ID
@@ -214,6 +229,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/tracez", s.handleTracez)
 	mux.HandleFunc("/profilez", s.handleProfilez)
+	mux.HandleFunc("/tierz", s.handleTierz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	if s.pprofEnabled {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -794,6 +810,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"Sampled request span trees ever retained in the /tracez ring.",
 			obs.Sample{Labels: base, Value: float64(s.col.TreeRing().Total())})
 	}
+
+	s.tierMetrics(e, base)
 }
 
 // pageKey returns the cache key for a page identity, from the
@@ -1105,6 +1123,7 @@ func main() {
 	backend := flag.Int("backend", -1, "cluster backend id stamped on X-Backend, /healthz, and access-log lines (-1 standalone)")
 	listen := flag.String("listen", "", "backend listen address; overrides -addr (the flag phprouter's spawner sets per backend)")
 	dbwait := flag.Duration("dbwait", 0, "simulated per-render database stall, held on the worker FPM-style (0 disables)")
+	tier := flag.String("tier", "", "script execution tier for scripted workloads: interp, auto (profile-guided promotion), or bytecode (empty leaves the tier plane off)")
 	flag.Parse()
 
 	if err := validateFlags(*workers, *warmup, *queue, *sample, *timeout, *drainTO); err != nil {
@@ -1159,6 +1178,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Configure the tier before warmup, so auto mode's promotion
+	// windows start accumulating on the warmup traffic and the server
+	// opens for business already tiered-up.
+	if *tier != "" {
+		mode, err := php.ParseTierMode(*tier)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phpserve:", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		supported, err := pool.ConfigureScriptTier(mode, php.DefaultTierPolicy())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phpserve:", err)
+			os.Exit(2)
+		}
+		if !supported {
+			fmt.Fprintf(os.Stderr, "phpserve: -tier requires a scripted workload; %s is a Go-coded recipe\n", *app)
+			os.Exit(2)
+		}
+		fmt.Printf("phpserve: script tier %s\n", mode)
+	}
+
 	fmt.Printf("phpserve: warming %d %s worker(s) (%d requests each, %s core)\n",
 		*workers, *app, *warmup, *config)
 	warmPool(pool, *warmup, *ctxSwitch)
@@ -1171,6 +1212,7 @@ func main() {
 	srv := newServer(sched, col, *app, *config, *ctxSwitch)
 	srv.live = profile.NewLive(*profEpochs, time.Now())
 	srv.pprofEnabled = *pprofFlag
+	srv.tier = *tier
 	srv.backendID = *backend
 	srv.dbWait = *dbwait
 	col.SetBackend(srv.backendLabel())

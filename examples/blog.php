@@ -1,0 +1,23 @@
+<html>
+<body>
+<?php
+function render_post($post) {
+	extract($post);
+	$safe_title = htmlspecialchars(strtoupper(trim($title)));
+	$safe_body = nl2br(htmlspecialchars($body));
+	return "<article><h2>" . $safe_title . "</h2><p>" . $safe_body . "</p><em>by " . $author . "</em></article>";
+}
+
+$posts = [
+	["title" => " hello world ", "author" => "ann", "body" => "first line\nsecond line"],
+	["title" => "arrays & maps", "author" => "bob", "body" => "keys \"quoted\" here"],
+	["title" => "the end", "author" => "cee", "body" => "short"],
+];
+
+echo "<h1>", count($posts), " posts</h1>\n";
+foreach ($posts as $i => $post) {
+	echo render_post($post), "\n";
+}
+?>
+</body>
+</html>

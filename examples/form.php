@@ -1,0 +1,28 @@
+<?php
+function validate($field, $value) {
+	if ($value === null || trim($value) === "") {
+		return $field . ": missing";
+	}
+	if ($field == "email") {
+		return preg_match('/@/', $value) ? $field . ": ok" : $field . ": invalid";
+	}
+	if ($field == "age") {
+		$n = intval($value);
+		return ($n > 0 && $n < 130) ? $field . ": ok" : $field . ": out of range";
+	}
+	return $field . ": ok";
+}
+
+$input = ["name" => "Ada Lovelace", "email" => "ada(at)example.com", "age" => "208", "note" => "  "];
+$fields = ["name", "email", "age", "note", "phone"];
+$errors = 0;
+foreach ($fields as $f) {
+	$v = isset($input[$f]) ? $input[$f] : null;
+	$msg = validate($f, $v);
+	echo $msg, "\n";
+	if (!preg_match('/: ok/', $msg)) {
+		$errors++;
+	}
+}
+echo $errors > 0 ? "rejected (" . $errors . " errors)" : "accepted", "\n";
+?>

@@ -1,0 +1,28 @@
+<?php
+function dispatch($path) {
+	$routes = [
+		"/" => "home",
+		"/about" => "about",
+		"/posts" => "post_index",
+	];
+	if (array_key_exists($path, $routes)) {
+		return $routes[$path];
+	}
+	$parts = explode("/", $path);
+	if (count($parts) == 3 && $parts[1] == "posts") {
+		$id = intval($parts[2]);
+		return $id > 0 ? "post_show(" . $id . ")" : "not_found";
+	}
+	return "not_found";
+}
+
+$requests = ["/", "/about", "/posts", "/posts/42", "/posts/abc", "/admin", "/posts/7/edit"];
+$hits = [];
+foreach ($requests as $path) {
+	$handler = dispatch($path);
+	echo $path, " -> ", $handler, "\n";
+	$hits[$handler] = isset($hits[$handler]) ? $hits[$handler] + 1 : 1;
+}
+echo "handlers: ", implode(",", array_keys($hits)), "\n";
+echo "not_found: ", $hits["not_found"], "\n";
+?>

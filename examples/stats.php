@@ -1,0 +1,35 @@
+<?php
+function fib($n) {
+	if ($n < 2) {
+		return $n;
+	}
+	return fib($n - 1) + fib($n - 2);
+}
+
+$samples = [14, 3, 8, 3, 27, 9, 1, 8];
+$sum = 0;
+$freq = [];
+foreach ($samples as $s) {
+	$sum += $s;
+	$freq[$s] = isset($freq[$s]) ? $freq[$s] + 1 : 1;
+}
+echo "n=", count($samples), " sum=", $sum, " min=", min(1, 3, 8, 14, 27), " max=", max(1, 3, 8, 14, 27), "\n";
+
+$dupes = [];
+foreach ($freq as $value => $times) {
+	if ($times > 1) {
+		$dupes[] = $value;
+	}
+}
+echo "dupes: ", implode(",", $dupes), "\n";
+
+$i = 0;
+$acc = "";
+while ($i < 10) {
+	$acc .= fib($i);
+	$acc .= " ";
+	$i++;
+}
+echo "fib: ", trim($acc), "\n";
+echo "spread=", abs(min(1, 27) - max(1, 27)), " mean=", sprintf("%f", $sum / count($samples)), "\n";
+?>

@@ -1,0 +1,24 @@
+<?php
+function cell($r, $c) {
+	$v = $r * $c;
+	return $v % 2 == 0 ? "<td class=\"even\">" . $v . "</td>" : "<td>" . $v . "</td>";
+}
+
+$n = 6;
+echo "<table>\n<tr><th></th>";
+for ($c = 1; $c <= $n; $c++) {
+	echo "<th>", $c, "</th>";
+}
+echo "</tr>\n";
+$total = 0;
+for ($r = 1; $r <= $n; $r++) {
+	echo "<tr><th>", $r, "</th>";
+	for ($c = 1; $c <= $n; $c++) {
+		echo cell($r, $c);
+		$total += $r * $c;
+	}
+	echo "</tr>\n";
+}
+echo "</table>\n";
+echo sprintf("sum=%d avg=%f", $total, $total / ($n * $n)), "\n";
+?>

@@ -108,6 +108,32 @@ func TestMatrixShape(t *testing.T) {
 				name, sc.CacheHitRatio, single.CacheHitRatio, drift)
 		}
 	}
+
+	// Scripted tier pair: the interp baseline must stay on the
+	// tree-walker, the auto side must have promoted during warmup and
+	// served the measured phase (mostly) from the bytecode tier, and the
+	// promotion must show up as cheaper simulated dispatch. Both record
+	// the Fig. 1 profile gauges so the trajectory captures the flat
+	// profile reshaping under tier-up.
+	si, _ := rec.Scenario("scripted_zipf_interp")
+	sa, _ := rec.Scenario("scripted_zipf")
+	if si.Tier != "interp" || si.TierBytecodeCalls != 0 || si.TierInterpCalls == 0 {
+		t.Errorf("scripted_zipf_interp should run entirely on the interpreter: %+v", si)
+	}
+	if sa.Tier != "auto" || sa.TierPromotions == 0 || sa.TierPromotedFunctions == 0 {
+		t.Errorf("scripted_zipf should promote under the default policy: %+v", sa)
+	}
+	if sa.TierBytecodeCalls == 0 || sa.TierICHits == 0 {
+		t.Errorf("scripted_zipf should serve bytecode calls with inline-cache hits: %+v", sa)
+	}
+	if si.ProfileHottestFrac <= 0 || si.ProfileFuncsFor65 <= 0 ||
+		sa.ProfileHottestFrac <= 0 || sa.ProfileFuncsFor65 <= 0 {
+		t.Errorf("scripted scenarios should record the Fig. 1 profile gauges: interp %+v auto %+v", si, sa)
+	}
+	if sa.SimCyclesPerReq >= si.SimCyclesPerReq {
+		t.Errorf("bytecode tier should simulate cheaper dispatch: auto %.0f cycles/req vs interp %.0f",
+			sa.SimCyclesPerReq, si.SimCyclesPerReq)
+	}
 }
 
 // TestMatrixDeterministic is the record-identity property: two runs

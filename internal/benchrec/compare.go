@@ -92,9 +92,10 @@ func Compare(base, fresh Record, tol Tolerances) ([]Regression, error) {
 		if !ok {
 			return nil, fmt.Errorf("benchrec: fresh run is missing scenario %q", b.Name)
 		}
-		if b.Workers != f.Workers || b.Warmup != f.Warmup || b.Requests != f.Requests ||
+		if b.App != f.App || b.Workers != f.Workers || b.Warmup != f.Warmup || b.Requests != f.Requests ||
 			b.Accelerated != f.Accelerated || b.CacheCapacity != f.CacheCapacity ||
-			b.ZipfPages != f.ZipfPages || b.Backends != f.Backends || b.DBWaitMS != f.DBWaitMS {
+			b.ZipfPages != f.ZipfPages || b.Backends != f.Backends || b.DBWaitMS != f.DBWaitMS ||
+			b.Tier != f.Tier {
 			return nil, fmt.Errorf("benchrec: scenario %q configuration drifted; commit a new baseline", b.Name)
 		}
 		if limit := b.ReqPerSec * (1 - tol.ThroughputDrop) / slow; f.ReqPerSec < limit {

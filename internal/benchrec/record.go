@@ -65,8 +65,9 @@ type Record struct {
 // Scenario is one pinned workload configuration and what it measured.
 type Scenario struct {
 	// Name identifies the scenario within the matrix: "direct",
-	// "accel_off", "scheduler", "cache_zipf", or the cluster sweep
-	// "cluster_zipf_<n>" at 1, 2, and 4 backends.
+	// "accel_off", "scheduler", "cache_zipf", the cluster sweep
+	// "cluster_zipf_<n>" at 1, 2, and 4 backends, or the scripted
+	// bytecode-tier pair "scripted_zipf_interp"/"scripted_zipf".
 	Name string `json:"name"`
 	// App is the workload application served (wordpress throughout).
 	App string `json:"app"`
@@ -131,6 +132,24 @@ type Scenario struct {
 	// category (hash, heap, string, regex, ...) over the measured phase,
 	// including the response cache's lookup charges when present.
 	SimCategoryCycles map[string]float64 `json:"sim_category_cycles"`
+
+	// Tier names the script execution tier on scripted scenarios
+	// ("interp", "auto", "bytecode"; empty elsewhere). The tier counters
+	// below are fleet totals merged across pool workers and are
+	// deterministic for a given seed+scale (single closed-loop client,
+	// FIFO worker rotation, request-count promotion windows).
+	Tier                  string `json:"tier,omitempty"`
+	TierPromotions        int64  `json:"tier_promotions,omitempty"`
+	TierPromotedFunctions int    `json:"tier_promoted_functions,omitempty"`
+	TierBytecodeCalls     int64  `json:"tier_bytecode_calls,omitempty"`
+	TierInterpCalls       int64  `json:"tier_interp_calls,omitempty"`
+	TierICHits            int64  `json:"tier_ic_hits,omitempty"`
+	// ProfileHottestFrac and ProfileFuncsFor65 are the paper's Fig. 1
+	// headline numbers computed over the scenario's merged profile —
+	// recorded on scripted scenarios so the trajectory shows the flat
+	// profile shifting as the tier promotes hot functions.
+	ProfileHottestFrac float64 `json:"profile_hottest_frac,omitempty"`
+	ProfileFuncsFor65  int     `json:"profile_funcs_for_65,omitempty"`
 }
 
 // Canonical returns a copy of the record with every timing-dependent
@@ -240,5 +259,6 @@ func Write(dir string, rec Record) (string, error) {
 // ScenarioNames lists the matrix scenario names in matrix order.
 func ScenarioNames() []string {
 	return []string{"direct", "accel_off", "scheduler", "cache_zipf",
-		"cluster_zipf_1", "cluster_zipf_2", "cluster_zipf_4"}
+		"cluster_zipf_1", "cluster_zipf_2", "cluster_zipf_4",
+		"scripted_zipf_interp", "scripted_zipf"}
 }

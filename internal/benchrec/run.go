@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/php"
+	"repro/internal/profile"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/vm"
@@ -59,6 +61,14 @@ const (
 	clusterDBWaitQuick  = 2 * time.Millisecond
 	clusterMeasureFull  = 400
 	clusterMeasureQuick = 80
+
+	// Scripted scenario: the PHP blog script served page-keyed (uncached)
+	// over the same Zipf page universe as cache_zipf, once pinned to the
+	// tree-walking interpreter and once with profile-guided tier
+	// promotion. The pair is the trajectory's view of the bytecode tier:
+	// same requests, same pages, same output bytes, different execution
+	// engine once the hot functions cross the promotion threshold.
+	scriptedApp = "phpscript-blog"
 )
 
 // Options selects the matrix size and base seed for one run.
@@ -246,6 +256,10 @@ func runMatrixOnce(opts Options) (Record, error) {
 			sc, err = runCluster(opts, warmup, 2)
 		case "cluster_zipf_4":
 			sc, err = runCluster(opts, warmup, 4)
+		case "scripted_zipf_interp":
+			sc, err = runScriptedZipf(opts, warmup, measure, php.TierInterp)
+		case "scripted_zipf":
+			sc, err = runScriptedZipf(opts, warmup, measure, php.TierAuto)
 		}
 		if err != nil {
 			return Record{}, fmt.Errorf("benchrec: scenario %s: %w", name, err)
@@ -468,6 +482,66 @@ func runCluster(opts Options, warmup, backends int) (Scenario, error) {
 	sc.fillLoadStats(cs.Aggregate)
 	sc.AllocsPerOp = allocs
 	sc.simFields(cl.MergedMeter(), cs.Aggregate.Served)
+	return sc, nil
+}
+
+// runScriptedZipf serves the scripted blog workload page-keyed (no
+// response cache — every request renders) through the scheduler, with
+// the execution tier pinned to the interpreter or free to promote
+// (TierAuto with the default policy). Warmup drives each worker's
+// per-worker interpreter through the promotion window in auto mode, so
+// the measured phase runs mostly in the bytecode tier; the recorded
+// tier counters and Fig. 1 profile gauges pin that state in the
+// trajectory.
+func runScriptedZipf(opts Options, warmup, measure int, mode php.TierMode) (Scenario, error) {
+	pool, err := workload.NewPoolSharedSeed(matrixWorkers, vmConfig(true), scriptedApp, opts.Seed)
+	if err != nil {
+		return Scenario{}, err
+	}
+	supported, err := pool.ConfigureScriptTier(mode, php.DefaultTierPolicy())
+	if err != nil {
+		return Scenario{}, err
+	}
+	if !supported {
+		return Scenario{}, fmt.Errorf("%s does not support script tiering", scriptedApp)
+	}
+	pool.Run(workload.LoadGenerator{Warmup: warmup}, 0)
+	s := serve.NewScheduler(pool, serve.Config{QueueDepth: schedQueueDepth, Timeout: schedTimeout})
+	keys, err := workload.NewZipfKeys(opts.Seed, zipfExponent, zipfPages)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var ls serve.LoadStats
+	allocs := measureAllocs(measure, func() {
+		ls = serve.RunLoad(context.Background(), s, serve.LoadOptions{
+			Requests: measure,
+			Clients:  1,
+			PageKey:  keys.Next,
+		})
+	})
+
+	sc := baseScenario(matrixWorkers, warmup, measure, true)
+	sc.App = scriptedApp
+	sc.Clients = 1
+	sc.QueueDepth = schedQueueDepth
+	sc.TimeoutMS = float64(schedTimeout) / float64(time.Millisecond)
+	sc.ZipfPages = zipfPages
+	sc.ZipfS = zipfExponent
+	sc.fillLoadStats(ls)
+	sc.AllocsPerOp = allocs
+	mt := pool.MergedMeter()
+	sc.simFields(mt, ls.Served)
+
+	snap := pool.TierSnapshot()
+	sc.Tier = snap.Mode
+	sc.TierPromotions = snap.Promotions
+	sc.TierPromotedFunctions = snap.PromotedFunctions
+	sc.TierBytecodeCalls = snap.BytecodeCalls
+	sc.TierInterpCalls = snap.InterpCalls
+	sc.TierICHits = snap.ICHits
+	p := profile.FromMeter(mt)
+	sc.ProfileHottestFrac = p.HottestFrac()
+	sc.ProfileFuncsFor65 = p.FuncsForFrac(0.65)
 	return sc, nil
 }
 

@@ -231,6 +231,13 @@ func (t *Table) Set(m *hashmap.Map, k hashmap.Key, v interface{}) SetResult {
 		return SetResult{Bypass: true}
 	}
 	t.stats.Sets++
+	if k.IsInt {
+		// Coherence of the map's auto-index watermark rides on the same
+		// access (like the seqOf read below): an int-keyed pair that
+		// lives only in the table must still advance the index a
+		// software append reads from memory.
+		m.BumpIntKey(k.Int)
+	}
 	if idx := t.lookup(m.ID(), k); idx >= 0 {
 		e := &t.entries[idx]
 		e.val = v
@@ -314,6 +321,43 @@ func (t *Table) Foreach(m *hashmap.Map, f func(k hashmap.Key, v interface{}) boo
 	n := t.FlushMap(m)
 	m.Foreach(f)
 	return n
+}
+
+// CoherentRead makes a software read of (m, k) coherent with the table:
+// a dirty cached copy of the pair is written back and cleaned first, as
+// the snoop/inclusion logic does when a demand load hits an address the
+// table holds (§4.2). It reports whether a writeback happened — software
+// methods that specialize static-key accesses to offset reads (inline
+// caching, §3) still see values buffered by dynamic-key SETs.
+func (t *Table) CoherentRead(m *hashmap.Map, k hashmap.Key) bool {
+	if k.Len() > t.cfg.MaxKeyBytes {
+		return false
+	}
+	idx := t.lookup(m.ID(), k)
+	if idx < 0 || !t.entries[idx].dirty {
+		return false
+	}
+	e := &t.entries[idx]
+	e.m.WritebackSeq(e.key, e.val, e.seq)
+	e.dirty = false
+	t.stats.Writebacks++
+	return true
+}
+
+// CoherentWrite makes a software store of (m, k) coherent with the
+// table: any cached copy of the pair is invalidated so later
+// hashtablegets refetch the stored value from memory instead of serving
+// a stale hardware copy. It reports whether an entry was dropped.
+func (t *Table) CoherentWrite(m *hashmap.Map, k hashmap.Key) bool {
+	if k.Len() > t.cfg.MaxKeyBytes {
+		return false
+	}
+	idx := t.lookup(m.ID(), k)
+	if idx < 0 {
+		return false
+	}
+	t.invalidate(idx)
+	return true
 }
 
 // FlushMap writes the map's dirty entries back to the software map and

@@ -432,3 +432,56 @@ func BenchmarkSet(b *testing.B) {
 		ht.Set(m, keys[i&63], i)
 	}
 }
+
+func TestCoherentReadWritesBackDirtyPair(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	ht.Set(m, hashmap.StrKey("k"), "v")
+
+	if _, ok := m.Get(hashmap.StrKey("k")); ok {
+		t.Fatal("buffered SET must not reach the software map")
+	}
+	if !ht.CoherentRead(m, hashmap.StrKey("k")) {
+		t.Fatal("CoherentRead should write the dirty pair back")
+	}
+	if v, ok := m.Get(hashmap.StrKey("k")); !ok || v != "v" {
+		t.Fatalf("software map after snoop: %v %v", v, ok)
+	}
+	if ht.CoherentRead(m, hashmap.StrKey("k")) {
+		t.Error("second CoherentRead should find the entry clean")
+	}
+	// The entry stays cached: a later hardware GET still hits.
+	if _, res := ht.Get(m, hashmap.StrKey("k")); !res.Hit {
+		t.Error("snooped entry should remain valid in the table")
+	}
+}
+
+func TestCoherentWriteInvalidatesCachedPair(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	ht.Set(m, hashmap.StrKey("k"), "old")
+
+	if !ht.CoherentWrite(m, hashmap.StrKey("k")) {
+		t.Fatal("CoherentWrite should drop the cached pair")
+	}
+	m.Set(hashmap.StrKey("k"), "new")
+	v, res := ht.Get(m, hashmap.StrKey("k"))
+	if res.Hit {
+		t.Error("invalidated entry must not serve the stale value")
+	}
+	if v != "new" || !res.Found {
+		t.Errorf("software fallback should return the stored value: %v %+v", v, res)
+	}
+}
+
+func TestSetBumpsAppendWatermark(t *testing.T) {
+	ht := New(DefaultConfig())
+	m := hashmap.New(nil)
+	ht.Set(m, hashmap.IntKey(5), "x")
+
+	// The buffered insert must advance the software append index even
+	// though the pair itself has not been written back yet.
+	if got := m.NextIntKey(); got != 6 {
+		t.Errorf("NextIntKey after buffered Set(5) = %d, want 6", got)
+	}
+}

@@ -432,6 +432,16 @@ func (m *Map) SetRaw(k Key, v interface{}) bool {
 	return m.WritebackSeq(k, v, m.ReserveSeq())
 }
 
+// BumpIntKey advances the auto-index watermark to cover int key i. The
+// hardware hash table calls this when it accepts an int-keyed SET whose
+// pair lives only in the table, so that a later append (`$a[] = v`)
+// reading the software watermark does not reuse the buffered index.
+func (m *Map) BumpIntKey(i int64) {
+	if i >= m.nextIntKey {
+		m.nextIntKey = i + 1
+	}
+}
+
 // ReserveSeq hands out the next insertion sequence number. The hardware
 // hash table reserves a sequence when it accepts a SET for a key that
 // does not exist in the software map yet, so that a later writeback lands

@@ -22,11 +22,18 @@ type HV = regexaccel.HV
 func (c *CPU) HashGet(fn string, m *hashmap.Map, k hashmap.Key, static bool) (interface{}, bool) {
 	c.at(fn, sim.CatHash)
 	if static && c.Meter.Mit.InlineCaching {
-		// IC/HMI-specialized access: a type-checked offset access.
+		// IC/HMI-specialized access: a type-checked offset access. The
+		// load still snoops the hardware table — a dirty copy buffered
+		// by an earlier dynamic-key SET is written back first so the
+		// offset read sees current data.
 		c.mute = true
+		wb := c.HT != nil && c.HT.CoherentRead(m, k)
 		v, ok := m.Get(k)
 		c.mute = false
 		c.Meter.AddUops(fn, sim.CatHash, c.Meter.Model.ICHitUops)
+		if wb {
+			c.Meter.AddUops(fn, sim.CatHash, c.Meter.Model.HTWritebackUops)
+		}
 		c.Meter.AddTypeCheck(1)
 		return v, ok
 	}
@@ -49,6 +56,11 @@ func (c *CPU) HashSet(fn string, m *hashmap.Map, k hashmap.Key, v interface{}, s
 	c.at(fn, sim.CatHash)
 	if static && c.Meter.Mit.InlineCaching {
 		c.mute = true
+		if c.HT != nil {
+			// The offset store snoops the table: any cached copy is
+			// invalidated so later hashtablegets refetch from memory.
+			c.HT.CoherentWrite(m, k)
+		}
 		m.Set(k, v)
 		c.mute = false
 		c.Meter.AddUops(fn, sim.CatHash, c.Meter.Model.ICHitUops)
@@ -93,6 +105,21 @@ func (c *CPU) HashForeach(fn string, m *hashmap.Map, f func(k hashmap.Key, v int
 		return
 	}
 	m.Foreach(f)
+}
+
+// HashSize reads the map's element count (PHP count() and array
+// truthiness). With the hardware table present, buffered SET inserts
+// have not reached the software size field yet, so the read first
+// flushes the map's dirty pairs.
+func (c *CPU) HashSize(fn string, m *hashmap.Map) int {
+	c.at(fn, sim.CatHash)
+	if c.HT != nil {
+		mdl := &c.Meter.Model
+		written := c.HT.FlushMap(m)
+		c.Meter.AddUops(fn, sim.CatHash, float64(written)*mdl.HTWritebackUops)
+		c.Meter.AddAccel(fn, sim.CatHash, sim.AccelHashTable, float64(written)*mdl.HTLookupCycles)
+	}
+	return m.Size()
 }
 
 // HashFree deallocates a hash map (the map structure itself is freed by

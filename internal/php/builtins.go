@@ -20,7 +20,7 @@ func (in *Interp) evalCall(n *callExpr, f *frame) (interface{}, error) {
 		if err != nil {
 			return nil, err
 		}
-		return in.callUser(fd, args)
+		return in.callFn(fd, args)
 	}
 	if in.rt.Tracing() { // skip the name concat on the unsampled path
 		in.rt.BeginSpan("php:" + n.name)
@@ -319,7 +319,7 @@ var builtins = map[string]builtinFn{
 			return nil, errArity(n, 1)
 		}
 		if arr, ok := args[0].(*vm.Array); ok {
-			return int64(arr.Size()), nil
+			return int64(in.rt.ASize(f.fn, arr)), nil
 		}
 		return int64(1), nil
 	},

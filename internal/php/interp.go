@@ -37,6 +37,13 @@ type Interp struct {
 	// arrays allocated by the script, freed when Run returns (request
 	// teardown, the short-lived map pattern).
 	owned []*vm.Array
+
+	// Bytecode tier (tier.go / bcexec.go): the shared compiled program,
+	// this worker's private execution machine (value stack, inline
+	// caches, type feedback), and the promotion controller.
+	comp *Compiled
+	bc   *bcMachine
+	tier *tierState
 }
 
 // frame is one function activation's variable bindings. Plain-variable
@@ -81,6 +88,14 @@ func (in *Interp) SetGlobal(name string, v interface{}) {
 
 // Run executes the script as one request and returns the response body.
 func (in *Interp) Run() ([]byte, error) {
+	if t := in.tier; t != nil {
+		t.beginRequest()
+		bc := in.useBytecode("php_main")
+		t.count("php_main", bc)
+		if bc {
+			return in.bcRunMain()
+		}
+	}
 	in.rt.BeginRequest()
 	in.ob = in.rt.NewOutputBuffer("php_main")
 	in.globals = frame{vars: map[string]interface{}{}, fn: "php_main"}
@@ -159,7 +174,7 @@ func (in *Interp) execStmt(s stmt, f *frame) (control, error) {
 		if err != nil {
 			return control{}, err
 		}
-		if truthy(cond) {
+		if in.truthy(f, cond) {
 			return in.execBlock(n.then, f)
 		}
 		return in.execBlock(n.els, f)
@@ -173,7 +188,7 @@ func (in *Interp) execStmt(s stmt, f *frame) (control, error) {
 			if err != nil {
 				return control{}, err
 			}
-			if !truthy(cond) {
+			if !in.truthy(f, cond) {
 				return control{}, nil
 			}
 			ctl, err := in.execBlock(n.body, f)
@@ -203,7 +218,7 @@ func (in *Interp) execStmt(s stmt, f *frame) (control, error) {
 				if err != nil {
 					return control{}, err
 				}
-				if !truthy(cond) {
+				if !in.truthy(f, cond) {
 					return control{}, nil
 				}
 			}
@@ -308,7 +323,7 @@ func (in *Interp) eval(e expr, f *frame) (interface{}, error) {
 			return nil, err
 		}
 		if n.op == "!" {
-			return !truthy(v), nil
+			return !in.truthy(f, v), nil
 		}
 		switch x := v.(type) {
 		case int64:
@@ -327,7 +342,7 @@ func (in *Interp) eval(e expr, f *frame) (interface{}, error) {
 		if err != nil {
 			return nil, err
 		}
-		if truthy(c) {
+		if in.truthy(f, c) {
 			return in.eval(n.then, f)
 		}
 		return in.eval(n.els, f)
@@ -498,17 +513,17 @@ func (in *Interp) evalBinary(n *binaryExpr, f *frame) (interface{}, error) {
 		if err != nil {
 			return nil, err
 		}
-		if n.op == "&&" && !truthy(l) {
+		if n.op == "&&" && !in.truthy(f, l) {
 			return false, nil
 		}
-		if n.op == "||" && truthy(l) {
+		if n.op == "||" && in.truthy(f, l) {
 			return true, nil
 		}
 		r, err := in.eval(n.r, f)
 		if err != nil {
 			return nil, err
 		}
-		return truthy(r), nil
+		return in.truthy(f, r), nil
 	}
 	in.charge(f, 1)
 	l, err := in.eval(n.l, f)
@@ -620,7 +635,17 @@ func (in *Interp) callUser(fd *funcDecl, args []interface{}) (interface{}, error
 
 // --- conversions and operators ---
 
-func truthy(v interface{}) bool {
+// truthy applies PHP boolean conversion. Arrays go through the runtime
+// size read so inserts still buffered in the hardware hash table count
+// toward non-emptiness.
+func (in *Interp) truthy(f *frame, v interface{}) bool {
+	if a, ok := v.(*vm.Array); ok {
+		return in.rt.ASize(f.fn, a) > 0
+	}
+	return truthyScalar(v)
+}
+
+func truthyScalar(v interface{}) bool {
 	switch x := v.(type) {
 	case nil:
 		return false
@@ -632,8 +657,6 @@ func truthy(v interface{}) bool {
 		return x != 0
 	case string:
 		return x != "" && x != "0"
-	case *vm.Array:
-		return x.Size() > 0
 	default:
 		return true
 	}
@@ -761,14 +784,19 @@ func arith(op string, l, r interface{}) interface{} {
 }
 
 func looseEq(l, r interface{}) bool {
+	ls, lIsStr := l.(string)
+	rs, rIsStr := r.(string)
 	if isNumeric(l) || isNumeric(r) {
 		// PHP8-style: numeric vs numeric-string compares numerically;
 		// otherwise string comparison.
-		ls, lIsStr := l.(string)
-		rs, rIsStr := r.(string)
 		if (lIsStr && !numericString(ls)) || (rIsStr && !numericString(rs)) {
 			return fmt.Sprint(l) == fmt.Sprint(r)
 		}
+		return toFloat(l) == toFloat(r)
+	}
+	// Two numeric strings compare numerically (PHP 8), keeping == and
+	// the relational operators (compare) consistent: "10" == "1e1".
+	if lIsStr && rIsStr && numericString(ls) && numericString(rs) {
 		return toFloat(l) == toFloat(r)
 	}
 	return strictEq(l, r)

@@ -103,12 +103,16 @@ func (p Profile) CategoryShares() map[sim.Category]float64 {
 }
 
 // TopN returns the hottest n entries; n <= 0 returns every entry, which
-// is how a fleet scraper asks a backend for its complete profile.
+// is how a fleet scraper asks a backend for its complete profile. The
+// result is a copy: callers may sort or mutate it without silently
+// reordering the live profile (or anything Merge produced).
 func (p Profile) TopN(n int) []Entry {
 	if n <= 0 || n > len(p.Entries) {
 		n = len(p.Entries)
 	}
-	return p.Entries[:n]
+	out := make([]Entry, n)
+	copy(out, p.Entries[:n])
+	return out
 }
 
 // NumFunctions returns the number of distinct leaf functions.

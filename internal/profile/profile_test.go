@@ -224,3 +224,33 @@ func TestCDFEdgeCases(t *testing.T) {
 		t.Errorf("CDF = %v", got)
 	}
 }
+
+// TestTopNReturnsCopy is the regression test for TopN aliasing the
+// profile's backing array: sorting or mutating the returned slice must
+// not reorder the live profile (or anything Merge produced).
+func TestTopNReturnsCopy(t *testing.T) {
+	mt := meterWith(map[string]float64{"a": 0.5, "b": 0.3, "c": 0.2})
+	p := FromMeter(mt)
+	top := p.TopN(2)
+	if len(top) != 2 || top[0].Name != "a" {
+		t.Fatalf("TopN(2) = %+v", top)
+	}
+	top[0].Name = "mutated"
+	top[0].Cycles = -1
+	top[0], top[1] = top[1], top[0]
+	if p.Entries[0].Name != "a" || p.Entries[1].Name != "b" {
+		t.Fatalf("mutating TopN result changed the profile: %+v", p.Entries[:2])
+	}
+	if p.Entries[0].Cycles < 0 {
+		t.Fatal("mutating TopN result changed live entry fields")
+	}
+	// n <= 0 (the fleet-scraper "everything" form) must copy too.
+	all := p.TopN(0)
+	if len(all) != len(p.Entries) {
+		t.Fatalf("TopN(0) len = %d, want %d", len(all), len(p.Entries))
+	}
+	all[0].Name = "clobbered"
+	if p.Entries[0].Name != "a" {
+		t.Fatal("TopN(0) aliases the profile's backing array")
+	}
+}

@@ -34,7 +34,11 @@ type LoadOptions struct {
 	// PageKey and a pool whose workload has page identity.
 	Cache *cache.Cache
 	// PageKey draws the next request's page index (e.g. ZipfKeys.Next);
-	// it is what gives cached requests their popularity distribution.
+	// it is what gives requests their popularity distribution. With a
+	// Cache it also names the cache key; without one, each render still
+	// goes through the drawn page's identity (requires a PageApp pool) —
+	// the uncached page-keyed traffic shape the scripted tier scenarios
+	// use.
 	PageKey func() int
 	// IDs mints per-request correlation IDs (the X-Request-Id form):
 	// every submission carries an ID, sampled access-log lines record
@@ -187,14 +191,22 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 				return body, nil
 			}
 			plainRender := func(w *workload.Worker) error {
-				if opts.Collector != nil {
-					page, sp, err := w.ServeSpanCtx(ctx, opts.Collector.ShouldSample())
-					if err != nil {
-						return err
-					}
-					opts.Collector.ObserveHTTP(sp, len(page), obs.RequestMeta{RequestID: rid})
-				} else if _, err := w.ServeOneCtx(ctx); err != nil {
+				profile := opts.Collector != nil && opts.Collector.ShouldSample()
+				var (
+					body []byte
+					sp   obs.Span
+					err  error
+				)
+				if opts.PageKey != nil {
+					body, sp, err = w.ServePageSpanCtx(ctx, page, profile)
+				} else {
+					body, sp, err = w.ServeSpanCtx(ctx, profile)
+				}
+				if err != nil {
 					return err
+				}
+				if opts.Collector != nil {
+					opts.Collector.ObserveHTTP(sp, len(body), obs.RequestMeta{RequestID: rid})
 				}
 				if opts.CtxSwitchEvery > 0 && w.Served()%opts.CtxSwitchEvery == 0 {
 					w.Runtime().ContextSwitch()
@@ -213,8 +225,10 @@ func RunLoad(ctx context.Context, s *Scheduler, opts LoadOptions) LoadStats {
 				var err error
 				var outcome cache.Outcome
 				var lat time.Duration
-				if opts.Cache != nil {
+				if opts.PageKey != nil {
 					page = opts.PageKey()
+				}
+				if opts.Cache != nil {
 					t0 := time.Now()
 					_, outcome, wait, err = s.DoCached(ctx, opts.Cache, keyFor(page), cachedRender)
 					lat = time.Since(t0)

@@ -236,6 +236,13 @@ func (r *Runtime) ADelete(fn string, a *Array, k hashmap.Key) bool {
 	return r.cpu.HashDelete(fn, a.m, k)
 }
 
+// ASize returns the array's element count, flushing hardware-buffered
+// inserts first so the software size field is current (PHP count() and
+// array truthiness).
+func (r *Runtime) ASize(fn string, a *Array) int {
+	return r.cpu.HashSize(fn, a.m)
+}
+
 // AForeach iterates in insertion order (PHP foreach).
 func (r *Runtime) AForeach(fn string, a *Array, f func(k hashmap.Key, v interface{}) bool) {
 	r.record(trace.Event{Kind: trace.KindHashIterate, Fn: fn, A: a.m.ID()})

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/hashmap"
 	"repro/internal/sim"
@@ -174,7 +175,7 @@ func (m *mediaWikiApp) renderWikiPage(rt *vm.Runtime, page int) []byte {
 type specWebApp struct {
 	name   string
 	corpus *Corpus
-	seq    int
+	seq    atomic.Int64
 }
 
 // NewSPECWebBanking builds the SPECWeb2005 banking workload.
@@ -190,8 +191,7 @@ func NewSPECWebEcommerce(seed int64) App {
 func (s *specWebApp) Name() string { return s.name }
 
 func (s *specWebApp) ServeRequest(rt *vm.Runtime) []byte {
-	s.seq++
-	return s.ServePage(rt, s.seq)
+	return s.ServePage(rt, int(s.seq.Add(1)))
 }
 
 // ServePage renders the SPECWeb response for the given page index (see

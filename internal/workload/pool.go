@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core/hashtable"
 	"repro/internal/obs"
+	"repro/internal/php"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -427,6 +428,51 @@ func (p *Pool) gatherResultOwned(wall time.Duration) Result {
 	res.Categories = mt.CategoryCyclesVec()
 	res.Keys = keyStatsFromTrace(p.mergedTraceOwned())
 	return res
+}
+
+// ScriptTiered is implemented by apps that execute PHP source through
+// the tiered interpreter (ScriptedApp): the pool can switch their
+// execution tier and collect per-worker tier state.
+type ScriptTiered interface {
+	SetScriptTier(mode php.TierMode, policy php.TierPolicy) error
+	TierSnapshotFor(rt *vm.Runtime) php.TierSnapshot
+}
+
+// ConfigureScriptTier switches every scripted worker app to the given
+// execution tier, quiescing the pool first so no request observes the
+// switch mid-render. It reports whether any worker's app supports
+// tiering (false for Go-coded recipe apps, where the flag is a no-op).
+func (p *Pool) ConfigureScriptTier(mode php.TierMode, policy php.TierPolicy) (bool, error) {
+	p.acquireAll()
+	defer p.releaseAll()
+	any := false
+	for _, w := range p.workers {
+		st, ok := w.app.(ScriptTiered)
+		if !ok {
+			continue
+		}
+		if err := st.SetScriptTier(mode, policy); err != nil {
+			return any, err
+		}
+		any = true
+	}
+	return any, nil
+}
+
+// TierSnapshot drains the pool and merges every scripted worker's tier
+// state into one fleet-aggregate view — the data behind /tierz and the
+// phpserve_tier_* metrics. The zero snapshot (Enabled false) comes back
+// when no worker runs a tiered script.
+func (p *Pool) TierSnapshot() php.TierSnapshot {
+	p.acquireAll()
+	defer p.releaseAll()
+	var s php.TierSnapshot
+	for _, w := range p.workers {
+		if st, ok := w.app.(ScriptTiered); ok {
+			s.Merge(st.TierSnapshotFor(w.rt))
+		}
+	}
+	return s
 }
 
 // AccelStats aggregates the fleet's hardware-structure and runtime-cache

@@ -1,41 +1,145 @@
 package workload
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/php"
 	"repro/internal/vm"
 )
 
+// scriptEntry shares one parsed program — and, lazily, one compiled
+// bytecode artifact — across every ScriptedApp built from the same
+// source. Pool workers each construct their own app instance, so without
+// this cache each worker would re-parse and re-compile identical source.
+type scriptEntry struct {
+	prog *php.Program
+	once sync.Once
+	comp *php.Compiled
+	err  error
+}
+
+// scriptCache maps source text to its shared entry.
+var scriptCache sync.Map // string -> *scriptEntry
+
+func (e *scriptEntry) compiled() (*php.Compiled, error) {
+	e.once.Do(func() { e.comp, e.err = php.Compile(e.prog) })
+	return e.comp, e.err
+}
+
 // ScriptedApp runs an actual PHP program per request through the
 // interpreter, so the workload's hash/heap/string/regexp activity comes
 // from real script execution rather than a Go-coded request recipe.
+//
+// Each worker runtime gets a persistent php.Interp engine, so inline
+// caches, type feedback, and tier promotion state survive across
+// requests (per-worker, like a PHP-FPM process's JIT state), while the
+// compiled program itself is shared read-only across the pool.
 type ScriptedApp struct {
 	name string
-	prog *php.Program
-	seq  int64
+	ent  *scriptEntry
+	seq  atomic.Int64
+
+	mu         sync.Mutex
+	configured bool
+	tier       php.TierMode
+	policy     php.TierPolicy
+	engines    sync.Map // *vm.Runtime -> *php.Interp
 }
 
-// NewScripted wraps parsed PHP source as an App.
+// NewScripted wraps parsed PHP source as an App. Identical source shares
+// one parsed (and compiled) program across instances.
 func NewScripted(name, src string) (*ScriptedApp, error) {
+	if v, ok := scriptCache.Load(src); ok {
+		return &ScriptedApp{name: name, ent: v.(*scriptEntry)}, nil
+	}
 	prog, err := php.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return &ScriptedApp{name: name, prog: prog}, nil
+	ent := &scriptEntry{prog: prog}
+	if v, loaded := scriptCache.LoadOrStore(src, ent); loaded {
+		ent = v.(*scriptEntry)
+	}
+	return &ScriptedApp{name: name, ent: ent}, nil
 }
 
 // Name returns the workload name.
 func (s *ScriptedApp) Name() string { return s.name }
 
+// SetScriptTier selects the execution tier for subsequent requests and
+// compiles the shared program. Existing per-runtime
+// engines are discarded so every worker picks the new mode up on its
+// next request; call it while the pool is quiesced (Pool.ConfigureScriptTier
+// holds every worker).
+func (s *ScriptedApp) SetScriptTier(mode php.TierMode, policy php.TierPolicy) error {
+	if _, err := s.ent.compiled(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.configured = true
+	s.tier = mode
+	s.policy = policy
+	s.mu.Unlock()
+	s.engines.Range(func(k, _ interface{}) bool {
+		s.engines.Delete(k)
+		return true
+	})
+	return nil
+}
+
+// TierSnapshotFor returns the tier state of the engine bound to rt
+// (zero-valued when rt has not served yet or the tier is off). The
+// caller must own the runtime's worker.
+func (s *ScriptedApp) TierSnapshotFor(rt *vm.Runtime) php.TierSnapshot {
+	if v, ok := s.engines.Load(rt); ok {
+		return v.(*php.Interp).TierSnapshot()
+	}
+	return php.TierSnapshot{}
+}
+
+// engine returns rt's persistent interpreter, creating and
+// tier-configuring it on first use. The engine is only ever driven by
+// the goroutine owning the worker, but creation may race a concurrent
+// SetScriptTier reset, hence the mutex around the mode read.
+func (s *ScriptedApp) engine(rt *vm.Runtime) *php.Interp {
+	if v, ok := s.engines.Load(rt); ok {
+		return v.(*php.Interp)
+	}
+	s.mu.Lock()
+	configured, mode, policy := s.configured, s.tier, s.policy
+	s.mu.Unlock()
+	in := php.New(rt, s.ent.prog)
+	if configured {
+		// An explicit interp tier still installs the controller, so
+		// /tierz reports call counts even before any promotion policy
+		// is in play; an unconfigured app pays no tier overhead at all.
+		comp, err := s.ent.compiled()
+		if err != nil {
+			panic("workload: scripted app compile failed: " + err.Error())
+		}
+		if err := in.EnableTier(comp, mode, policy); err != nil {
+			panic("workload: scripted app tier setup failed: " + err.Error())
+		}
+	}
+	if v, loaded := s.engines.LoadOrStore(rt, in); loaded {
+		return v.(*php.Interp)
+	}
+	return in
+}
+
 // ServeRequest runs the script once with $req set to the request number.
+// The sequence counter is atomic: a ScriptedApp may be shared across
+// pool workers (compiled programs are cached per source), so requests
+// can arrive from several goroutines at once.
 func (s *ScriptedApp) ServeRequest(rt *vm.Runtime) []byte {
-	s.seq++
-	return s.ServePage(rt, int(s.seq))
+	return s.ServePage(rt, int(s.seq.Add(1)))
 }
 
 // ServePage runs the script once with $req set to the page index (see
 // PageApp).
 func (s *ScriptedApp) ServePage(rt *vm.Runtime, page int) []byte {
-	in := php.New(rt, s.prog)
+	in := s.engine(rt)
 	in.SetGlobal("req", int64(page))
 	out, err := in.Run()
 	if err != nil {

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// TestScriptedAppConcurrentServe hammers a single ScriptedApp from many
+// goroutines, each with its own runtime — the shape the shared
+// compiled-program cache creates. Run under -race this is the
+// regression test for the formerly unsynchronized seq counter.
+func TestScriptedAppConcurrentServe(t *testing.T) {
+	app := NewBlogScript()
+	const goroutines = 8
+	const perG = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt := vm.New(vm.Config{})
+			for i := 0; i < perG; i++ {
+				if out := app.ServeRequest(rt); len(out) == 0 {
+					t.Error("empty response from concurrent ServeRequest")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := app.seq.Load(); got != goroutines*perG {
+		t.Fatalf("seq = %d after %d requests, want %d (lost increments)", got, goroutines*perG, goroutines*perG)
+	}
+}
+
+// TestSpecWebAppConcurrentServe gives the same treatment to specWebApp,
+// which shared the unsynchronized counter pattern.
+func TestSpecWebAppConcurrentServe(t *testing.T) {
+	app := NewSPECWebBanking(1)
+	const goroutines = 8
+	const perG = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt := vm.New(vm.Config{})
+			for i := 0; i < perG; i++ {
+				if out := app.ServeRequest(rt); len(out) == 0 {
+					t.Error("empty response from concurrent ServeRequest")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := app.(*specWebApp).seq.Load(); got != goroutines*perG {
+		t.Fatalf("seq = %d after %d requests, want %d (lost increments)", got, goroutines*perG, goroutines*perG)
+	}
+}

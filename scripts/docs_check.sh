@@ -45,15 +45,17 @@ fi
 
 # Endpoint coverage: each route phpserve serves must appear in the
 # operations guide. pprof sub-routes are collapsed to /debug/pprof/,
-# which the guide documents as one surface.
-server=cmd/phpserve/main.go
+# which the guide documents as one surface. The binary spans several
+# files (main.go, tierz.go), so every non-test .go file in the package
+# is scanned.
+server_src=$(ls cmd/phpserve/*.go 2>/dev/null | grep -v '_test\.go$')
 opsdoc=docs/OPERATIONS.md
-if [ -f "$server" ] && [ -f "$opsdoc" ]; then
-	routes=$(sed -n 's/.*mux\.HandleFunc("\([^"]*\)".*/\1/p' "$server" |
+if [ -n "$server_src" ] && [ -f "$opsdoc" ]; then
+	routes=$(sed -n 's/.*mux\.HandleFunc("\([^"]*\)".*/\1/p' $server_src |
 		sed 's|^/debug/pprof/.*|/debug/pprof/|' | sort -u)
 	for route in $routes; do
 		if ! grep -qF "$route" "$opsdoc"; then
-			echo "docs-check: endpoint $route (from $server) is not documented in $opsdoc" >&2
+			echo "docs-check: endpoint $route (from cmd/phpserve) is not documented in $opsdoc" >&2
 			status=1
 		fi
 	done
@@ -61,11 +63,11 @@ fi
 
 # Flag coverage: every flag phpserve defines (flag.Type("name", ...))
 # must be documented as -name in the operations guide.
-if [ -f "$server" ] && [ -f "$opsdoc" ]; then
-	flags=$(sed -n 's/.*flag\.[A-Za-z0-9]*("\([^"]*\)".*/\1/p' "$server" | sort -u)
+if [ -n "$server_src" ] && [ -f "$opsdoc" ]; then
+	flags=$(sed -n 's/.*flag\.[A-Za-z0-9]*("\([^"]*\)".*/\1/p' $server_src | sort -u)
 	for f in $flags; do
 		if ! grep -qF -- "-$f" "$opsdoc"; then
-			echo "docs-check: flag -$f (from $server) is not documented in $opsdoc" >&2
+			echo "docs-check: flag -$f (from cmd/phpserve) is not documented in $opsdoc" >&2
 			status=1
 		fi
 	done
@@ -108,12 +110,12 @@ if [ -n "$router_src" ] && [ -f "$opsdoc" ]; then
 fi
 
 # Server metrics coverage: the same rule for every phpserve_* series the
-# server binary emits.
-if [ -f "$server" ] && [ -f "$opsdoc" ]; then
-	series=$(grep -o '"phpserve_[a-z_]*"' "$server" | tr -d '"' | sort -u)
+# server binary emits, across every non-test file in the package.
+if [ -n "$server_src" ] && [ -f "$opsdoc" ]; then
+	series=$(grep -oh '"phpserve_[a-z_]*"' $server_src | tr -d '"' | sort -u)
 	for s in $series; do
 		if ! grep -qF -- "$s" "$opsdoc"; then
-			echo "docs-check: metric series $s (from $server) is not documented in $opsdoc" >&2
+			echo "docs-check: metric series $s (from cmd/phpserve) is not documented in $opsdoc" >&2
 			status=1
 		fi
 	done
